@@ -1,0 +1,297 @@
+// Repository-level benchmarks: one benchmark (or benchmark family) per
+// table and figure of the paper, plus the ablations for the §3.4, §4.1
+// and §4.3 implementation claims. Run with
+//
+//	go test -bench=. -benchmem
+//
+// BENCH_SCALE (default 0.25) controls dataset sizes; 1.0 matches the
+// harness's full benchmark size.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/dist"
+	"repro/experiments"
+	"repro/graph"
+	"repro/scc"
+	"repro/schedsim"
+)
+
+func benchScale() float64 {
+	if s := os.Getenv("BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 0.25
+}
+
+// graphCache builds each dataset once per process.
+var (
+	graphMu    sync.Mutex
+	graphCache = map[string]*graph.Graph{}
+)
+
+func dataset(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if g, ok := graphCache[name]; ok {
+		return g
+	}
+	d, err := experiments.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Build(benchScale())
+	graphCache[name] = g
+	return g
+}
+
+func benchDetect(b *testing.B, name string, alg scc.Algorithm, opts scc.Options) {
+	g := dataset(b, name)
+	opts.Algorithm = alg
+	b.SetBytes(g.NumEdges() * 4) // bandwidth-ish: one int32 per edge
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := scc.Detect(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1: dataset statistics -----------------------------------
+
+func BenchmarkTable1Stats(b *testing.B) {
+	for _, name := range experiments.Names() {
+		b.Run(name, func(b *testing.B) {
+			g := dataset(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				graph.ComputeStats(g, 0)
+			}
+		})
+	}
+}
+
+// --- Figures 6 and 7: the four algorithms on all nine datasets -----
+//
+// These are the raw series behind the speedup plots: Tarjan is the
+// sequential baseline; Baseline/Method1/Method2 run with GOMAXPROCS
+// workers. Pair with cmd/sccbench -exp figure6 for the thread sweeps.
+
+func BenchmarkFigure6Tarjan(b *testing.B) {
+	for _, name := range experiments.Names() {
+		b.Run(name, func(b *testing.B) { benchDetect(b, name, scc.Tarjan, scc.Options{}) })
+	}
+}
+
+func BenchmarkFigure6Baseline(b *testing.B) {
+	for _, name := range experiments.Names() {
+		b.Run(name, func(b *testing.B) { benchDetect(b, name, scc.Baseline, scc.Options{Seed: 1}) })
+	}
+}
+
+func BenchmarkFigure6Method1(b *testing.B) {
+	for _, name := range experiments.Names() {
+		b.Run(name, func(b *testing.B) { benchDetect(b, name, scc.Method1, scc.Options{Seed: 1}) })
+	}
+}
+
+func BenchmarkFigure6Method2(b *testing.B) {
+	for _, name := range experiments.Names() {
+		b.Run(name, func(b *testing.B) { benchDetect(b, name, scc.Method2, scc.Options{Seed: 1}) })
+	}
+}
+
+// BenchmarkFigure6Model measures the modeled thread-sweep projection
+// itself (instrumented 1-worker run + 6-point machine-model sweep).
+func BenchmarkFigure6Model(b *testing.B) {
+	g := dataset(b, "flickr")
+	machine := schedsim.PaperMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Workers: 1, Seed: 1, TraceSchedule: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range experiments.DefaultThreads {
+			experiments.ModelTotal(res, machine, p)
+		}
+	}
+}
+
+// --- Figure 2 and Figure 9: SCC size distributions ------------------
+
+func BenchmarkFigure2Histogram(b *testing.B) {
+	g := dataset(b, "livej")
+	res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scc.LogSizeHistogram(res.Comp)
+	}
+}
+
+func BenchmarkFigure9Distributions(b *testing.B) {
+	for _, name := range []string{"patents", "ca-road", "orkut"} {
+		b.Run(name, func(b *testing.B) {
+			g := dataset(b, name)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				scc.LogSizeHistogram(res.Comp)
+			}
+		})
+	}
+}
+
+// --- Figure 8: per-phase attribution happens inside every Method2
+// run; this bench isolates the instrumented run it is read from.
+
+func BenchmarkFigure8PhaseAttribution(b *testing.B) {
+	benchDetect(b, "wiki", scc.Method2, scc.Options{Seed: 1})
+}
+
+// --- §3.3 logs: task tracing and queue statistics -------------------
+
+func BenchmarkTaskLogTracing(b *testing.B) {
+	benchDetect(b, "flickr", scc.Method1, scc.Options{Seed: 1, TraceTasks: 5})
+}
+
+// --- Ablations ------------------------------------------------------
+
+// BenchmarkAblationHybrid quantifies §4.1: per-task node lists versus
+// full Color-array scans.
+func BenchmarkAblationHybrid(b *testing.B) {
+	b.Run("hybrid", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1})
+	})
+	b.Run("colorscan", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, DisableHybrid: true})
+	})
+}
+
+// BenchmarkAblationTrim2 quantifies §3.4: Method 2 with and without
+// the size-2 trimming pass.
+func BenchmarkAblationTrim2(b *testing.B) {
+	b.Run("with-trim2", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1})
+	})
+	b.Run("without-trim2", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, DisableTrim2: true})
+	})
+}
+
+// BenchmarkAblationK sweeps the work-queue batch size (§4.3).
+func BenchmarkAblationK(b *testing.B) {
+	for _, k := range []int{1, 8, 32} {
+		b.Run("K="+strconv.Itoa(k), func(b *testing.B) {
+			benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, K: k})
+		})
+	}
+}
+
+// BenchmarkAblationPivot compares the degree-product pivot heuristic
+// with the paper's uniform-random pivot for phase 1.
+func BenchmarkAblationPivot(b *testing.B) {
+	b.Run("degree-heuristic", func(b *testing.B) {
+		benchDetect(b, "livej", scc.Method1, scc.Options{Seed: 1})
+	})
+	b.Run("uniform-random", func(b *testing.B) {
+		benchDetect(b, "livej", scc.Method1, scc.Options{Seed: 1, PivotSample: 1})
+	})
+}
+
+// --- Sequential baselines -------------------------------------------
+
+func BenchmarkSequential(b *testing.B) {
+	b.Run("tarjan", func(b *testing.B) { benchDetect(b, "livej", scc.Tarjan, scc.Options{}) })
+	b.Run("kosaraju", func(b *testing.B) { benchDetect(b, "livej", scc.Kosaraju, scc.Options{}) })
+}
+
+// --- Related-work roster (§1/§2): FW-BW without Trim, and OBF --------
+
+func BenchmarkRelatedFWBW(b *testing.B) {
+	benchDetect(b, "baidu", scc.FWBW, scc.Options{Seed: 1})
+}
+
+func BenchmarkRelatedOBF(b *testing.B) {
+	benchDetect(b, "baidu", scc.OBF, scc.Options{Seed: 1})
+}
+
+// --- §4.2 extension: direction-optimizing BFS in phase 1 -------------
+
+func BenchmarkAblationDirOptBFS(b *testing.B) {
+	b.Run("level-sync", func(b *testing.B) {
+		benchDetect(b, "twitter", scc.Method1, scc.Options{Seed: 1})
+	})
+	b.Run("dir-opt", func(b *testing.B) {
+		benchDetect(b, "twitter", scc.Method1, scc.Options{Seed: 1, DirOptBFS: true})
+	})
+}
+
+// --- §6 extension: distributed pipeline ------------------------------
+
+func BenchmarkDistributed(b *testing.B) {
+	g := dataset(b, "flickr")
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dist.Run(g, dist.Options{Workers: w, Seed: 1})
+			}
+		})
+	}
+}
+
+func BenchmarkRelatedColoring(b *testing.B) {
+	benchDetect(b, "baidu", scc.Coloring, scc.Options{})
+}
+
+func BenchmarkRelatedMultiStep(b *testing.B) {
+	benchDetect(b, "baidu", scc.MultiStep, scc.Options{Seed: 1})
+}
+
+// BenchmarkAblationTrim2Iterations ablates the §3.4 decision to apply
+// Trim2 only once.
+func BenchmarkAblationTrim2Iterations(b *testing.B) {
+	for _, iters := range []int{1, 3} {
+		b.Run(fmt.Sprintf("iters=%d", iters), func(b *testing.B) {
+			benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, Trim2Iterations: iters})
+		})
+	}
+}
+
+// BenchmarkAblationTrim3 measures the diminishing return of extending
+// the trim family to size-3 SCCs.
+func BenchmarkAblationTrim3(b *testing.B) {
+	b.Run("trim2-only", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1})
+	})
+	b.Run("trim2+trim3", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, EnableTrim3: true})
+	})
+}
+
+// BenchmarkAblationScheduler contrasts the paper's two-level queue
+// (§4.3) with a work-stealing scheduler in the recursive phase.
+func BenchmarkAblationScheduler(b *testing.B) {
+	b.Run("two-level", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1})
+	})
+	b.Run("stealing", func(b *testing.B) {
+		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, UseStealing: true})
+	})
+}

@@ -1,0 +1,208 @@
+// Command sccbench regenerates the paper's tables and figures on the
+// synthetic dataset suite.
+//
+// Usage:
+//
+//	sccbench -exp table1                         # Table 1
+//	sccbench -exp figure2                        # Fig 2  (livej SCC sizes)
+//	sccbench -exp figure6 [-data flickr] [-mode modeled|measured]
+//	sccbench -exp figure7 [-data flickr]
+//	sccbench -exp figure8                        # per-phase fractions
+//	sccbench -exp figure9                        # all SCC size dists
+//	sccbench -exp tasklog                        # §3.3 execution log
+//	sccbench -exp ablations [-data flickr]       # §3.4/§4.1/§4.3 claims
+//	sccbench -exp dist [-data flickr]            # §6 distributed extension
+//	sccbench -exp all                            # everything
+//
+// -scale shrinks the datasets (1.0 ≈ 40-250k nodes per graph; use
+// 0.25 for quick runs). -mode modeled (default) projects thread sweeps
+// through the machine model of the paper's 2×8-core Xeon; -mode
+// measured runs real thread counts on this host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/experiments"
+	"repro/schedsim"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|figure2|figure6|figure7|figure8|figure9|tasklog|ablations|dist|related|smallworld|all")
+		data     = flag.String("data", "", "restrict figure6/figure7/tasklog/ablations to one dataset (default: all for figure6, flickr otherwise)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (halving repeatedly shrinks node counts)")
+		mode     = flag.String("mode", "modeled", "thread-sweep mode: modeled|measured")
+		threads  = flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts")
+		seed     = flag.Int64("seed", 1, "pivot-selection seed")
+		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
+		machSpec = flag.String("machine", "", "machine model for modeled sweeps, e.g. 8x1.0,8x0.7,16x0.35@1us (default: the paper's 2x8-core SMT Xeon)")
+	)
+	flag.Parse()
+
+	m := experiments.Modeled
+	if *mode == "measured" {
+		m = experiments.Measured
+	}
+	ths, err := parseThreads(*threads)
+	if err != nil {
+		fatal(err)
+	}
+	machine := schedsim.PaperMachine()
+	if *machSpec != "" {
+		var err error
+		if machine, err = schedsim.ParseMachine(*machSpec); err != nil {
+			fatal(err)
+		}
+	}
+
+	writeCSV := func(name string, write func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	run := func(name string, fn func()) {
+		if *exp == name || *exp == "all" {
+			fmt.Printf("=== %s ===\n", name)
+			fn()
+			fmt.Println()
+		}
+	}
+
+	run("table1", func() {
+		rows := experiments.Table1(*scale, 6)
+		fmt.Print(experiments.FormatTable1(rows))
+		writeCSV("table1.csv", func(f *os.File) error { return experiments.Table1CSV(f, rows) })
+	})
+	run("figure2", func() {
+		d := mustFind("livej")
+		fmt.Print(experiments.FormatSizeDist(experiments.SizeDistribution(d, *scale)))
+	})
+	run("figure6", func() {
+		var series []experiments.SpeedupSeries
+		for _, d := range selectDatasets(*data, experiments.Names()) {
+			s := experiments.Figure6(mustFind(d), *scale, ths, m, machine, *seed)
+			series = append(series, s)
+			fmt.Print(experiments.FormatFigure6(s))
+		}
+		if len(series) > 1 {
+			last := ths[len(ths)-1]
+			fmt.Printf("geomean Method2 speedup at %d threads (excl. ca-road): %.2fx (paper: 14.05x)\n",
+				last, experiments.GeoMeanSpeedup(series, "Method2", last, "ca-road"))
+		}
+		writeCSV("figure6.csv", func(f *os.File) error { return experiments.SpeedupCSV(f, series) })
+	})
+	run("figure7", func() {
+		for _, d := range selectDatasets(defaultTo(*data, "flickr"), experiments.Names()) {
+			rows := experiments.Figure7(mustFind(d), *scale, ths, m, machine, *seed)
+			fmt.Print(experiments.FormatFigure7(d, rows))
+			writeCSV("figure7-"+d+".csv", func(f *os.File) error { return experiments.BreakdownCSV(f, d, rows) })
+		}
+	})
+	run("figure8", func() {
+		rows := experiments.Figure8(*scale, *seed)
+		fmt.Print(experiments.FormatFigure8(rows))
+		writeCSV("figure8.csv", func(f *os.File) error { return experiments.FractionsCSV(f, rows) })
+	})
+	run("figure9", func() {
+		var dists []experiments.SizeDist
+		for _, name := range experiments.Names() {
+			sd := experiments.SizeDistribution(mustFind(name), *scale)
+			dists = append(dists, sd)
+			fmt.Print(experiments.FormatSizeDist(sd))
+		}
+		writeCSV("figure9.csv", func(f *os.File) error { return experiments.SizeDistCSV(f, dists) })
+	})
+	run("tasklog", func() {
+		d := mustFind(defaultTo(*data, "flickr"))
+		fmt.Print(experiments.FormatTaskLog(experiments.TaskLog(d, *scale, *seed, 5)))
+	})
+	run("dist", func() {
+		d := mustFind(defaultTo(*data, "flickr"))
+		ds := experiments.DistScalingExperiment(d, *scale, []int{1, 2, 4, 8, 16}, *seed)
+		fmt.Print(experiments.FormatDistScaling(ds))
+		fmt.Print(experiments.FormatPartitionComparison(
+			experiments.ComparePartitioning(d, *scale, 8, *seed)))
+		writeCSV("dist.csv", func(f *os.File) error { return experiments.DistScalingCSV(f, ds) })
+	})
+	run("smallworld", func() {
+		n := int(30000 * *scale)
+		if n < 1000 {
+			n = 1000
+		}
+		points := experiments.SmallWorldSweep(n, 3, []float64{0, 0.0005, 0.002, 0.01, 0.05, 0.2, 1.0}, *seed)
+		fmt.Print(experiments.FormatSmallWorld(points))
+	})
+	run("related", func() {
+		d := mustFind(defaultTo(*data, "flickr"))
+		rc := experiments.Related(d, *scale, *seed)
+		fmt.Print(experiments.FormatRelated(rc))
+		writeCSV("related.csv", func(f *os.File) error { return experiments.RelatedCSV(f, rc) })
+	})
+	run("ablations", func() {
+		d := mustFind(defaultTo(*data, "flickr"))
+		h := experiments.AblationHybrid(d, *scale, *seed)
+		t2 := experiments.AblationTrim2(d, *scale, *seed)
+		ks := experiments.AblationK(d, *scale, *seed, []int{1, 2, 4, 8, 16, 32})
+		fmt.Print(experiments.FormatAblations(h, t2, ks))
+	})
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad thread count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func selectDatasets(requested string, all []string) []string {
+	if requested == "" {
+		return all
+	}
+	return strings.Split(requested, ",")
+}
+
+func defaultTo(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func mustFind(name string) experiments.Dataset {
+	d, err := experiments.Find(name)
+	if err != nil {
+		fatal(err)
+	}
+	return d
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sccbench:", err)
+	os.Exit(1)
+}

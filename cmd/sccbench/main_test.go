@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1, 2,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 16}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "a", "0", "-1", "1,,2"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Fatalf("parseThreads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSelectDatasets(t *testing.T) {
+	all := []string{"a", "b"}
+	if got := selectDatasets("", all); len(got) != 2 {
+		t.Fatalf("empty selection %v", got)
+	}
+	if got := selectDatasets("x,y", all); len(got) != 2 || got[0] != "x" {
+		t.Fatalf("explicit selection %v", got)
+	}
+}
+
+func TestDefaultTo(t *testing.T) {
+	if defaultTo("", "d") != "d" || defaultTo("v", "d") != "v" {
+		t.Fatal("defaultTo wrong")
+	}
+}

@@ -1,0 +1,97 @@
+// Command sccgen generates a synthetic graph and writes it to disk in
+// a choice of formats: SCCG binary (default), text edge list, Matrix
+// Market, or METIS.
+//
+// Usage:
+//
+//	sccgen -kind rmat -scale 18 -degree 14 -o livej.sccg
+//	sccgen -kind er -n 10000 -degree 4 -format mm -o er.mtx
+//	sccgen -kind dataset -data flickr -o flickr.sccg
+//	sccgen -kind road -rows 512 -cols 512 -o road.sccg
+//	sccgen -kind dag -n 100000 -degree 5 -o patents.sccg
+//	sccgen -kind ws -n 100000 -degree 4 -beta 0.05 -o ws.sccg
+//	sccgen -kind er -n 100000 -degree 8 -o er.sccg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/experiments"
+	"repro/gen"
+	"repro/graph"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "rmat", "generator: rmat|rmat-undirected|dataset|road|dag|ws|er")
+		out     = flag.String("o", "", "output path (required)")
+		format  = flag.String("format", "sccg", "output format: sccg|edges|mm|metis")
+		scale   = flag.Int("scale", 16, "rmat: log2 of node count")
+		n       = flag.Int("n", 1<<16, "node count (non-rmat kinds)")
+		degree  = flag.Float64("degree", 8, "average out-degree")
+		seed    = flag.Int64("seed", 42, "generator seed")
+		rows    = flag.Int("rows", 256, "road: grid rows")
+		cols    = flag.Int("cols", 256, "road: grid columns")
+		twoWay  = flag.Float64("twoway", 0.05, "road: probability an edge is bidirectional")
+		beta    = flag.Float64("beta", 0.05, "ws: rewiring probability")
+		data    = flag.String("data", "flickr", "dataset: suite dataset name")
+		dsScale = flag.Float64("dscale", 1.0, "dataset: suite scale factor")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-o is required"))
+	}
+
+	var g *graph.Graph
+	switch *kind {
+	case "rmat":
+		g = gen.RMAT(gen.DefaultRMAT(*scale, *degree, *seed))
+	case "rmat-undirected":
+		g = gen.RMATUndirected(gen.DefaultRMAT(*scale, *degree, *seed))
+	case "dataset":
+		d, err := experiments.Find(*data)
+		if err != nil {
+			fatal(err)
+		}
+		g = d.Build(*dsScale)
+	case "road":
+		g = gen.RoadLattice(gen.RoadLatticeConfig{Rows: *rows, Cols: *cols, TwoWayProb: *twoWay, Seed: *seed})
+	case "dag":
+		g = gen.CitationDAG(*n, int(*degree), *seed)
+	case "ws":
+		g = gen.WattsStrogatz(*n, int(*degree), *beta, *seed)
+	case "er":
+		g = gen.ErdosRenyi(*n, int(float64(*n)**degree), *seed)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch *format {
+	case "sccg":
+		err = g.Save(f)
+	case "edges", "text":
+		err = g.WriteEdgeList(f)
+	case "mm", "matrixmarket":
+		err = g.WriteMatrixMarket(f)
+	case "metis":
+		err = g.WriteMETIS(f)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d nodes, %d edges\n", *out, g.NumNodes(), g.NumEdges())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sccgen:", err)
+	os.Exit(1)
+}

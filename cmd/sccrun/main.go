@@ -1,0 +1,178 @@
+// Command sccrun runs one SCC algorithm on a graph file and reports
+// timing, the phase breakdown, and queue statistics.
+//
+// Usage:
+//
+//	sccrun -alg method2 -workers 8 graph.sccg
+//	sccrun -alg tarjan graph.sccg
+//	sccrun -alg method1 -tasklog 5 -text edges.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"repro/graph"
+	"repro/scc"
+	"repro/schedsim"
+)
+
+func main() {
+	var (
+		algName  = flag.String("alg", "method2", "algorithm: tarjan|kosaraju|gabow|baseline|method1|method2|fwbw|obf|coloring|multistep")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		k        = flag.Int("k", 0, "work-queue batch size (0 = paper default)")
+		seed     = flag.Int64("seed", 1, "pivot seed")
+		text     = flag.Bool("text", false, "input is a text edge list")
+		validate = flag.Bool("validate", false, "verify the decomposition before reporting")
+		tasklog  = flag.Int("tasklog", 0, "print the first N recursive-phase task records")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
+		chrome   = flag.String("chrometrace", "", "record the recursive phase's task schedule (simulated on the paper machine at 32 threads) as Chrome trace JSON")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sccrun [flags] <graph file>")
+		os.Exit(2)
+	}
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := load(flag.Arg(0), *text)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	res, err := scc.Detect(g, scc.Options{
+		Algorithm:     alg,
+		Workers:       *workers,
+		K:             *k,
+		Seed:          *seed,
+		Validate:      *validate,
+		TraceTasks:    *tasklog,
+		TraceSchedule: *chrome != "",
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("algorithm:   %v\n", res.Algorithm)
+	fmt.Printf("graph:       %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("time:        %v\n", res.Total.Round(time.Microsecond))
+	fmt.Printf("SCCs:        %d (largest %d, size-1 %d)\n",
+		res.NumSCCs, res.LargestSCC(), res.TrivialSCCs())
+	if alg == scc.Baseline || alg == scc.Method1 || alg == scc.Method2 {
+		fmt.Println("phase breakdown:")
+		for p := scc.Phase(0); p < scc.NumPhases; p++ {
+			st := res.Phases[p]
+			if st.Time == 0 && st.Nodes == 0 {
+				continue
+			}
+			fmt.Printf("  %-11s %12v  nodes=%d sccs=%d rounds=%d\n",
+				p, st.Time.Round(time.Microsecond), st.Nodes, st.SCCs, st.Rounds)
+		}
+		fmt.Printf("phase 1:     trials=%d levels=%d giant=%d\n",
+			res.Phase1Trials, res.Phase1Levels, res.GiantSCC)
+		if alg == scc.Method2 {
+			fmt.Printf("WCC:         %d components in %d rounds\n", res.WCCComponents, res.WCCRounds)
+		}
+		fmt.Printf("work queue:  %d initial tasks, peak depth %d, %d total\n",
+			res.InitialTasks, res.Queue.PeakReady, res.Queue.Total)
+	}
+	if *chrome != "" {
+		tasks := make([]schedsim.Task, len(res.TaskTrace))
+		for i, tr := range res.TaskTrace {
+			tasks[i] = schedsim.Task{Parent: tr.Parent, Duration: tr.Duration}
+		}
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := schedsim.WriteChromeTrace(f, tasks, schedsim.PaperMachine(), 32); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace: %s (%d tasks; open at chrome://tracing)\n", *chrome, len(tasks))
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+	if len(res.TaskLog) > 0 {
+		fmt.Printf("%8s %8s %8s %8s\n", "SCC", "FW", "BW", "Remain")
+		for _, r := range res.TaskLog {
+			fmt.Printf("%8d %8d %8d %8d\n", r.SCC, r.FW, r.BW, r.Remain)
+		}
+	}
+}
+
+func parseAlg(s string) (scc.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "tarjan":
+		return scc.Tarjan, nil
+	case "kosaraju":
+		return scc.Kosaraju, nil
+	case "baseline":
+		return scc.Baseline, nil
+	case "method1":
+		return scc.Method1, nil
+	case "method2":
+		return scc.Method2, nil
+	case "fwbw", "fw-bw":
+		return scc.FWBW, nil
+	case "obf":
+		return scc.OBF, nil
+	case "coloring":
+		return scc.Coloring, nil
+	case "multistep":
+		return scc.MultiStep, nil
+	case "gabow":
+		return scc.Gabow, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func load(path string, text bool) (*graph.Graph, error) {
+	if text {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	}
+	return graph.LoadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sccrun:", err)
+	os.Exit(1)
+}

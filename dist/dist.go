@@ -1,0 +1,338 @@
+// Package dist implements the paper's stated next step (§6): the SCC
+// algorithm "in a distributed environment", exploiting the paper's
+// observation that every extension — Trim, data-parallel FW-BW, WCC —
+// only requires data from direct neighbors.
+//
+// The package simulates a message-passing cluster in-process: the
+// graph's nodes are block-partitioned across W workers, each worker
+// holds state only for its own nodes plus a ghost cache of boundary
+// neighbors' colors, and all cross-worker communication happens
+// through explicit per-superstep message exchange (bulk-synchronous
+// parallel execution). Workers run concurrently on goroutines within
+// each superstep, so the simulation is also genuinely parallel.
+//
+// The driver mirrors Method 2's phase structure in distributed form:
+//
+//  1. Dist-Trim — BSP fixpoint trimming with ghost-color refreshes,
+//  2. Dist-FWBW — frontier-exchange BFS peels the giant SCC,
+//  3. Dist-Trim again,
+//  4. Dist-WCC — BSP min-label propagation,
+//  5. Gather — each residual weakly connected component (small by the
+//     small-world structure) is shipped to its root's owner, which
+//     finishes it locally; assignments flow back as messages.
+//
+// Statistics (supersteps, message counts per phase) expose the
+// communication behavior — the quantity a real distributed deployment
+// optimizes for.
+package dist
+
+import (
+	"time"
+
+	"repro/graph"
+	"repro/internal/parallel"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	// Workers is the number of simulated cluster machines (≥ 1).
+	Workers int
+	// GiantThreshold and MaxPhase1Trials mirror the shared-memory
+	// engine's phase-1 controls (0 → 1% and 3).
+	GiantThreshold  float64
+	MaxPhase1Trials int
+	// Seed drives pivot selection.
+	Seed int64
+	// Transport carries the superstep exchanges; nil selects the
+	// in-memory transport. Use NewTCPTransport to run the identical
+	// pipeline over real loopback sockets.
+	Transport Transport
+	// Partition selects the node-to-worker assignment strategy.
+	Partition Partition
+}
+
+// Partition is a node-to-worker assignment strategy.
+type Partition int
+
+const (
+	// PartitionBlock assigns contiguous id ranges (the default).
+	// Generated graphs often have id locality, which block
+	// partitioning converts into fewer cut edges.
+	PartitionBlock Partition = iota
+	// PartitionHash assigns node v to worker v mod W — balanced
+	// regardless of id distribution, but oblivious to locality (the
+	// standard trade-off in distributed graph processing).
+	PartitionHash
+)
+
+// String names the strategy.
+func (p Partition) String() string {
+	if p == PartitionHash {
+		return "hash"
+	}
+	return "block"
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.GiantThreshold == 0 {
+		o.GiantThreshold = 0.01
+	}
+	if o.MaxPhase1Trials == 0 {
+		o.MaxPhase1Trials = 3
+	}
+	return o
+}
+
+// PhaseID identifies a distributed phase for statistics.
+type PhaseID int
+
+const (
+	// PhaseTrim covers both trimming passes.
+	PhaseTrim PhaseID = iota
+	// PhaseFWBW is the frontier-exchange giant-SCC detection.
+	PhaseFWBW
+	// PhaseWCC is distributed label propagation.
+	PhaseWCC
+	// PhaseGather is residual-component shipping and local solving.
+	PhaseGather
+	// NumDistPhases is the number of distributed phases.
+	NumDistPhases
+)
+
+// String names the phase.
+func (p PhaseID) String() string {
+	switch p {
+	case PhaseTrim:
+		return "Dist-Trim"
+	case PhaseFWBW:
+		return "Dist-FWBW"
+	case PhaseWCC:
+		return "Dist-WCC"
+	case PhaseGather:
+		return "Gather"
+	default:
+		return "Unknown"
+	}
+}
+
+// PhaseStats records one distributed phase's cost.
+type PhaseStats struct {
+	// Supersteps is the number of global barriers the phase needed.
+	Supersteps int
+	// Messages is the number of cross-worker messages exchanged.
+	Messages int64
+	// Time is the wall-clock time of the phase.
+	Time time.Duration
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	// Comp maps every node to its SCC representative (same convention
+	// as the shared-memory engine).
+	Comp []int32
+	// NumSCCs is the number of strongly connected components.
+	NumSCCs int64
+	// GiantSCC is the size of the giant SCC peeled by Dist-FWBW.
+	GiantSCC int64
+	// Phases holds per-phase communication statistics.
+	Phases [NumDistPhases]PhaseStats
+	// Total is the end-to-end wall time.
+	Total time.Duration
+}
+
+// cluster is the simulated machine group.
+type cluster struct {
+	g   *graph.Graph
+	w   int
+	opt Options
+	// ownerArr maps every node to its worker; owned lists each
+	// worker's nodes.
+	ownerArr []int32
+	owned    [][]graph.NodeID
+
+	// Global arrays indexed by node, but each entry is written only by
+	// its owner between barriers, so no synchronization is needed: the
+	// sharing is an artifact of the simulation, not of the algorithm.
+	// A real deployment would store per-worker slices; the access
+	// pattern is identical.
+	color []int32
+	comp  []int32
+
+	// ghost[w] caches, for worker w, the last communicated color of
+	// every remote node adjacent to w's nodes.
+	ghost []map[graph.NodeID]int32
+
+	// boundary[w] lists w's owned nodes that have at least one remote
+	// neighbor, with the set of peer workers interested in each.
+	boundary []map[graph.NodeID][]int
+
+	tr  Transport
+	rng uint64
+}
+
+// newCluster partitions g across w workers and builds boundary maps.
+func newCluster(g *graph.Graph, opt Options) *cluster {
+	n := g.NumNodes()
+	w := opt.Workers
+	if w > n && n > 0 {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	tr := opt.Transport
+	if tr == nil {
+		tr = memTransport{}
+	}
+	c := &cluster{
+		g:        g,
+		w:        w,
+		opt:      opt,
+		tr:       tr,
+		color:    make([]int32, n),
+		comp:     make([]int32, n),
+		ghost:    make([]map[graph.NodeID]int32, w),
+		rng:      uint64(opt.Seed)*0x9e3779b97f4a7c15 + 1,
+		ownerArr: make([]int32, n),
+		owned:    make([][]graph.NodeID, w),
+	}
+	for i := range c.comp {
+		c.comp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		var o int32
+		switch opt.Partition {
+		case PartitionHash:
+			o = int32(v % w)
+		default:
+			// Block: ⌊v·w/n⌋, contiguous ranges.
+			o = int32(int64(v) * int64(w) / int64(n))
+		}
+		c.ownerArr[v] = o
+		c.owned[o] = append(c.owned[o], graph.NodeID(v))
+	}
+	c.boundary = make([]map[graph.NodeID][]int, w)
+	parallel.Run(w, func(wk int) {
+		c.ghost[wk] = make(map[graph.NodeID]int32)
+		c.boundary[wk] = make(map[graph.NodeID][]int)
+		for _, v := range c.owned[wk] {
+			var peers []int
+			seen := map[int]bool{}
+			for _, lists := range [][]graph.NodeID{c.g.Out(v), c.g.In(v)} {
+				for _, t := range lists {
+					o := c.owner(t)
+					if o != wk {
+						c.ghost[wk][t] = 0
+						if !seen[o] {
+							seen[o] = true
+							peers = append(peers, o)
+						}
+					}
+				}
+			}
+			if len(peers) > 0 {
+				c.boundary[wk][v] = peers
+			}
+		}
+	})
+	return c
+}
+
+// owner returns the worker owning node v.
+func (c *cluster) owner(v graph.NodeID) int { return int(c.ownerArr[v]) }
+
+// owns reports whether worker wk owns v.
+func (c *cluster) owns(wk int, v graph.NodeID) bool { return c.ownerArr[v] == int32(wk) }
+
+// colorOf returns worker wk's view of v's color: authoritative for
+// owned nodes, ghost cache for remote neighbors.
+func (c *cluster) colorOf(wk int, v graph.NodeID) int32 {
+	if c.owns(wk, v) {
+		return c.color[v]
+	}
+	return c.ghost[wk][v]
+}
+
+// rand64 is a splitmix64 step (single-threaded use in the driver).
+func (c *cluster) rand64() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// message is one cross-worker datum: a (node, value) pair whose
+// meaning depends on the phase (color update, BFS visit, WCC label,
+// component assignment, ...).
+type message struct {
+	node  graph.NodeID
+	value int32
+}
+
+// exchange routes per-destination outboxes into per-worker inboxes and
+// returns the number of cross-worker messages moved (self-addressed
+// deliveries are routed but not counted — they would be local memory
+// operations on a real cluster). outbox[src][dst] is consumed.
+func exchange(outbox [][][]message, inbox [][]message) int64 {
+	var count int64
+	for d := range inbox {
+		inbox[d] = inbox[d][:0]
+	}
+	for src := range outbox {
+		for dst := range outbox[src] {
+			inbox[dst] = append(inbox[dst], outbox[src][dst]...)
+			if src != dst {
+				count += int64(len(outbox[src][dst]))
+			}
+			outbox[src][dst] = outbox[src][dst][:0]
+		}
+	}
+	return count
+}
+
+// exchangeVia routes one superstep's messages through the cluster's
+// transport, panicking on transport failure (recovered and converted
+// to an error by RunTransport).
+func (c *cluster) exchangeVia(outbox [][][]message, inbox [][]message) int64 {
+	n, err := c.tr.Exchange(outbox, inbox)
+	if err != nil {
+		panic(transportError{err})
+	}
+	return n
+}
+
+// transportError wraps transport failures for the RunTransport
+// recover.
+type transportError struct{ err error }
+
+// refreshGhosts broadcasts every boundary node's current color to the
+// interested peers — one superstep. Returns the message count.
+func (c *cluster) refreshGhosts(outbox [][][]message, inbox [][]message) int64 {
+	parallel.Run(c.w, func(wk int) {
+		for v, peers := range c.boundary[wk] {
+			for _, p := range peers {
+				outbox[wk][p] = append(outbox[wk][p], message{v, c.color[v]})
+			}
+		}
+	})
+	n := c.exchangeVia(outbox, inbox)
+	parallel.Run(c.w, func(wk int) {
+		for _, m := range inbox[wk] {
+			c.ghost[wk][m.node] = m.value
+		}
+	})
+	return n
+}
+
+// newOutbox allocates the per-worker, per-destination message buffers.
+func (c *cluster) newOutbox() ([][][]message, [][]message) {
+	outbox := make([][][]message, c.w)
+	for i := range outbox {
+		outbox[i] = make([][]message, c.w)
+	}
+	return outbox, make([][]message, c.w)
+}

@@ -1,0 +1,278 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+func checkDist(t *testing.T, g *graph.Graph, workers int, seed int64) *Result {
+	t.Helper()
+	res := Run(g, Options{Workers: workers, Seed: seed})
+	tc, tn := seq.Tarjan(g)
+	if !verify.SamePartition(res.Comp, tc) {
+		t.Fatalf("workers=%d: partition differs from Tarjan", workers)
+	}
+	if int(res.NumSCCs) != tn {
+		t.Fatalf("workers=%d: NumSCCs = %d, want %d", workers, res.NumSCCs, tn)
+	}
+	return res
+}
+
+func TestDistTinyGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []graph.Edge
+	}{
+		{"empty", 0, nil},
+		{"single", 1, nil},
+		{"two-cycle", 2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}}},
+		{"cross-worker-cycle", 8, []graph.Edge{
+			{From: 0, To: 7}, {From: 7, To: 0}, {From: 3, To: 4}, {From: 4, To: 3}}},
+		{"path", 6, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}, {From: 3, To: 4}, {From: 4, To: 5}}},
+	}
+	for _, tc := range cases {
+		g := graph.FromEdges(tc.n, tc.edges)
+		for _, w := range []int{1, 2, 4} {
+			checkDist(t, g, w, 1)
+		}
+	}
+}
+
+func TestDistMatchesTarjanRandomQuick(t *testing.T) {
+	f := func(seed int64, workersRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 1 + int(workersRaw%8)
+		n := 1 + rng.Intn(150)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		res := Run(g, Options{Workers: workers, Seed: seed})
+		tc, _ := seq.Tarjan(g)
+		return verify.SamePartition(res.Comp, tc)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistRMAT(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(11, 8, 3))
+	for _, w := range []int{1, 3, 8} {
+		res := checkDist(t, g, w, 5)
+		if res.GiantSCC == 0 {
+			t.Fatalf("workers=%d: no giant SCC peeled", w)
+		}
+	}
+}
+
+func TestDistPlantedGroundTruth(t *testing.T) {
+	p := gen.SmallWorldSCC(2000, 300, 2.5, 20, 1.5, 7)
+	truth := make([]int32, len(p.Comp))
+	for i, c := range p.Comp {
+		truth[i] = int32(c)
+	}
+	res := Run(p.Graph, Options{Workers: 4, Seed: 2})
+	if !verify.SamePartition(res.Comp, truth) {
+		t.Fatal("distributed partition differs from planted truth")
+	}
+}
+
+func TestDistDAGTrimOnly(t *testing.T) {
+	g := gen.CitationDAG(3000, 4, 11)
+	res := checkDist(t, g, 4, 1)
+	// Acyclic graph: everything trimmed; FW-BW and gather do nothing.
+	if res.Phases[PhaseFWBW].Messages != 0 && res.GiantSCC > 1 {
+		t.Fatalf("DAG produced giant SCC %d", res.GiantSCC)
+	}
+}
+
+func TestDistRoadLattice(t *testing.T) {
+	g := gen.RoadLattice(gen.RoadLatticeConfig{Rows: 50, Cols: 50, TwoWayProb: 0.05, Seed: 3})
+	res := checkDist(t, g, 4, 1)
+	// Non-small-world: WCC needs many propagation supersteps.
+	if res.Phases[PhaseWCC].Supersteps < 5 {
+		t.Fatalf("road WCC converged in %d supersteps; expected slow convergence",
+			res.Phases[PhaseWCC].Supersteps)
+	}
+}
+
+func TestDistSingleWorkerNoMessages(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 6, 2))
+	res := checkDist(t, g, 1, 1)
+	var msgs int64
+	for p := PhaseID(0); p < NumDistPhases; p++ {
+		msgs += res.Phases[p].Messages
+	}
+	if msgs != 0 {
+		t.Fatalf("single worker exchanged %d messages", msgs)
+	}
+}
+
+func TestDistMultiWorkerCommunicates(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 2))
+	res := checkDist(t, g, 4, 1)
+	if res.Phases[PhaseFWBW].Messages == 0 {
+		t.Fatal("4-worker FW-BW exchanged no messages")
+	}
+	if res.Phases[PhaseTrim].Supersteps == 0 {
+		t.Fatal("trim recorded no supersteps")
+	}
+}
+
+func TestDistMoreWorkersThanNodes(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2}})
+	checkDist(t, g, 16, 1)
+}
+
+func TestDistMessageCountGrowsWithWorkers(t *testing.T) {
+	// More partitions cut more edges: total message volume must grow
+	// (or at least not shrink) with the worker count.
+	g := gen.RMAT(gen.DefaultRMAT(11, 8, 9))
+	total := func(workers int) int64 {
+		res := Run(g, Options{Workers: workers, Seed: 1})
+		var m int64
+		for p := PhaseID(0); p < NumDistPhases; p++ {
+			m += res.Phases[p].Messages
+		}
+		return m
+	}
+	m2, m8 := total(2), total(8)
+	if m8 <= m2 {
+		t.Fatalf("messages: 8 workers %d <= 2 workers %d", m8, m2)
+	}
+}
+
+func TestDistPhaseNames(t *testing.T) {
+	want := []string{"Dist-Trim", "Dist-FWBW", "Dist-WCC", "Gather"}
+	for p := PhaseID(0); p < NumDistPhases; p++ {
+		if p.String() != want[p] {
+			t.Fatalf("phase %d = %q", p, p.String())
+		}
+	}
+}
+
+func BenchmarkDistMethod2(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(13, 8, 1))
+	for _, w := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "w1", 4: "w4", 16: "w16"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Run(g, Options{Workers: w, Seed: 1})
+			}
+		})
+	}
+}
+
+func TestOwnerBoundsConsistent(t *testing.T) {
+	// owner(v) must agree with the block bounds for every node — the
+	// routing invariant all message exchange relies on.
+	for _, tc := range []struct{ n, w int }{{92, 6}, {1, 1}, {7, 3}, {100, 7}, {1000, 13}, {16, 16}} {
+		g := graph.FromEdges(tc.n, nil)
+		c := newCluster(g, Options{Workers: tc.w})
+		for v := 0; v < tc.n; v++ {
+			o := c.owner(graph.NodeID(v))
+			if !c.owns(o, graph.NodeID(v)) {
+				t.Fatalf("n=%d w=%d: owner(%d)=%d but bounds disagree", tc.n, tc.w, v, o)
+			}
+			for wk := 0; wk < c.w; wk++ {
+				if wk != o && c.owns(wk, graph.NodeID(v)) {
+					t.Fatalf("n=%d w=%d: node %d owned by both %d and %d", tc.n, tc.w, v, o, wk)
+				}
+			}
+		}
+	}
+}
+
+func TestDistGatherCrossWorker(t *testing.T) {
+	// Shuffled planted components span workers, so the gather phase
+	// must ship members and edges across the cluster — and still get
+	// the decomposition right.
+	p := gen.PlantedSCCs(gen.PlantedConfig{
+		Sizes:      append([]int{500}, gen.PowerLawSizes(200, 2.0, 30, 0, 3)...),
+		IntraExtra: 1,
+		InterEdges: 400,
+		Shuffle:    true,
+		Seed:       5,
+	})
+	res := Run(p.Graph, Options{Workers: 8, Seed: 1})
+	truth := make([]int32, len(p.Comp))
+	for i, c := range p.Comp {
+		truth[i] = int32(c)
+	}
+	if !verify.SamePartition(res.Comp, truth) {
+		t.Fatal("distributed partition differs from planted truth")
+	}
+	if res.Phases[PhaseGather].Messages == 0 {
+		t.Fatal("gather exchanged no messages despite shuffled components")
+	}
+}
+
+func TestDistTrim2ClaimsPairs(t *testing.T) {
+	// A chain of 2-cycles spanning worker boundaries: distTrim2 must
+	// claim pairs (including cross-worker ones) and the decomposition
+	// must stay exact.
+	const pairs = 200
+	b := graph.NewBuilder(2 * pairs)
+	for p := 0; p < pairs; p++ {
+		a, c := graph.NodeID(2*p), graph.NodeID(2*p+1)
+		b.AddEdge(a, c)
+		b.AddEdge(c, a)
+		if p > 0 {
+			b.AddEdge(graph.NodeID(2*p-1), a)
+		}
+	}
+	g := b.Build()
+	for _, w := range []int{1, 3, 7} {
+		checkDist(t, g, w, 1)
+	}
+}
+
+func TestDistTrim2CrossWorkerPair(t *testing.T) {
+	// A single 2-cycle whose members live on different workers.
+	g := graph.FromEdges(8, []graph.Edge{{From: 0, To: 7}, {From: 7, To: 0}})
+	res := checkDist(t, g, 4, 1)
+	if res.Comp[0] != 0 || res.Comp[7] != 0 {
+		t.Fatalf("pair comp = %d,%d", res.Comp[0], res.Comp[7])
+	}
+}
+
+func TestHashPartitionCorrect(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 21))
+	tc, _ := seq.Tarjan(g)
+	res := Run(g, Options{Workers: 5, Seed: 1, Partition: PartitionHash})
+	if !verify.SamePartition(res.Comp, tc) {
+		t.Fatal("hash partitioning broke the decomposition")
+	}
+}
+
+func TestPartitionStrategiesDiffer(t *testing.T) {
+	// On a graph with id locality (contiguous tail components), block
+	// partitioning cuts fewer edges than hash partitioning, so hash
+	// must move at least as many messages.
+	core := gen.RMAT(gen.DefaultRMAT(10, 8, 5))
+	g := gen.WithTail(core, gen.TailConfig{
+		Components: 64, Alpha: 2.0, MaxSize: 16, AttachEdges: 2, Seed: 5})
+	total := func(p Partition) int64 {
+		res := Run(g, Options{Workers: 8, Seed: 1, Partition: p})
+		var m int64
+		for ph := PhaseID(0); ph < NumDistPhases; ph++ {
+			m += res.Phases[ph].Messages
+		}
+		return m
+	}
+	block, hash := total(PartitionBlock), total(PartitionHash)
+	if hash < block {
+		t.Fatalf("hash messages %d < block messages %d on a locality-heavy graph", hash, block)
+	}
+	if PartitionBlock.String() != "block" || PartitionHash.String() != "hash" {
+		t.Fatal("partition names wrong")
+	}
+}

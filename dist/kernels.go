@@ -1,0 +1,448 @@
+package dist
+
+import (
+	"sort"
+
+	"repro/graph"
+	"repro/internal/parallel"
+	"repro/internal/seq"
+)
+
+// removed is the tombstone color (same convention as the shared-memory
+// engine).
+const removed int32 = -1
+
+// aliveDegrees counts worker wk's view of v's same-color in/out
+// neighbors, using ghost colors for remote ones.
+func (c *cluster) aliveDegrees(wk int, v graph.NodeID, col int32) (in, out int) {
+	for _, k := range c.g.In(v) {
+		if k != v && c.colorOf(wk, k) == col {
+			in++
+		}
+	}
+	for _, k := range c.g.Out(v) {
+		if k != v && c.colorOf(wk, k) == col {
+			out++
+		}
+	}
+	return in, out
+}
+
+// distTrim runs BSP fixpoint trimming over each worker's alive list,
+// refreshing ghost colors between rounds. It mutates the alive lists
+// in place and accumulates stats.
+func (c *cluster) distTrim(alive [][]graph.NodeID, st *PhaseStats) {
+	changed := make([]int64, c.w)
+	for {
+		st.Messages += c.refreshGhostsCounted(st)
+		parallel.Run(c.w, func(wk int) {
+			kept := alive[wk][:0]
+			var n int64
+			for _, v := range alive[wk] {
+				col := c.color[v]
+				if col == removed {
+					continue
+				}
+				in, out := c.aliveDegrees(wk, v, col)
+				if in == 0 || out == 0 {
+					c.color[v] = removed
+					c.comp[v] = int32(v)
+					n++
+				} else {
+					kept = append(kept, v)
+				}
+			}
+			alive[wk] = kept
+			changed[wk] = n
+		})
+		st.Supersteps++
+		var total int64
+		for _, n := range changed {
+			total += n
+		}
+		if total == 0 {
+			return
+		}
+	}
+}
+
+// refreshGhostsCounted wraps refreshGhosts with superstep accounting.
+func (c *cluster) refreshGhostsCounted(st *PhaseStats) int64 {
+	outbox, inbox := c.newOutbox()
+	st.Supersteps++
+	return c.refreshGhosts(outbox, inbox)
+}
+
+// pickPivot chooses the highest in×out degree-product node among a
+// sample of each worker's alive nodes of the target color.
+func (c *cluster) pickPivot(alive [][]graph.NodeID, target int32) graph.NodeID {
+	type cand struct {
+		v     graph.NodeID
+		score int64
+	}
+	best := make([]cand, c.w)
+	parallel.Run(c.w, func(wk int) {
+		best[wk] = cand{v: -1, score: -1}
+		count := 0
+		for _, v := range alive[wk] {
+			if c.color[v] != target {
+				continue
+			}
+			score := (int64(c.g.InDegree(v)) + 1) * (int64(c.g.OutDegree(v)) + 1)
+			if score > best[wk].score {
+				best[wk] = cand{v, score}
+			}
+			count++
+			if count >= 64 {
+				break
+			}
+		}
+	})
+	out := cand{v: -1, score: -1}
+	for _, b := range best {
+		if b.score > out.score {
+			out = b
+		}
+	}
+	return out.v
+}
+
+// distBFS runs a frontier-exchange BFS over the cluster. A visit
+// message carries the node to visit; the owner applies the transition
+// matching the node's current color. Returns per-transition claim
+// counts.
+func (c *cluster) distBFS(seeds []graph.NodeID, reverse bool, from []int32, to []int32, st *PhaseStats) []int64 {
+	frontier := make([][]graph.NodeID, c.w)
+	for _, s := range seeds {
+		o := c.owner(s)
+		frontier[o] = append(frontier[o], s)
+	}
+	next := make([][]graph.NodeID, c.w)
+	claims := make([][]int64, c.w)
+	for wk := range claims {
+		claims[wk] = make([]int64, len(from))
+	}
+	outbox, inbox := c.newOutbox()
+
+	nonEmpty := true
+	for nonEmpty {
+		st.Supersteps++
+		// Expand local frontiers; remote targets become visit messages.
+		parallel.Run(c.w, func(wk int) {
+			buf := next[wk][:0]
+			for _, v := range frontier[wk] {
+				var nbrs []graph.NodeID
+				if reverse {
+					nbrs = c.g.In(v)
+				} else {
+					nbrs = c.g.Out(v)
+				}
+				for _, t := range nbrs {
+					if c.owns(wk, t) {
+						if ti := matchTransition(c.color[t], from); ti >= 0 {
+							c.color[t] = to[ti]
+							claims[wk][ti]++
+							buf = append(buf, t)
+						}
+					} else {
+						outbox[wk][c.owner(t)] = append(outbox[wk][c.owner(t)], message{t, 0})
+					}
+				}
+			}
+			next[wk] = buf
+		})
+		st.Messages += c.exchangeVia(outbox, inbox)
+		// Apply remote visits.
+		parallel.Run(c.w, func(wk int) {
+			buf := next[wk]
+			for _, m := range inbox[wk] {
+				if ti := matchTransition(c.color[m.node], from); ti >= 0 {
+					c.color[m.node] = to[ti]
+					claims[wk][ti]++
+					buf = append(buf, m.node)
+				}
+			}
+			next[wk] = buf
+		})
+		frontier, next = next, frontier
+		nonEmpty = false
+		for wk := range frontier {
+			if len(frontier[wk]) > 0 {
+				nonEmpty = true
+			}
+			next[wk] = next[wk][:0]
+		}
+	}
+	total := make([]int64, len(from))
+	for wk := range claims {
+		for i := range total {
+			total[i] += claims[wk][i]
+		}
+	}
+	return total
+}
+
+func matchTransition(c int32, from []int32) int {
+	for i, f := range from {
+		if f == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// distFWBW peels SCCs with frontier-exchange FW-BW trials until the
+// giant SCC is found or the trial budget is exhausted. Returns the
+// giant size.
+func (c *cluster) distFWBW(alive [][]graph.NodeID, st *PhaseStats) int64 {
+	threshold := int64(c.opt.GiantThreshold * float64(c.g.NumNodes()))
+	if threshold < 1 {
+		threshold = 1
+	}
+	var giant int64
+	nextColor := int32(1)
+	for trial := 0; trial < c.opt.MaxPhase1Trials; trial++ {
+		target := c.largestColor(alive)
+		pivot := c.pickPivot(alive, target)
+		if pivot < 0 {
+			break
+		}
+		cfw, cbw, cscc := nextColor, nextColor+1, nextColor+2
+		nextColor += 3
+		c.color[pivot] = cfw
+		c.distBFS([]graph.NodeID{pivot}, false, []int32{target}, []int32{cfw}, st)
+		c.color[pivot] = cscc
+		bw := c.distBFS([]graph.NodeID{pivot}, true, []int32{target, cfw}, []int32{cbw, cscc}, st)
+		sccSize := bw[1] + 1
+		// Publish the SCC and filter alive lists.
+		parallel.Run(c.w, func(wk int) {
+			kept := alive[wk][:0]
+			for _, v := range alive[wk] {
+				if c.color[v] == cscc {
+					c.comp[v] = int32(pivot)
+					c.color[v] = removed
+				} else {
+					kept = append(kept, v)
+				}
+			}
+			alive[wk] = kept
+		})
+		st.Supersteps++
+		if sccSize > giant {
+			giant = sccSize
+		}
+		if sccSize >= threshold {
+			break
+		}
+	}
+	return giant
+}
+
+// largestColor returns the most populous color among alive nodes.
+func (c *cluster) largestColor(alive [][]graph.NodeID) int32 {
+	counts := make([]map[int32]int, c.w)
+	parallel.Run(c.w, func(wk int) {
+		m := make(map[int32]int, 8)
+		for _, v := range alive[wk] {
+			m[c.color[v]]++
+		}
+		counts[wk] = m
+	})
+	total := make(map[int32]int, 8)
+	for _, m := range counts {
+		for col, n := range m {
+			total[col] += n
+		}
+	}
+	best, bestN := int32(0), -1
+	for col, n := range total {
+		if n > bestN || (n == bestN && col < best) {
+			best, bestN = col, n
+		}
+	}
+	return best
+}
+
+// distWCC labels weakly connected components among alive nodes with
+// BSP min-label propagation: one hop per superstep, labels flowing
+// along edges in both directions, restricted to same-color endpoints.
+// Returns label (valid for alive nodes) and the round count.
+func (c *cluster) distWCC(alive [][]graph.NodeID, st *PhaseStats) []int32 {
+	n := c.g.NumNodes()
+	label := make([]int32, n)
+	ghostLabel := make([]map[graph.NodeID]int32, c.w)
+	parallel.Run(c.w, func(wk int) {
+		ghostLabel[wk] = make(map[graph.NodeID]int32, len(c.ghost[wk]))
+		for _, v := range alive[wk] {
+			label[v] = int32(v)
+		}
+	})
+	labelOf := func(wk int, v graph.NodeID) int32 {
+		if c.owns(wk, v) {
+			return label[v]
+		}
+		if l, ok := ghostLabel[wk][v]; ok {
+			return l
+		}
+		return int32(v)
+	}
+	outbox, inbox := c.newOutbox()
+	changed := make([]bool, c.w)
+	for {
+		// Broadcast labels of boundary nodes, then pull the minimum
+		// over same-color neighbors.
+		parallel.Run(c.w, func(wk int) {
+			for v, peers := range c.boundary[wk] {
+				if c.color[v] == removed {
+					continue
+				}
+				for _, p := range peers {
+					outbox[wk][p] = append(outbox[wk][p], message{v, label[v]})
+				}
+			}
+		})
+		st.Messages += c.exchangeVia(outbox, inbox)
+		st.Supersteps++
+		parallel.Run(c.w, func(wk int) {
+			for _, m := range inbox[wk] {
+				ghostLabel[wk][m.node] = m.value
+			}
+			ch := false
+			for _, v := range alive[wk] {
+				col := c.color[v]
+				best := label[v]
+				for _, k := range c.g.Out(v) {
+					if c.colorOf(wk, k) == col {
+						if l := labelOf(wk, k); l < best {
+							best = l
+						}
+					}
+				}
+				for _, k := range c.g.In(v) {
+					if c.colorOf(wk, k) == col {
+						if l := labelOf(wk, k); l < best {
+							best = l
+						}
+					}
+				}
+				if best < label[v] {
+					label[v] = best
+					ch = true
+				}
+			}
+			changed[wk] = ch
+		})
+		any := false
+		for wk := range changed {
+			any = any || changed[wk]
+		}
+		if !any {
+			return label
+		}
+	}
+}
+
+// gatherEdge ships one intra-component edge to the component root's
+// owner; encoded as a message pair (from, to packed in two messages
+// would be wasteful, so value carries the target node id).
+//
+// gather collects every residual component at its root's owner, solves
+// it locally with Tarjan, and sends component assignments back.
+func (c *cluster) gather(alive [][]graph.NodeID, label []int32, st *PhaseStats) {
+	type edge struct{ from, to graph.NodeID }
+	members := make([]map[int32][]graph.NodeID, c.w) // root → member nodes (at root's owner)
+	edges := make([]map[int32][]edge, c.w)           // root → intra-component edges
+
+	memberOut, memberIn := c.newOutbox()
+	// Membership + edge shipping. Both use (node, value) messages:
+	// membership as (v, root); edges as (from, to) tagged by sign — we
+	// instead run two separate exchanges for clarity.
+	parallel.Run(c.w, func(wk int) {
+		for _, v := range alive[wk] {
+			root := label[v]
+			o := c.owner(graph.NodeID(root))
+			memberOut[wk][o] = append(memberOut[wk][o], message{v, root})
+		}
+	})
+	st.Messages += c.exchangeVia(memberOut, memberIn)
+	st.Supersteps++
+	parallel.Run(c.w, func(wk int) {
+		members[wk] = make(map[int32][]graph.NodeID)
+		for _, m := range memberIn[wk] {
+			members[wk][m.value] = append(members[wk][m.value], m.node)
+		}
+	})
+
+	edgeOut, edgeIn := c.newOutbox()
+	parallel.Run(c.w, func(wk int) {
+		for _, v := range alive[wk] {
+			root := label[v]
+			o := c.owner(graph.NodeID(root))
+			col := c.color[v]
+			for _, k := range c.g.Out(v) {
+				if k != v && c.colorOf(wk, k) == col {
+					edgeOut[wk][o] = append(edgeOut[wk][o], message{v, int32(k)})
+				}
+			}
+		}
+	})
+	st.Messages += c.exchangeVia(edgeOut, edgeIn)
+	st.Supersteps++
+	parallel.Run(c.w, func(wk int) {
+		edges[wk] = make(map[int32][]edge)
+		for _, m := range edgeIn[wk] {
+			root := label[m.node] // sender and target share the root
+			edges[wk][root] = append(edges[wk][root], edge{m.node, graph.NodeID(m.value)})
+		}
+	})
+
+	// Solve each gathered component locally and route assignments back.
+	assignOut, assignIn := c.newOutbox()
+	parallel.Run(c.w, func(wk int) {
+		for root, nodes := range members[wk] {
+			// Build the induced subgraph with dense local ids.
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+			local := make(map[graph.NodeID]int32, len(nodes))
+			for i, v := range nodes {
+				local[v] = int32(i)
+			}
+			b := graph.NewBuilder(len(nodes))
+			for _, e := range edges[wk][root] {
+				li, iok := local[e.from]
+				lj, jok := local[e.to]
+				if iok && jok {
+					b.AddEdge(li, lj)
+				}
+			}
+			sub := b.Build()
+			comp, _ := seq.Tarjan(sub)
+			// Representative: minimum original node id per component.
+			rep := make(map[int32]graph.NodeID)
+			for i, cc := range comp {
+				v := nodes[i]
+				if r, ok := rep[cc]; !ok || v < r {
+					rep[cc] = v
+				}
+			}
+			for i, cc := range comp {
+				v := nodes[i]
+				r := rep[cc]
+				o := c.owner(v)
+				if o == wk {
+					c.comp[v] = int32(r)
+					c.color[v] = removed
+				} else {
+					assignOut[wk][o] = append(assignOut[wk][o], message{v, int32(r)})
+				}
+			}
+		}
+	})
+	st.Messages += c.exchangeVia(assignOut, assignIn)
+	st.Supersteps++
+	parallel.Run(c.w, func(wk int) {
+		for _, m := range assignIn[wk] {
+			c.comp[m.node] = m.value
+			c.color[m.node] = removed
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package dist
+
+import (
+	"time"
+
+	"repro/graph"
+	"repro/internal/parallel"
+)
+
+// RunTransport executes the distributed decomposition over the
+// transport configured in opt, converting transport failures into an
+// error (the in-memory transport cannot fail).
+func RunTransport(g *graph.Graph, opt Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(transportError); ok {
+				res, err = nil, te.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return Run(g, opt), nil
+}
+
+// Run executes the distributed SCC decomposition of g on a simulated
+// cluster.
+func Run(g *graph.Graph, opt Options) *Result {
+	opt = opt.withDefaults()
+	c := newCluster(g, opt)
+	res := &Result{Comp: c.comp}
+	if g.NumNodes() == 0 {
+		return res
+	}
+	start := time.Now()
+
+	// Each worker's alive list starts as its owned node set.
+	alive := make([][]graph.NodeID, c.w)
+	parallel.Run(c.w, func(wk int) {
+		alive[wk] = append([]graph.NodeID(nil), c.owned[wk]...)
+	})
+
+	timePhase(&res.Phases[PhaseTrim], func() { c.distTrim(alive, &res.Phases[PhaseTrim]) })
+	timePhase(&res.Phases[PhaseFWBW], func() { res.GiantSCC = c.distFWBW(alive, &res.Phases[PhaseFWBW]) })
+	timePhase(&res.Phases[PhaseTrim], func() { c.distTrim(alive, &res.Phases[PhaseTrim]) })
+	// Par-Trim′'s Trim2 step, distributed (§3.4 order: Trim, Trim2,
+	// Trim).
+	timePhase(&res.Phases[PhaseTrim], func() {
+		c.distTrim2(alive, &res.Phases[PhaseTrim])
+		c.distTrim(alive, &res.Phases[PhaseTrim])
+	})
+
+	var label []int32
+	timePhase(&res.Phases[PhaseWCC], func() { label = c.distWCC(alive, &res.Phases[PhaseWCC]) })
+	timePhase(&res.Phases[PhaseGather], func() { c.gather(alive, label, &res.Phases[PhaseGather]) })
+
+	// Count SCCs: every representative is a member of its own SCC.
+	counts := make([]int64, c.w)
+	parallel.Run(c.w, func(wk int) {
+		var n int64
+		for _, v := range c.owned[wk] {
+			if c.comp[v] == int32(v) {
+				n++
+			}
+		}
+		counts[wk] = n
+	})
+	for _, n := range counts {
+		res.NumSCCs += n
+	}
+	res.Total = time.Since(start)
+	return res
+}
+
+func timePhase(st *PhaseStats, fn func()) {
+	t0 := time.Now()
+	fn()
+	st.Time += time.Since(t0)
+}

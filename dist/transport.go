@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/graph"
+)
+
+// Transport moves each superstep's per-destination outboxes into
+// per-worker inboxes. The in-memory transport makes the simulation
+// fast; the TCP transport runs the identical exchange over real
+// sockets with wire serialization, demonstrating that the §6 pipeline
+// is genuinely message-passing (nothing but (node, value) pairs ever
+// crosses worker boundaries).
+type Transport interface {
+	// Exchange consumes outbox[src][dst] (resetting each to length 0)
+	// and appends into inbox[dst] (each reset first). It returns the
+	// number of cross-worker messages moved; self-addressed messages
+	// are delivered without being counted.
+	Exchange(outbox [][][]message, inbox [][]message) (int64, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// memTransport is the in-process exchange.
+type memTransport struct{}
+
+func (memTransport) Exchange(outbox [][][]message, inbox [][]message) (int64, error) {
+	return exchange(outbox, inbox), nil
+}
+
+func (memTransport) Close() error { return nil }
+
+// tcpTransport runs the same exchange over a full mesh of loopback TCP
+// connections, one per unordered worker pair. Each Exchange writes
+// exactly one length-prefixed batch per ordered pair and reads one
+// batch from every peer; concurrent reader/writer goroutines per
+// connection keep the mesh deadlock-free even when batches exceed
+// kernel socket buffers.
+type tcpTransport struct {
+	w     int
+	conns [][]net.Conn // conns[a][b] for a≠b; shared conn per pair
+}
+
+// NewTCPTransport builds a loopback TCP mesh for w workers.
+func NewTCPTransport(w int) (Transport, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("dist: need at least one worker")
+	}
+	t := &tcpTransport{w: w, conns: make([][]net.Conn, w)}
+	for i := range t.conns {
+		t.conns[i] = make([]net.Conn, w)
+	}
+	// Pair (a, b), a < b: b listens, a dials.
+	for a := 0; a < w; a++ {
+		for b := a + 1; b < w; b++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Close()
+				return nil, err
+			}
+			type acceptResult struct {
+				conn net.Conn
+				err  error
+			}
+			ch := make(chan acceptResult, 1)
+			go func() {
+				conn, err := ln.Accept()
+				ch <- acceptResult{conn, err}
+			}()
+			dialed, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				ln.Close()
+				t.Close()
+				return nil, err
+			}
+			acc := <-ch
+			ln.Close()
+			if acc.err != nil {
+				dialed.Close()
+				t.Close()
+				return nil, acc.err
+			}
+			t.conns[a][b] = dialed
+			t.conns[b][a] = acc.conn
+		}
+	}
+	return t, nil
+}
+
+func (t *tcpTransport) Close() error {
+	var first error
+	for a := range t.conns {
+		for b := range t.conns[a] {
+			if a < b && t.conns[a][b] != nil {
+				if err := t.conns[a][b].Close(); err != nil && first == nil {
+					first = err
+				}
+				if err := t.conns[b][a].Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	return first
+}
+
+// Exchange sends every outbox over the mesh and gathers inboxes.
+func (t *tcpTransport) Exchange(outbox [][][]message, inbox [][]message) (int64, error) {
+	for d := range inbox {
+		inbox[d] = inbox[d][:0]
+	}
+	var (
+		count int64
+		mu    sync.Mutex // guards inbox appends and firstErr
+		first error
+		wg    sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	for src := 0; src < t.w; src++ {
+		// Self delivery stays local and uncounted.
+		mu.Lock()
+		inbox[src] = append(inbox[src], outbox[src][src]...)
+		mu.Unlock()
+		outbox[src][src] = outbox[src][src][:0]
+		for dst := 0; dst < t.w; dst++ {
+			if dst == src {
+				continue
+			}
+			wg.Add(2)
+			// Writer: src → dst batch.
+			go func(src, dst int) {
+				defer wg.Done()
+				if err := writeBatch(t.conns[src][dst], outbox[src][dst]); err != nil {
+					fail(fmt.Errorf("dist: send %d→%d: %w", src, dst, err))
+				}
+				outbox[src][dst] = outbox[src][dst][:0]
+			}(src, dst)
+			// Reader: dst's batch from src (read on dst's side of the
+			// pair connection).
+			go func(src, dst int) {
+				defer wg.Done()
+				batch, err := readBatch(t.conns[dst][src])
+				if err != nil {
+					fail(fmt.Errorf("dist: recv %d←%d: %w", dst, src, err))
+					return
+				}
+				mu.Lock()
+				inbox[dst] = append(inbox[dst], batch...)
+				count += int64(len(batch))
+				mu.Unlock()
+			}(src, dst)
+		}
+	}
+	wg.Wait()
+	return count, first
+}
+
+// writeBatch frames a message slice as count + count×8 bytes.
+func writeBatch(conn net.Conn, msgs []message) error {
+	buf := make([]byte, 4+8*len(msgs))
+	binary.LittleEndian.PutUint32(buf, uint32(len(msgs)))
+	for i, m := range msgs {
+		binary.LittleEndian.PutUint32(buf[4+8*i:], uint32(m.node))
+		binary.LittleEndian.PutUint32(buf[8+8*i:], uint32(m.value))
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readBatch reads one framed batch.
+func readBatch(conn net.Conn) ([]message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	const maxBatch = 1 << 28 // 256M messages: far beyond any superstep
+	if n > maxBatch {
+		return nil, fmt.Errorf("implausible batch of %d messages", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	msgs := make([]message, n)
+	for i := range msgs {
+		msgs[i] = message{
+			node:  graph.NodeID(binary.LittleEndian.Uint32(buf[8*i:])),
+			value: int32(binary.LittleEndian.Uint32(buf[4+8*i:])),
+		}
+	}
+	return msgs, nil
+}

@@ -1,0 +1,148 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+func TestTCPTransportExchange(t *testing.T) {
+	tr, err := NewTCPTransport(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	outbox := make([][][]message, 3)
+	for i := range outbox {
+		outbox[i] = make([][]message, 3)
+	}
+	inbox := make([][]message, 3)
+	// 0→1 two messages, 1→2 one, 2→0 one, 1→1 self.
+	outbox[0][1] = []message{{node: 10, value: 1}, {node: 11, value: 2}}
+	outbox[1][2] = []message{{node: 20, value: 3}}
+	outbox[2][0] = []message{{node: 30, value: 4}}
+	outbox[1][1] = []message{{node: 40, value: 5}}
+	n, err := tr.Exchange(outbox, inbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("cross-worker count %d, want 4", n)
+	}
+	if len(inbox[1]) != 3 { // 2 from worker 0 + self
+		t.Fatalf("inbox[1] = %v", inbox[1])
+	}
+	if len(inbox[2]) != 1 || inbox[2][0].node != 20 || inbox[2][0].value != 3 {
+		t.Fatalf("inbox[2] = %v", inbox[2])
+	}
+	if len(inbox[0]) != 1 || inbox[0][0].node != 30 {
+		t.Fatalf("inbox[0] = %v", inbox[0])
+	}
+}
+
+func TestTCPTransportEmptyRounds(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	outbox := make([][][]message, 2)
+	for i := range outbox {
+		outbox[i] = make([][]message, 2)
+	}
+	inbox := make([][]message, 2)
+	for round := 0; round < 5; round++ {
+		n, err := tr.Exchange(outbox, inbox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("round %d moved %d messages", round, n)
+		}
+	}
+}
+
+func TestTCPTransportLargeBatch(t *testing.T) {
+	// A batch well past typical socket buffer sizes must not deadlock.
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const big = 200_000
+	outbox := make([][][]message, 2)
+	for i := range outbox {
+		outbox[i] = make([][]message, 2)
+	}
+	inbox := make([][]message, 2)
+	for i := 0; i < big; i++ {
+		outbox[0][1] = append(outbox[0][1], message{node: graph.NodeID(i), value: int32(i)})
+		outbox[1][0] = append(outbox[1][0], message{node: graph.NodeID(i), value: int32(-i)})
+	}
+	n, err := tr.Exchange(outbox, inbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2*big {
+		t.Fatalf("moved %d, want %d", n, 2*big)
+	}
+	if len(inbox[0]) != big || len(inbox[1]) != big {
+		t.Fatalf("inbox sizes %d/%d", len(inbox[0]), len(inbox[1]))
+	}
+}
+
+func TestDistOverTCPMatchesTarjan(t *testing.T) {
+	// The full pipeline over real sockets must produce the identical
+	// decomposition and the identical message count as the in-memory
+	// transport.
+	g := gen.RMAT(gen.DefaultRMAT(10, 6, 13))
+	mem := Run(g, Options{Workers: 4, Seed: 2})
+
+	tr, err := NewTCPTransport(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tcp, err := RunTransport(g, Options{Workers: 4, Seed: 2, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := seq.Tarjan(g)
+	if !verify.SamePartition(tcp.Comp, tc) {
+		t.Fatal("TCP-transport result differs from Tarjan")
+	}
+	var memMsgs, tcpMsgs int64
+	for p := PhaseID(0); p < NumDistPhases; p++ {
+		memMsgs += mem.Phases[p].Messages
+		tcpMsgs += tcp.Phases[p].Messages
+	}
+	if memMsgs != tcpMsgs {
+		t.Fatalf("message counts differ: mem=%d tcp=%d", memMsgs, tcpMsgs)
+	}
+}
+
+func TestRunTransportSurfacesFailure(t *testing.T) {
+	// A transport that errors mid-run must surface as an error, not a
+	// panic.
+	g := gen.RMAT(gen.DefaultRMAT(8, 4, 3))
+	_, err := RunTransport(g, Options{Workers: 2, Seed: 1, Transport: failingTransport{}})
+	if err == nil {
+		t.Fatal("transport failure not surfaced")
+	}
+}
+
+type failingTransport struct{}
+
+func (failingTransport) Exchange([][][]message, [][]message) (int64, error) {
+	return 0, errFail
+}
+func (failingTransport) Close() error { return nil }
+
+var errFail = &transportFailure{}
+
+type transportFailure struct{}
+
+func (*transportFailure) Error() string { return "injected transport failure" }

@@ -1,0 +1,154 @@
+package dist
+
+import (
+	"repro/graph"
+	"repro/internal/parallel"
+)
+
+// distTrim2 is the distributed size-2 SCC detector, the §6 test case
+// for the paper's closing claim that the extensions "only require data
+// from direct neighbors": Trim2's pattern check needs a neighbor's
+// degree, which is still one-hop data — one extra superstep exchanges
+// boundary alive-degrees.
+//
+// Detection runs strictly on the superstep's snapshot: degrees are
+// precomputed read-only before any removal, so every worker evaluates
+// the same state. On a consistent snapshot a node's Trim2 partner is
+// unique (both pattern variants pin the partner through a degree-1
+// constraint), which makes claiming conflict-free without any CAS
+// arbitration: the owner of the smaller member claims the pair and
+// notifies the partner's owner. All removals are deferred to the apply
+// phase so detection never observes its own effects.
+func (c *cluster) distTrim2(alive [][]graph.NodeID, st *PhaseStats) {
+	// Superstep 1: refresh ghost colors, precompute every alive node's
+	// degrees on the snapshot, and exchange boundary degrees. Degrees
+	// are packed into the message value (in-degree high 16 bits, out
+	// low; partition-local degrees beyond 65k would need two messages).
+	st.Messages += c.refreshGhostsCounted(st)
+	n := c.g.NumNodes()
+	deg := make([]int32, n) // packed; written only by owners
+	parallel.Run(c.w, func(wk int) {
+		for _, v := range alive[wk] {
+			if col := c.color[v]; col != removed {
+				in, out := c.aliveDegrees(wk, v, col)
+				deg[v] = int32(in)<<16 | int32(out)
+			}
+		}
+	})
+	ghostDeg := make([]map[graph.NodeID]int32, c.w)
+	outbox, inbox := c.newOutbox()
+	parallel.Run(c.w, func(wk int) {
+		for v, peers := range c.boundary[wk] {
+			if c.color[v] == removed {
+				continue
+			}
+			for _, p := range peers {
+				outbox[wk][p] = append(outbox[wk][p], message{v, deg[v]})
+			}
+		}
+	})
+	st.Messages += c.exchangeVia(outbox, inbox)
+	st.Supersteps++
+	parallel.Run(c.w, func(wk int) {
+		ghostDeg[wk] = make(map[graph.NodeID]int32, len(inbox[wk]))
+		for _, m := range inbox[wk] {
+			ghostDeg[wk][m.node] = m.value
+		}
+	})
+
+	// Detection (read-only on the snapshot): collect local claims and
+	// remote notifications; nothing is removed yet.
+	degOf := func(wk int, v graph.NodeID) (int, int) {
+		packed := deg[v]
+		if !c.owns(wk, v) {
+			packed = ghostDeg[wk][v]
+		}
+		return int(packed >> 16), int(packed & 0xffff)
+	}
+	type pair struct{ v, k graph.NodeID }
+	pairs := make([][]pair, c.w)
+	claimOut, claimIn := c.newOutbox()
+	parallel.Run(c.w, func(wk int) {
+		for _, v := range alive[wk] {
+			col := c.color[v]
+			if col == removed {
+				continue
+			}
+			k, ok := c.trim2Partner(wk, v, col, degOf)
+			if !ok || v > k {
+				continue // not a pair, or the partner's side claims it
+			}
+			pairs[wk] = append(pairs[wk], pair{v, k})
+			if !c.owns(wk, k) {
+				claimOut[wk][c.owner(k)] = append(claimOut[wk][c.owner(k)], message{k, int32(v)})
+			}
+		}
+	})
+	st.Messages += c.exchangeVia(claimOut, claimIn)
+	st.Supersteps++
+
+	// Apply: claimed pairs are removed; remote halves arrive as
+	// messages carrying the representative.
+	parallel.Run(c.w, func(wk int) {
+		for _, p := range pairs[wk] {
+			rep := int32(p.v)
+			c.color[p.v] = removed
+			c.comp[p.v] = rep
+			if c.owns(wk, p.k) {
+				c.color[p.k] = removed
+				c.comp[p.k] = rep
+			}
+		}
+		for _, m := range claimIn[wk] {
+			c.color[m.node] = removed
+			c.comp[m.node] = m.value
+		}
+		kept := alive[wk][:0]
+		for _, v := range alive[wk] {
+			if c.color[v] != removed {
+				kept = append(kept, v)
+			}
+		}
+		alive[wk] = kept
+	})
+	st.Supersteps++
+}
+
+// trim2Partner evaluates the Figure-4 patterns for v using snapshot
+// degrees.
+func (c *cluster) trim2Partner(wk int, v graph.NodeID, col int32, degOf func(int, graph.NodeID) (int, int)) (graph.NodeID, bool) {
+	in, out := degOf(wk, v)
+	if in == 1 {
+		k := c.soleNeighbor(wk, c.g.In(v), v, col)
+		if k >= 0 && c.g.HasEdge(v, k) {
+			if kin, _ := degOf(wk, k); kin == 1 {
+				return k, true
+			}
+		}
+	}
+	if out == 1 {
+		k := c.soleNeighbor(wk, c.g.Out(v), v, col)
+		if k >= 0 && c.g.HasEdge(k, v) {
+			if _, kout := degOf(wk, k); kout == 1 {
+				return k, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// soleNeighbor returns the unique same-color neighbor of v in adj
+// (excluding v), or -1.
+func (c *cluster) soleNeighbor(wk int, adj []graph.NodeID, v graph.NodeID, col int32) graph.NodeID {
+	var found graph.NodeID = -1
+	for _, k := range adj {
+		if k == v || c.colorOf(wk, k) != col {
+			continue
+		}
+		if found >= 0 && found != k {
+			return -1
+		}
+		found = k
+	}
+	return found
+}

@@ -1,0 +1,71 @@
+// Distributed: the paper's §6 next step — SCC detection on a
+// message-passing cluster.
+//
+// This example runs the distributed Method 2 pipeline on a simulated
+// cluster at several sizes and reports what a distributed-systems
+// engineer would look at: messages per edge, supersteps (global
+// barriers), and the per-phase communication split. It then verifies
+// the decomposition against sequential Tarjan.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/dist"
+	"repro/gen"
+	"repro/scc"
+)
+
+func main() {
+	core := gen.RMAT(gen.DefaultRMAT(16, 10, 11))
+	g := gen.WithTail(core, gen.TailConfig{
+		Components:  core.NumNodes() / 16,
+		Alpha:       2.2,
+		MaxSize:     64,
+		AttachEdges: 2,
+		ChainProb:   0.4,
+		Seed:        11,
+	})
+	fmt.Printf("graph: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	ref, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%8s %10s %10s %11s %10s %8s\n",
+		"workers", "messages", "msgs/edge", "supersteps", "time", "correct")
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		res := dist.Run(g, dist.Options{Workers: w, Seed: 1})
+		var msgs int64
+		var steps int
+		for p := dist.PhaseID(0); p < dist.NumDistPhases; p++ {
+			msgs += res.Phases[p].Messages
+			steps += res.Phases[p].Supersteps
+		}
+		ok := scc.SamePartition(res.Comp, ref.Comp)
+		fmt.Printf("%8d %10d %10.2f %11d %10v %8v\n",
+			w, msgs, float64(msgs)/float64(g.NumEdges()), steps,
+			res.Total.Round(time.Millisecond), ok)
+		if !ok {
+			log.Fatal("distributed result diverged from Tarjan")
+		}
+	}
+
+	// The communication profile per phase at 8 workers: the paper's
+	// claim that the extensions need only direct-neighbor data shows up
+	// as bounded messages per edge per phase.
+	res := dist.Run(g, dist.Options{Workers: 8, Seed: 1})
+	fmt.Println("\nper-phase profile at 8 workers:")
+	for p := dist.PhaseID(0); p < dist.NumDistPhases; p++ {
+		st := res.Phases[p]
+		fmt.Printf("  %-10s %9d msgs  %3d supersteps  %v\n",
+			p, st.Messages, st.Supersteps, st.Time.Round(time.Millisecond))
+	}
+	fmt.Printf("\ngiant SCC peeled in phase 1: %d nodes (%.1f%%)\n",
+		res.GiantSCC, 100*float64(res.GiantSCC)/float64(g.NumNodes()))
+}

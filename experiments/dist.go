@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/dist"
+	"repro/internal/verify"
+	"repro/scc"
+)
+
+// DistPoint is one cluster size's communication profile.
+type DistPoint struct {
+	Workers int
+	// Messages is the total cross-worker message count; Supersteps the
+	// total number of global barriers.
+	Messages   int64
+	Supersteps int
+	// PhaseMessages breaks messages down by distributed phase.
+	PhaseMessages [dist.NumDistPhases]int64
+	Time          time.Duration
+	NumSCCs       int64
+}
+
+// DistScaling is the §6 extension experiment: how communication volume
+// and barrier count scale with the cluster size for the distributed
+// Method 2 pipeline.
+type DistScaling struct {
+	Dataset string
+	Edges   int64
+	Points  []DistPoint
+}
+
+// DistScalingExperiment runs the distributed pipeline on the dataset
+// at each cluster size, verifying every result against Tarjan.
+func DistScalingExperiment(d Dataset, scale float64, workers []int, seed int64) DistScaling {
+	g := d.Build(scale)
+	ref := detect(g, scc.Options{Algorithm: scc.Tarjan})
+	out := DistScaling{Dataset: d.Name, Edges: g.NumEdges()}
+	for _, w := range workers {
+		res := dist.Run(g, dist.Options{Workers: w, Seed: seed})
+		if !verify.SamePartition(res.Comp, ref.Comp) {
+			panic(fmt.Sprintf("distributed result wrong on %s at %d workers", d.Name, w))
+		}
+		p := DistPoint{Workers: w, Time: res.Total, NumSCCs: res.NumSCCs}
+		for ph := dist.PhaseID(0); ph < dist.NumDistPhases; ph++ {
+			p.Messages += res.Phases[ph].Messages
+			p.Supersteps += res.Phases[ph].Supersteps
+			p.PhaseMessages[ph] = res.Phases[ph].Messages
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out
+}
+
+// FormatDistScaling renders the communication-scaling table.
+func FormatDistScaling(ds DistScaling) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed Method 2 on %s (%d edges): communication scaling\n", ds.Dataset, ds.Edges)
+	fmt.Fprintf(&b, "%8s %12s %10s %12s %10s", "workers", "messages", "msgs/edge", "supersteps", "time")
+	for ph := dist.PhaseID(0); ph < dist.NumDistPhases; ph++ {
+		fmt.Fprintf(&b, " %10s", ph)
+	}
+	fmt.Fprintln(&b)
+	for _, p := range ds.Points {
+		fmt.Fprintf(&b, "%8d %12d %10.2f %12d %10v",
+			p.Workers, p.Messages, float64(p.Messages)/float64(ds.Edges),
+			p.Supersteps, p.Time.Round(time.Millisecond))
+		for _, m := range p.PhaseMessages {
+			fmt.Fprintf(&b, " %10d", m)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// PartitionComparison contrasts block and hash partitioning at one
+// cluster size — the locality trade-off a real deployment tunes.
+type PartitionComparison struct {
+	Dataset       string
+	Workers       int
+	BlockMessages int64
+	HashMessages  int64
+}
+
+// ComparePartitioning runs the distributed pipeline under both
+// partitioning strategies and reports total message volumes.
+func ComparePartitioning(d Dataset, scale float64, workers int, seed int64) PartitionComparison {
+	g := d.Build(scale)
+	ref := detect(g, scc.Options{Algorithm: scc.Tarjan})
+	out := PartitionComparison{Dataset: d.Name, Workers: workers}
+	for _, p := range []dist.Partition{dist.PartitionBlock, dist.PartitionHash} {
+		res := dist.Run(g, dist.Options{Workers: workers, Seed: seed, Partition: p})
+		if !verify.SamePartition(res.Comp, ref.Comp) {
+			panic(fmt.Sprintf("partition %v broke %s", p, d.Name))
+		}
+		var m int64
+		for ph := dist.PhaseID(0); ph < dist.NumDistPhases; ph++ {
+			m += res.Phases[ph].Messages
+		}
+		if p == dist.PartitionBlock {
+			out.BlockMessages = m
+		} else {
+			out.HashMessages = m
+		}
+	}
+	return out
+}
+
+// FormatPartitionComparison renders the block-vs-hash table.
+func FormatPartitionComparison(pc PartitionComparison) string {
+	return fmt.Sprintf("partitioning on %s at %d workers: block=%d msgs, hash=%d msgs (%.2fx)\n",
+		pc.Dataset, pc.Workers, pc.BlockMessages, pc.HashMessages,
+		float64(pc.HashMessages)/float64(pc.BlockMessages))
+}

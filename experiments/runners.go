@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/graph"
+	"repro/scc"
+)
+
+// Table1Row is one dataset's row of Table 1: measured analog
+// statistics next to the paper's published numbers.
+type Table1Row struct {
+	Name        string
+	Description string
+	Star        bool
+	Nodes       int
+	Edges       int64
+	LargestSCC  int64
+	NumSCCs     int64
+	Diameter    int
+	Paper       PaperNumbers
+}
+
+// Table1 generates every dataset at the given scale and measures the
+// columns of the paper's Table 1 (node/edge counts, largest SCC,
+// estimated diameter). diameterSamples controls the sampling BFS count
+// (the paper also estimates diameters by sampling); 0 skips it.
+func Table1(scale float64, diameterSamples int) []Table1Row {
+	var rows []Table1Row
+	for _, d := range Suite() {
+		g := d.Build(scale)
+		res, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
+		if err != nil {
+			panic(err) // cannot happen: valid algorithm, non-nil graph
+		}
+		row := Table1Row{
+			Name:        d.Name,
+			Description: d.Description,
+			Star:        d.Star,
+			Nodes:       g.NumNodes(),
+			Edges:       g.NumEdges(),
+			LargestSCC:  res.LargestSCC(),
+			NumSCCs:     res.NumSCCs,
+			Paper:       d.Paper,
+		}
+		if diameterSamples > 0 {
+			row.Diameter = graph.EstimateDiameter(g, diameterSamples, 42)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1 rows as the paper lays them out, with
+// the paper's giant-SCC fraction alongside the analog's for shape
+// comparison.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %10s %12s %12s %6s %9s %9s\n",
+		"Name", "Nodes", "Edges", "LargestSCC", "Diam", "giant%", "paper%")
+	for _, r := range rows {
+		name := r.Name
+		if r.Star {
+			name += "*"
+		}
+		fmt.Fprintf(&b, "%-9s %10d %12d %12d %6d %8.1f%% %8.1f%%\n",
+			name, r.Nodes, r.Edges, r.LargestSCC, r.Diameter,
+			100*float64(r.LargestSCC)/float64(r.Nodes),
+			100*r.Paper.GiantFraction())
+	}
+	return b.String()
+}
+
+// SizeDist is one dataset's SCC-size distribution (Figures 2 and 9):
+// power-of-two buckets of component sizes.
+type SizeDist struct {
+	Dataset string
+	// Buckets[i] counts SCCs with size in [2^i, 2^(i+1)).
+	Buckets []int64
+	// Largest is the giant SCC's size; Trivial counts size-1 SCCs.
+	Largest, Trivial, NumSCCs int64
+	Nodes                     int
+}
+
+// SizeDistribution decomposes the dataset and returns its SCC-size
+// distribution.
+func SizeDistribution(d Dataset, scale float64) SizeDist {
+	g := d.Build(scale)
+	res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	return SizeDist{
+		Dataset: d.Name,
+		Buckets: scc.LogSizeHistogram(res.Comp),
+		Largest: res.LargestSCC(),
+		Trivial: res.TrivialSCCs(),
+		NumSCCs: res.NumSCCs,
+		Nodes:   g.NumNodes(),
+	}
+}
+
+// FormatSizeDist renders one distribution as an ASCII log-log
+// histogram.
+func FormatSizeDist(sd SizeDist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: n=%d sccs=%d largest=%d size1=%d\n",
+		sd.Dataset, sd.Nodes, sd.NumSCCs, sd.Largest, sd.Trivial)
+	maxCount := int64(1)
+	for _, c := range sd.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range sd.Buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * float64(len(fmt.Sprintf("%d", c))) / float64(len(fmt.Sprintf("%d", maxCount))))
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  size 2^%-2d %10d %s\n", i, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// TaskLogResult reproduces the §3.3 execution log: the first task
+// executions of the recursive FW-BW phase under Method 1, plus the
+// queue-depth statistics of Methods 1 and 2.
+type TaskLogResult struct {
+	Dataset string
+	// Records is the Method-1 log in the paper's "SCC FW BW Remain"
+	// format.
+	Records []scc.TaskRecord
+	// PeakDepthM1 and PeakDepthM2 are the maximum work-queue depths:
+	// the paper reports ≈6 for Method 1 and ≈10,000 for Method 2 on
+	// Flickr.
+	PeakDepthM1, PeakDepthM2 int64
+	// TasksM2 is the number of tasks seeding Method 2's phase 2.
+	TasksM2 int
+}
+
+// TaskLog runs Methods 1 and 2 on the dataset and captures the §3.3
+// logs.
+func TaskLog(d Dataset, scale float64, seed int64, records int) TaskLogResult {
+	g := d.Build(scale)
+	r1, err := scc.Detect(g, scc.Options{Algorithm: scc.Method1, Seed: seed, Workers: 1, TraceTasks: records})
+	if err != nil {
+		panic(err)
+	}
+	r2, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Seed: seed, Workers: 1})
+	if err != nil {
+		panic(err)
+	}
+	return TaskLogResult{
+		Dataset:     d.Name,
+		Records:     r1.TaskLog,
+		PeakDepthM1: r1.Queue.PeakReady,
+		PeakDepthM2: r2.Queue.PeakReady,
+		TasksM2:     r2.InitialTasks,
+	}
+}
+
+// FormatTaskLog renders the §3.3 log.
+func FormatTaskLog(tl TaskLogResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Method 1 recursive FW-BW task log on %s (first %d tasks):\n", tl.Dataset, len(tl.Records))
+	fmt.Fprintf(&b, "%8s %8s %8s %8s\n", "SCC", "FW", "BW", "Remain")
+	for _, r := range tl.Records {
+		fmt.Fprintf(&b, "%8d %8d %8d %8d\n", r.SCC, r.FW, r.BW, r.Remain)
+	}
+	fmt.Fprintf(&b, "max queue depth: Method1=%d Method2=%d (Method2 seeds %d WCC tasks)\n",
+		tl.PeakDepthM1, tl.PeakDepthM2, tl.TasksM2)
+	return b.String()
+}
+
+// FractionRow is one dataset's bar of Figure 8: the fraction of nodes
+// whose SCC is identified in each phase of Method 2.
+type FractionRow struct {
+	Dataset   string
+	Fractions [scc.NumPhases]float64
+}
+
+// Figure8 measures the per-phase node attribution of Method 2 on every
+// dataset.
+func Figure8(scale float64, seed int64) []FractionRow {
+	var rows []FractionRow
+	for _, d := range Suite() {
+		g := d.Build(scale)
+		res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		var row FractionRow
+		row.Dataset = d.Name
+		n := float64(g.NumNodes())
+		for p := scc.Phase(0); p < scc.NumPhases; p++ {
+			row.Fractions[p] = float64(res.Phases[p].Nodes) / n
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFigure8 renders the phase-attribution table.
+func FormatFigure8(rows []FractionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s", "Dataset")
+	for p := scc.Phase(0); p < scc.NumPhases; p++ {
+		fmt.Fprintf(&b, " %11s", p)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s", r.Dataset)
+		for _, f := range r.Fractions {
+			fmt.Fprintf(&b, " %10.1f%%", 100*f)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// measure runs fn `reps` times and returns the fastest wall time — the
+// standard way to suppress scheduling noise in microbenchmarks.
+func measure(reps int, fn func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// sortedAlgs returns the parallel algorithms in presentation order.
+func sortedAlgs() []scc.Algorithm {
+	return []scc.Algorithm{scc.Baseline, scc.Method1, scc.Method2}
+}
+
+// sortStringsStable sorts strings ascending (tiny helper used by
+// formatters that iterate maps).
+func sortStringsStable(s []string) { sort.Strings(s) }

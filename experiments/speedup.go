@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/graph"
+	"repro/scc"
+	"repro/schedsim"
+)
+
+// Mode selects how thread sweeps are produced.
+type Mode int
+
+const (
+	// Modeled replays single-worker instrumented runs through the
+	// machine model and scheduling simulator — the right mode when the
+	// host has fewer cores than the sweep's thread counts (it
+	// reproduces the *shape* of Figure 6 independent of host size).
+	Modeled Mode = iota
+	// Measured runs each thread count for real and reports wall-clock
+	// speedups; only meaningful up to the host's core count.
+	Measured
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Measured {
+		return "measured"
+	}
+	return "modeled"
+}
+
+// DefaultThreads is the paper's x-axis: 1..32 threads in powers of two.
+var DefaultThreads = []int{1, 2, 4, 8, 16, 32}
+
+// SpeedupPoint is one (threads, speedup) sample for one algorithm.
+type SpeedupPoint struct {
+	Threads int
+	// Speedup is relative to sequential Tarjan on the same graph, as
+	// in Figure 6.
+	Speedup float64
+	// Time is the (measured or modeled) execution time.
+	Time time.Duration
+}
+
+// SpeedupSeries is one dataset's subplot of Figure 6.
+type SpeedupSeries struct {
+	Dataset    string
+	Mode       Mode
+	TarjanTime time.Duration
+	// Series maps algorithm name → samples at each thread count.
+	Series map[string][]SpeedupPoint
+}
+
+// Figure6 produces the speedup-vs-threads series for one dataset.
+// Modeled mode runs each algorithm once at one worker with full
+// instrumentation and projects each thread count through the machine
+// model; Measured mode executes each thread count directly.
+func Figure6(d Dataset, scale float64, threads []int, mode Mode, machine schedsim.MachineModel, seed int64) SpeedupSeries {
+	g := d.Build(scale)
+	return figure6On(g, d.Name, threads, mode, machine, seed)
+}
+
+func figure6On(g *graph.Graph, name string, threads []int, mode Mode, machine schedsim.MachineModel, seed int64) SpeedupSeries {
+	out := SpeedupSeries{Dataset: name, Mode: mode, Series: make(map[string][]SpeedupPoint)}
+	out.TarjanTime = measure(3, func() {
+		if _, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan}); err != nil {
+			panic(err)
+		}
+	})
+	for _, alg := range sortedAlgs() {
+		var points []SpeedupPoint
+		switch mode {
+		case Modeled:
+			res := instrumentedRun(g, alg, seed)
+			for _, p := range threads {
+				t := ModelTotal(res, machine, p)
+				points = append(points, SpeedupPoint{Threads: p, Time: t,
+					Speedup: float64(out.TarjanTime) / float64(t)})
+			}
+		case Measured:
+			for _, p := range threads {
+				t := measure(2, func() {
+					detect(g, scc.Options{Algorithm: alg, Workers: p, Seed: seed})
+				})
+				points = append(points, SpeedupPoint{Threads: p, Time: t,
+					Speedup: float64(out.TarjanTime) / float64(t)})
+			}
+		}
+		out.Series[alg.String()] = points
+	}
+	return out
+}
+
+func detect(g *graph.Graph, opts scc.Options) *scc.Result {
+	res, err := scc.Detect(g, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// instrumentedRun measures a single-worker fully instrumented run,
+// twice, keeping the faster one — single samples are too noisy to
+// project through the machine model.
+func instrumentedRun(g *graph.Graph, alg scc.Algorithm, seed int64) *scc.Result {
+	best := detect(g, scc.Options{Algorithm: alg, Workers: 1, Seed: seed, TraceSchedule: true})
+	again := detect(g, scc.Options{Algorithm: alg, Workers: 1, Seed: seed, TraceSchedule: true})
+	if again.Total < best.Total {
+		best = again
+	}
+	return best
+}
+
+// ModelTotal projects a single-worker instrumented run onto p threads
+// of the machine: data-parallel phases shrink by the machine's
+// effective parallelism (paying per-round barriers), and the recursive
+// phase's recorded task DAG is replayed through list scheduling.
+func ModelTotal(res *scc.Result, machine schedsim.MachineModel, p int) time.Duration {
+	var total time.Duration
+	for ph := scc.Phase(0); ph < scc.NumPhases; ph++ {
+		if ph == scc.PhaseRecurFWBW {
+			continue
+		}
+		st := res.Phases[ph]
+		if st.Time == 0 {
+			continue
+		}
+		rounds := st.Rounds
+		if rounds == 0 {
+			rounds = 1
+		}
+		total += machine.ModelDataParallel(st.Time, rounds, p)
+	}
+	total += ModelRecur(res, machine, p)
+	return total
+}
+
+// ModelRecur models only the recursive FW-BW phase on p threads.
+func ModelRecur(res *scc.Result, machine schedsim.MachineModel, p int) time.Duration {
+	if len(res.TaskTrace) == 0 {
+		// No recorded tasks (phase 2 was empty, or tracing was off):
+		// fall back to the measured single-worker time as a serial
+		// phase.
+		return res.Phases[scc.PhaseRecurFWBW].Time
+	}
+	tasks := make([]schedsim.Task, len(res.TaskTrace))
+	for i, t := range res.TaskTrace {
+		tasks[i] = schedsim.Task{Parent: t.Parent, Duration: t.Duration}
+	}
+	return schedsim.SimulateTasks(tasks, machine, p)
+}
+
+// FormatFigure6 renders one dataset's speedup table.
+func FormatFigure6(s SpeedupSeries) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, Tarjan = %v)\n", s.Dataset, s.Mode, s.TarjanTime.Round(time.Microsecond))
+	names := make([]string, 0, len(s.Series))
+	for name := range s.Series {
+		names = append(names, name)
+	}
+	sortStringsStable(names)
+	fmt.Fprintf(&b, "%-9s", "threads")
+	if len(names) > 0 {
+		for _, p := range s.Series[names[0]] {
+			fmt.Fprintf(&b, " %7d", p.Threads)
+		}
+	}
+	fmt.Fprintln(&b)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-9s", name)
+		for _, p := range s.Series[name] {
+			fmt.Fprintf(&b, " %6.2fx", p.Speedup)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// BreakdownRow is one bar of Figure 7: per-phase execution times for
+// one algorithm at one thread count.
+type BreakdownRow struct {
+	Algorithm string
+	Threads   int
+	Phases    [scc.NumPhases]time.Duration
+	Total     time.Duration
+}
+
+// Figure7 produces the execution-time breakdown sweep for one dataset.
+func Figure7(d Dataset, scale float64, threads []int, mode Mode, machine schedsim.MachineModel, seed int64) []BreakdownRow {
+	g := d.Build(scale)
+	var rows []BreakdownRow
+	for _, alg := range sortedAlgs() {
+		switch mode {
+		case Modeled:
+			res := instrumentedRun(g, alg, seed)
+			for _, p := range threads {
+				row := BreakdownRow{Algorithm: alg.String(), Threads: p}
+				for ph := scc.Phase(0); ph < scc.NumPhases; ph++ {
+					st := res.Phases[ph]
+					if st.Time == 0 {
+						continue
+					}
+					if ph == scc.PhaseRecurFWBW {
+						row.Phases[ph] = ModelRecur(res, machine, p)
+					} else {
+						rounds := st.Rounds
+						if rounds == 0 {
+							rounds = 1
+						}
+						row.Phases[ph] = machine.ModelDataParallel(st.Time, rounds, p)
+					}
+					row.Total += row.Phases[ph]
+				}
+				rows = append(rows, row)
+			}
+		case Measured:
+			for _, p := range threads {
+				res := detect(g, scc.Options{Algorithm: alg, Workers: p, Seed: seed})
+				row := BreakdownRow{Algorithm: alg.String(), Threads: p}
+				for ph := scc.Phase(0); ph < scc.NumPhases; ph++ {
+					row.Phases[ph] = res.Phases[ph].Time
+					row.Total += res.Phases[ph].Time
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// FormatFigure7 renders the breakdown rows.
+func FormatFigure7(dataset string, rows []BreakdownRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s execution-time breakdown (ms)\n", dataset)
+	fmt.Fprintf(&b, "%-9s %7s", "alg", "thr")
+	for ph := scc.Phase(0); ph < scc.NumPhases; ph++ {
+		fmt.Fprintf(&b, " %11s", ph)
+	}
+	fmt.Fprintf(&b, " %11s\n", "Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %7d", r.Algorithm, r.Threads)
+		for _, t := range r.Phases {
+			fmt.Fprintf(&b, " %11.3f", float64(t)/float64(time.Millisecond))
+		}
+		fmt.Fprintf(&b, " %11.3f\n", float64(r.Total)/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// GeoMeanSpeedup returns the geometric-mean speedup at the given
+// thread count across series (the paper reports 14.05x at 32 threads
+// excluding CA-road).
+func GeoMeanSpeedup(series []SpeedupSeries, alg string, threads int, exclude ...string) float64 {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	prod, n := 1.0, 0
+	for _, s := range series {
+		if skip[s.Dataset] {
+			continue
+		}
+		for _, p := range s.Series[alg] {
+			if p.Threads == threads {
+				prod *= p.Speedup
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1.0/float64(n))
+}

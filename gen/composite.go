@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/graph"
+)
+
+// TailConfig describes a power-law tail of small SCCs attached around
+// a core graph, reproducing the SCC structure of small-world graphs
+// (Figure 3(a) of the paper): a giant SCC in the center with many
+// small SCCs hanging off it on the forward and backward sides.
+type TailConfig struct {
+	// Components is the number of small SCCs to attach.
+	Components int
+	// Alpha is the power-law exponent of component sizes (≈2-3 for
+	// real graphs); MaxSize truncates the distribution.
+	Alpha   float64
+	MaxSize int
+	// AttachEdges is the number of edges connecting each component to
+	// the rest of the graph.
+	AttachEdges int
+	// ChainProb is the probability an attachment edge goes to another
+	// tail component (forming weakly connected chains of small SCCs —
+	// the structure Trim2 and Par-WCC exploit) instead of the core.
+	ChainProb float64
+	Seed      int64
+}
+
+// WithTail returns a graph consisting of the core plus an attached
+// power-law tail of small SCCs. Tail components are placed on a fixed
+// topological order with the core in the middle; every attachment edge
+// follows that order, so no tail component ever merges with the giant
+// SCC or with another component. Components before the core reach it
+// (the BW side); components after it are reached from it (the FW
+// side).
+func WithTail(core *graph.Graph, cfg TailConfig) *graph.Graph {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := PowerLawSizes(cfg.Components, cfg.Alpha, cfg.MaxSize, 0, cfg.Seed+1)
+	coreN := core.NumNodes()
+	total := coreN
+	for _, s := range sizes {
+		total += s
+	}
+	b := graph.NewBuilder(total)
+	// Copy the core.
+	for v := 0; v < coreN; v++ {
+		for _, t := range core.Out(graph.NodeID(v)) {
+			b.AddEdge(graph.NodeID(v), t)
+		}
+	}
+	// Lay tail components out in order; the first half sit on the BW
+	// side (before the core), the rest on the FW side. Each component
+	// also gets a chain depth in {0,1,2}: chain edges only go from
+	// depth d to depth d+1, bounding weak-connectivity chains to a few
+	// components — small SCCs in real graphs hang at most a couple of
+	// hops off the giant SCC, and unbounded chains would inflate the
+	// BFS level count far beyond the small-world regime.
+	half := len(sizes) / 2
+	type comp struct {
+		nodes []graph.NodeID
+		fw    bool // true: core→comp side
+		depth int
+	}
+	comps := make([]comp, len(sizes))
+	next := graph.NodeID(coreN)
+	for i, s := range sizes {
+		nodes := make([]graph.NodeID, s)
+		for j := range nodes {
+			nodes[j] = next
+			next++
+		}
+		// Make the component strongly connected with small diameter: a
+		// Hamiltonian cycle plus ~s random chords (diameter O(log s)
+		// with high probability — a bare cycle would cost s BFS levels
+		// to traverse, destroying the small-world property).
+		if s > 1 {
+			for j := 0; j < s; j++ {
+				b.AddEdge(nodes[j], nodes[(j+1)%s])
+			}
+			for j := 0; j < s-2; j++ {
+				b.AddEdge(nodes[rng.Intn(s)], nodes[rng.Intn(s)])
+			}
+		}
+		comps[i] = comp{nodes: nodes, fw: i >= half, depth: rng.Intn(3)}
+	}
+	randCore := func() graph.NodeID { return graph.NodeID(rng.Intn(coreN)) }
+	pick := func(c comp) graph.NodeID { return c.nodes[rng.Intn(len(c.nodes))] }
+	for i, c := range comps {
+		for e := 0; e < cfg.AttachEdges; e++ {
+			if rng.Float64() < cfg.ChainProb {
+				// Chain edge to another tail component one depth level
+				// down, following the global index order so components
+				// never merge.
+				j := rng.Intn(len(comps))
+				if j == i || comps[j].depth == comps[i].depth {
+					continue
+				}
+				src, dst := i, j
+				if comps[src].depth > comps[dst].depth {
+					src, dst = dst, src
+				}
+				if src > dst {
+					continue // must also respect index order to stay acyclic
+				}
+				b.AddEdge(pick(comps[src]), pick(comps[dst]))
+			} else if c.fw {
+				b.AddEdge(randCore(), pick(c))
+			} else {
+				b.AddEdge(pick(c), randCore())
+			}
+		}
+	}
+	return b.Build()
+}

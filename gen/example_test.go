@@ -1,0 +1,43 @@
+package gen_test
+
+import (
+	"fmt"
+
+	"repro/gen"
+)
+
+// ExampleRMAT generates a scale-free small-world graph.
+func ExampleRMAT() {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 42))
+	fmt.Println("nodes:", g.NumNodes())
+	fmt.Println("edges sampled:", g.NumEdges() > 6000)
+	// Output:
+	// nodes: 1024
+	// edges sampled: true
+}
+
+// ExamplePlantedSCCs builds a graph with a known decomposition.
+func ExamplePlantedSCCs() {
+	p := gen.PlantedSCCs(gen.PlantedConfig{
+		Sizes:      []int{3, 1, 2},
+		InterEdges: 4,
+		Seed:       7,
+	})
+	fmt.Println("nodes:", p.Graph.NumNodes(), "components:", p.NumComps)
+	// Output: nodes: 6 components: 3
+}
+
+// ExampleWithTail attaches a power-law SCC tail around a core graph —
+// the small-world SCC structure of the paper's Figure 3.
+func ExampleWithTail() {
+	core := gen.RMAT(gen.DefaultRMAT(9, 8, 1))
+	g := gen.WithTail(core, gen.TailConfig{
+		Components:  32,
+		Alpha:       2.2,
+		MaxSize:     16,
+		AttachEdges: 2,
+		Seed:        1,
+	})
+	fmt.Println(g.NumNodes() > core.NumNodes())
+	// Output: true
+}

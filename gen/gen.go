@@ -1,0 +1,219 @@
+// Package gen generates synthetic graph instances that stand in for the
+// real-world datasets of Table 1 in Hong, Rodia & Olukotun (SC '13).
+//
+// The SCC algorithms under study react only to structural properties —
+// giant-SCC fraction, power-law SCC-size and degree distributions,
+// abundance of trivial SCCs, diameter class — so each generator is
+// parameterized to reproduce those properties at laptop scale:
+//
+//   - RMAT: recursive-matrix (Kronecker) graphs with the small-world and
+//     scale-free properties of web/social graphs.
+//   - ErdosRenyi: G(n, m) uniform random digraphs.
+//   - WattsStrogatz: directed ring-rewiring small-world graphs.
+//   - RoadLattice: 2-D grid with randomly oriented edges — the CA-road
+//     analog (planar, high diameter, non-small-world).
+//   - CitationDAG: strictly forward-citing acyclic graphs — the Patents
+//     analog (every SCC is trivial).
+//   - PlantedSCCs: graphs with a known SCC decomposition, for testing.
+//
+// All generators are deterministic given their Seed.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/graph"
+)
+
+// RMATConfig parameterizes an R-MAT (recursive matrix) generator run.
+// The four quadrant probabilities must sum to ~1. The classic
+// "nice" parameters (a=0.57, b=0.19, c=0.19, d=0.05) produce graphs
+// with power-law degree distributions and a giant SCC, like web and
+// social graphs.
+type RMATConfig struct {
+	Scale      int     // number of nodes = 2^Scale
+	EdgeFactor float64 // average directed edges per node
+	A, B, C, D float64 // quadrant probabilities
+	Seed       int64
+	// Noise perturbs the quadrant probabilities per recursion level
+	// (SSCA-style "smoothing") to avoid artificial degree spikes.
+	Noise float64
+}
+
+// DefaultRMAT returns the canonical Graph500-style parameters at the
+// given scale and edge factor.
+func DefaultRMAT(scale int, edgeFactor float64, seed int64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, EdgeFactor: edgeFactor,
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05,
+		Seed: seed, Noise: 0.05,
+	}
+}
+
+// RMAT generates a directed R-MAT graph.
+func RMAT(cfg RMATConfig) *graph.Graph {
+	n := 1 << uint(cfg.Scale)
+	m := int(float64(n) * cfg.EdgeFactor)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rmatEdge(rng, cfg)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// rmatEdge samples one edge by descending the recursive 2×2 partition.
+func rmatEdge(rng *rand.Rand, cfg RMATConfig) (graph.NodeID, graph.NodeID) {
+	var u, v int
+	a, bb, c := cfg.A, cfg.B, cfg.C
+	for bit := cfg.Scale - 1; bit >= 0; bit-- {
+		// Perturb per level so repeated quadrant choices do not align.
+		na, nb, nc := a, bb, c
+		if cfg.Noise > 0 {
+			na += cfg.Noise * (rng.Float64() - 0.5) * a
+			nb += cfg.Noise * (rng.Float64() - 0.5) * bb
+			nc += cfg.Noise * (rng.Float64() - 0.5) * c
+		}
+		r := rng.Float64()
+		switch {
+		case r < na:
+			// top-left: no bits set
+		case r < na+nb:
+			v |= 1 << uint(bit)
+		case r < na+nb+nc:
+			u |= 1 << uint(bit)
+		default:
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+	}
+	return graph.NodeID(u), graph.NodeID(v)
+}
+
+// RMATUndirected generates an R-MAT graph where every sampled edge is
+// kept as a single undirected edge, then orients each edge randomly
+// with probability 1/2 per direction — the construction the paper uses
+// for the Friendster, Orkut and CA-road datasets (Table 1, "*").
+func RMATUndirected(cfg RMATConfig) *graph.Graph {
+	n := 1 << uint(cfg.Scale)
+	m := int(float64(n) * cfg.EdgeFactor)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := rmatEdge(rng, cfg)
+		if rng.Intn(2) == 0 {
+			b.AddEdge(u, v)
+		} else {
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi generates a uniform G(n, m) directed graph: m edges with
+// independently uniform endpoints.
+func ErdosRenyi(n int, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// WattsStrogatz generates a directed small-world graph: a ring lattice
+// where each node points to its k clockwise successors, with each edge
+// rewired to a uniform random target with probability beta. beta=0 is a
+// high-diameter ring; small beta collapses the diameter (the
+// "small-world regime"); beta=1 approaches a random graph.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			t := (v + j) % n
+			if rng.Float64() < beta {
+				t = rng.Intn(n)
+			}
+			b.AddEdge(graph.NodeID(v), graph.NodeID(t))
+		}
+	}
+	return b.Build()
+}
+
+// RoadLatticeConfig parameterizes the CA-road analog.
+type RoadLatticeConfig struct {
+	Rows, Cols int
+	// TwoWayProb is the probability a lattice edge is kept
+	// bidirectional; the rest are randomly oriented (50/50), matching
+	// the paper's treatment of the undirected CA-road graph.
+	TwoWayProb float64
+	// Rewire randomly replaces this fraction of edges with uniform
+	// random ones (0 keeps the graph strictly planar-like).
+	Rewire float64
+	Seed   int64
+}
+
+// RoadLattice generates a 2-D grid road network: nodes at (r, c) with
+// edges to right and down neighbors, randomly oriented or kept two-way.
+// The result has a large diameter (≈ Rows+Cols), near-uniform degrees,
+// and many medium-sized SCCs — the non-small-world counterexample graph
+// of §5.
+func RoadLattice(cfg RoadLatticeConfig) *graph.Graph {
+	n := cfg.Rows * cfg.Cols
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := graph.NewBuilder(n)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cfg.Cols + c) }
+	addOriented := func(u, v graph.NodeID) {
+		switch {
+		case cfg.Rewire > 0 && rng.Float64() < cfg.Rewire:
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		case rng.Float64() < cfg.TwoWayProb:
+			b.AddEdge(u, v)
+			b.AddEdge(v, u)
+		case rng.Intn(2) == 0:
+			b.AddEdge(u, v)
+		default:
+			b.AddEdge(v, u)
+		}
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				addOriented(id(r, c), id(r, c+1))
+			}
+			if r+1 < cfg.Rows {
+				addOriented(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CitationDAG generates an acyclic citation network (the Patents
+// analog): node v cites `deg` earlier nodes, preferentially recent
+// ones. Every SCC of the result has size 1, so the whole decomposition
+// is solved by the Trim step, as the paper observes for Patents.
+func CitationDAG(n int, deg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		d := deg
+		if v < deg {
+			d = v
+		}
+		for j := 0; j < d; j++ {
+			// Preferential attachment to recent nodes: sample an offset
+			// with a geometric-ish distribution.
+			span := v
+			off := int(float64(span) * rng.Float64() * rng.Float64())
+			t := v - 1 - off
+			if t < 0 {
+				t = rng.Intn(v)
+			}
+			b.AddEdge(graph.NodeID(v), graph.NodeID(t))
+		}
+	}
+	return b.Build()
+}

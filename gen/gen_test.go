@@ -1,0 +1,259 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := DefaultRMAT(10, 8, 42)
+	g1 := RMAT(cfg)
+	g2 := RMAT(cfg)
+	if g1.NumNodes() != g2.NumNodes() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("RMAT not deterministic in sizes")
+	}
+	for v := 0; v < g1.NumNodes(); v++ {
+		a, b := g1.Out(graph.NodeID(v)), g2.Out(graph.NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d adjacency differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestRMATSizes(t *testing.T) {
+	g := RMAT(DefaultRMAT(12, 8, 1))
+	if g.NumNodes() != 1<<12 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Duplicates are removed, so edges ≤ n*edgeFactor but should be the
+	// vast majority of requested edges at this density.
+	want := int64(8 << 12)
+	if g.NumEdges() < want/2 || g.NumEdges() > want {
+		t.Fatalf("edges = %d, want in [%d, %d]", g.NumEdges(), want/2, want)
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	g := RMAT(DefaultRMAT(12, 8, 7))
+	s := graph.ComputeStats(g, 0)
+	// Scale-free: hub degree far above the mean, high Gini.
+	if float64(s.MaxOutDegree) < 8*s.MeanDegree {
+		t.Fatalf("max degree %d not hub-like vs mean %.1f", s.MaxOutDegree, s.MeanDegree)
+	}
+	if s.DegreeGini < 0.4 {
+		t.Fatalf("degree Gini %.2f too uniform for R-MAT", s.DegreeGini)
+	}
+}
+
+func TestRMATSmallWorldDiameter(t *testing.T) {
+	g := RMAT(DefaultRMAT(12, 8, 3))
+	d := graph.EstimateDiameter(g, 6, 1)
+	if d > 15 {
+		t.Fatalf("R-MAT pseudo-diameter %d, want small-world (≤15)", d)
+	}
+}
+
+func TestRMATUndirectedReciprocity(t *testing.T) {
+	// Random orientation: roughly half the edge slots in each direction,
+	// few reciprocal pairs relative to a symmetric graph.
+	g := RMATUndirected(DefaultRMAT(11, 8, 5))
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	s := graph.ComputeStats(g, 0)
+	if s.ReciprocalFrac > 0.5 {
+		t.Fatalf("reciprocal fraction %.2f too high for randomly oriented graph", s.ReciprocalFrac)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 5000, 9)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() < 4800 || g.NumEdges() > 5000 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	s := graph.ComputeStats(g, 0)
+	if s.DegreeGini > 0.35 {
+		t.Fatalf("ER degree Gini %.2f, want near-uniform", s.DegreeGini)
+	}
+}
+
+func TestWattsStrogatzRing(t *testing.T) {
+	// beta=0: pure ring lattice, diameter ≈ n/(2k) in the undirected view.
+	g := WattsStrogatz(200, 2, 0, 1)
+	if g.NumEdges() != 400 {
+		t.Fatalf("edges = %d, want 400", g.NumEdges())
+	}
+	d := graph.EstimateDiameter(g, 10, 1)
+	if d < 30 {
+		t.Fatalf("ring diameter %d, want large", d)
+	}
+	// Small rewiring probability collapses the diameter.
+	g2 := WattsStrogatz(200, 2, 0.1, 1)
+	d2 := graph.EstimateDiameter(g2, 10, 1)
+	if d2 >= d {
+		t.Fatalf("rewired diameter %d not smaller than ring %d", d2, d)
+	}
+}
+
+func TestRoadLatticeShape(t *testing.T) {
+	g := RoadLattice(RoadLatticeConfig{Rows: 50, Cols: 50, TwoWayProb: 0.3, Seed: 2})
+	if g.NumNodes() != 2500 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	s := graph.ComputeStats(g, 8)
+	if s.EstDiameter < 49 {
+		t.Fatalf("lattice diameter %d, want ≥ 49 (non-small-world)", s.EstDiameter)
+	}
+	if s.MaxOutDegree > 8 {
+		t.Fatalf("lattice max degree %d, want bounded", s.MaxOutDegree)
+	}
+	if s.DegreeGini > 0.35 {
+		t.Fatalf("lattice Gini %.2f, want near-uniform", s.DegreeGini)
+	}
+}
+
+func TestCitationDAGAcyclic(t *testing.T) {
+	g := CitationDAG(2000, 5, 3)
+	// Every edge must point from a higher id to a strictly lower id.
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, tgt := range g.Out(graph.NodeID(v)) {
+			if int(tgt) >= v {
+				t.Fatalf("edge %d→%d violates citation order", v, tgt)
+			}
+		}
+	}
+}
+
+func TestPlantedSCCsStructure(t *testing.T) {
+	p := PlantedSCCs(PlantedConfig{
+		Sizes:      []int{5, 1, 3, 1, 7},
+		IntraExtra: 1,
+		InterEdges: 10,
+		Shuffle:    true,
+		Seed:       4,
+	})
+	if p.NumComps != 5 {
+		t.Fatalf("NumComps = %d", p.NumComps)
+	}
+	if p.Graph.NumNodes() != 17 {
+		t.Fatalf("nodes = %d, want 17", p.Graph.NumNodes())
+	}
+	// Component sizes from Comp must match requested sizes.
+	count := map[int]int{}
+	for _, c := range p.Comp {
+		count[c]++
+	}
+	want := []int{5, 1, 3, 1, 7}
+	for ci, w := range want {
+		if count[ci] != w {
+			t.Fatalf("component %d size %d, want %d", ci, count[ci], w)
+		}
+	}
+}
+
+// TestPlantedNoCrossCycles verifies the planted decomposition is sound:
+// within-component nodes are mutually reachable, and no directed cycle
+// crosses components (checked via reachability on a small instance).
+func TestPlantedNoCrossCycles(t *testing.T) {
+	p := PlantedSCCs(PlantedConfig{
+		Sizes:      []int{4, 3, 2, 1, 1, 5},
+		IntraExtra: 0.5,
+		InterEdges: 20,
+		Shuffle:    true,
+		Seed:       8,
+	})
+	g := p.Graph
+	n := g.NumNodes()
+	reach := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		reach[v] = bfsReach(g, graph.NodeID(v))
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			mutual := reach[u][v] && reach[v][u]
+			same := p.Comp[u] == p.Comp[v]
+			if mutual != same {
+				t.Fatalf("nodes %d,%d: mutual=%v sameComp=%v", u, v, mutual, same)
+			}
+		}
+	}
+}
+
+func bfsReach(g *graph.Graph, src graph.NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	seen[src] = true
+	q := []graph.NodeID{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, t := range g.Out(v) {
+			if !seen[t] {
+				seen[t] = true
+				q = append(q, t)
+			}
+		}
+	}
+	return seen
+}
+
+func TestPowerLawSizes(t *testing.T) {
+	sizes := PowerLawSizes(10000, 2.5, 100, 5000, 1)
+	if sizes[0] != 5000 {
+		t.Fatalf("giant = %d", sizes[0])
+	}
+	ones, big := 0, 0
+	for _, s := range sizes[1:] {
+		if s < 1 || s > 100 {
+			t.Fatalf("size %d out of range", s)
+		}
+		if s == 1 {
+			ones++
+		}
+		if s >= 10 {
+			big++
+		}
+	}
+	// Power law with alpha 2.5: size-1 dominates, few big ones.
+	if ones < 7000 {
+		t.Fatalf("size-1 count %d, want dominant", ones)
+	}
+	if big > 500 {
+		t.Fatalf("size≥10 count %d, want rare", big)
+	}
+}
+
+func TestSmallWorldSCCGroundTruth(t *testing.T) {
+	p := SmallWorldSCC(200, 50, 2.5, 20, 2.0, 7)
+	// Giant component must exist with the requested size.
+	count := map[int]int{}
+	for _, c := range p.Comp {
+		count[c]++
+	}
+	maxSz := 0
+	for _, sz := range count {
+		if sz > maxSz {
+			maxSz = sz
+		}
+	}
+	if maxSz != 200 {
+		t.Fatalf("giant size %d, want 200", maxSz)
+	}
+}
+
+func TestPlantedPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlantedSCCs accepted size 0")
+		}
+	}()
+	PlantedSCCs(PlantedConfig{Sizes: []int{3, 0}})
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/graph"
+)
+
+// PlantedConfig describes a graph with a known SCC decomposition.
+type PlantedConfig struct {
+	// Sizes lists the SCC sizes to plant, in any order. Each component
+	// is made strongly connected by a Hamiltonian cycle over its nodes
+	// plus IntraExtra×size random internal edges.
+	Sizes []int
+	// IntraExtra adds this many extra random edges per node inside each
+	// non-trivial component (density knob).
+	IntraExtra float64
+	// InterEdges adds this many total cross-component edges, oriented
+	// strictly from a lower-indexed component to a higher-indexed one
+	// (after a random permutation), so components never merge.
+	InterEdges int
+	// Shuffle randomly permutes node IDs so component membership is not
+	// recoverable from ID ranges.
+	Shuffle bool
+	Seed    int64
+}
+
+// Planted is a generated graph together with its ground-truth SCC
+// decomposition.
+type Planted struct {
+	Graph *graph.Graph
+	// Comp[v] is the planted component index of node v.
+	Comp []int
+	// NumComps is the number of planted components.
+	NumComps int
+}
+
+// PlantedSCCs generates a graph whose SCC decomposition is known by
+// construction: each requested component is strongly connected
+// internally, and all cross-component edges follow a fixed topological
+// order over components, so no larger SCC can form. Used as the
+// ground-truth oracle workload in tests.
+func PlantedSCCs(cfg PlantedConfig) *Planted {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := 0
+	for _, s := range cfg.Sizes {
+		if s <= 0 {
+			panic("gen: planted SCC size must be positive")
+		}
+		n += s
+	}
+	// Assign node ids: perm maps "slot" -> node id.
+	perm := make([]graph.NodeID, n)
+	for i := range perm {
+		perm[i] = graph.NodeID(i)
+	}
+	if cfg.Shuffle {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	// Randomize the topological order of components.
+	order := rng.Perm(len(cfg.Sizes))
+
+	comp := make([]int, n)
+	b := graph.NewBuilder(n)
+	// members[k] lists node ids of component with topological position k.
+	members := make([][]graph.NodeID, len(cfg.Sizes))
+	slot := 0
+	for ci, size := range cfg.Sizes {
+		k := order[ci]
+		nodes := make([]graph.NodeID, size)
+		for i := 0; i < size; i++ {
+			nodes[i] = perm[slot]
+			comp[perm[slot]] = ci
+			slot++
+		}
+		members[k] = nodes
+		if size > 1 {
+			for i := 0; i < size; i++ {
+				b.AddEdge(nodes[i], nodes[(i+1)%size])
+			}
+			extra := int(cfg.IntraExtra * float64(size))
+			for e := 0; e < extra; e++ {
+				b.AddEdge(nodes[rng.Intn(size)], nodes[rng.Intn(size)])
+			}
+		}
+	}
+	// Cross edges respect topological order: from position i to j > i.
+	for e := 0; e < cfg.InterEdges && len(cfg.Sizes) > 1; e++ {
+		i := rng.Intn(len(cfg.Sizes) - 1)
+		j := i + 1 + rng.Intn(len(cfg.Sizes)-i-1)
+		src := members[i][rng.Intn(len(members[i]))]
+		dst := members[j][rng.Intn(len(members[j]))]
+		b.AddEdge(src, dst)
+	}
+	return &Planted{Graph: b.Build(), Comp: comp, NumComps: len(cfg.Sizes)}
+}
+
+// PowerLawSizes draws `count` component sizes from a discrete power law
+// P(s) ∝ s^(-alpha) truncated at maxSize, and optionally prepends one
+// giant component of size `giant`. This mirrors the SCC-size structure
+// of small-world graphs (Figure 2 of the paper): one giant SCC, a
+// power-law tail, and a sea of size-1 components.
+func PowerLawSizes(count int, alpha float64, maxSize int, giant int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	sizes := make([]int, 0, count+1)
+	if giant > 0 {
+		sizes = append(sizes, giant)
+	}
+	// Inverse-CDF sampling on the truncated zeta distribution.
+	weights := make([]float64, maxSize+1)
+	total := 0.0
+	for s := 1; s <= maxSize; s++ {
+		weights[s] = math.Pow(float64(s), -alpha)
+		total += weights[s]
+	}
+	for i := 0; i < count; i++ {
+		r := rng.Float64() * total
+		acc := 0.0
+		sz := 1
+		for s := 1; s <= maxSize; s++ {
+			acc += weights[s]
+			if r <= acc {
+				sz = s
+				break
+			}
+		}
+		sizes = append(sizes, sz)
+	}
+	return sizes
+}
+
+// SmallWorldSCC generates a graph with the canonical small-world SCC
+// structure and known ground truth: one giant SCC of `giantSize` nodes,
+// `tail` power-law-sized small SCCs, and cross edges attaching the
+// small SCCs around the giant one (§3.3, Figure 3(a)).
+func SmallWorldSCC(giantSize, tail int, alpha float64, maxSize int, interPerComp float64, seed int64) *Planted {
+	sizes := PowerLawSizes(tail, alpha, maxSize, giantSize, seed)
+	return PlantedSCCs(PlantedConfig{
+		Sizes:      sizes,
+		IntraExtra: 1.5,
+		InterEdges: int(interPerComp * float64(len(sizes))),
+		Shuffle:    true,
+		Seed:       seed + 1,
+	})
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that any
+// successfully parsed graph is structurally valid and round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n2 0\n")
+	f.Add("# comment\n% other\n\n3 4\n")
+	f.Add("0 0\n")
+	f.Add("999999 1\n")
+	f.Add("a b\n")
+	f.Add("1\n")
+	f.Add("-1 2\n")
+	f.Add("0 1 extra fields ignored\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Structural sanity of whatever parsed.
+		n := g.NumNodes()
+		var m int64
+		for v := 0; v < n; v++ {
+			for _, tgt := range g.Out(NodeID(v)) {
+				if tgt < 0 || int(tgt) >= n {
+					t.Fatalf("edge target %d out of range", tgt)
+				}
+				m++
+			}
+		}
+		if m != g.NumEdges() {
+			t.Fatalf("edge count mismatch: %d vs %d", m, g.NumEdges())
+		}
+		// Round trip through the writer.
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzLoadBinary checks the binary loader rejects corrupt input
+// without panicking and accepts its own output.
+func FuzzLoadBinary(f *testing.F) {
+	// Seed with a valid blob and some corruptions of it.
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {3, 3}})
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 3, 4, 8, 20, len(valid) - 1} {
+		if cut <= len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	corrupted := append([]byte(nil), valid...)
+	corrupted[10] ^= 0xff
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the CSR invariants well enough
+		// to re-save and re-load identically.
+		var out bytes.Buffer
+		if err := g.Save(&out); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Load(&out)
+		if err != nil {
+			t.Fatalf("re-load of re-saved graph failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}

@@ -1,0 +1,273 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSingleNodeNoEdges(t *testing.T) {
+	g := NewBuilder(1).Build()
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if len(g.Out(0)) != 0 || len(g.In(0)) != 0 {
+		t.Fatal("isolated node has neighbors")
+	}
+}
+
+func TestBuildSmall(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {0, 1}}) // dup 0→1
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d (duplicate not removed?)", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) || g.HasEdge(3, 2) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+	if got := g.Out(2); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Out(2) = %v", got)
+	}
+	if got := g.In(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("In(1) = %v", got)
+	}
+	if g.OutDegree(2) != 2 || g.InDegree(0) != 1 {
+		t.Fatal("degrees wrong")
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 0}, {0, 1}})
+	if !g.HasEdge(0, 0) {
+		t.Fatal("self loop missing")
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(50)
+	for i := 0; i < 2000; i++ {
+		b.AddEdge(NodeID(rng.Intn(50)), NodeID(rng.Intn(50)))
+	}
+	g := b.Build()
+	for v := 0; v < 50; v++ {
+		for _, adj := range [][]NodeID{g.Out(NodeID(v)), g.In(NodeID(v))} {
+			for i := 1; i < len(adj); i++ {
+				if adj[i-1] >= adj[i] {
+					t.Fatalf("node %d adjacency not strictly sorted: %v", v, adj)
+				}
+			}
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Fatal("Reverse edges wrong")
+	}
+	if r.NumEdges() != g.NumEdges() || r.NumNodes() != g.NumNodes() {
+		t.Fatal("Reverse sizes wrong")
+	}
+	// Reverse of reverse is the original view.
+	rr := r.Reverse()
+	if !rr.HasEdge(0, 1) {
+		t.Fatal("double reverse broken")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	for _, e := range []Edge{{-1, 0}, {0, 3}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AddEdge(%v) did not panic", e)
+				}
+			}()
+			b.AddEdge(e.From, e.To)
+		}()
+	}
+}
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(2)
+	b.Grow(5)
+	b.AddEdge(4, 1)
+	g := b.Build()
+	if g.NumNodes() != 5 || !g.HasEdge(4, 1) {
+		t.Fatal("Grow failed")
+	}
+	b.Grow(3) // shrinking is a no-op
+	if b.NumNodes() != 5 {
+		t.Fatal("Grow shrank the builder")
+	}
+}
+
+// TestInOutConsistency: edge u→v appears in Out(u) iff v∈Out(u) iff
+// u∈In(v), on random graphs.
+func TestInOutConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < rng.Intn(300); i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		type pair struct{ u, v NodeID }
+		fromOut := map[pair]bool{}
+		fromIn := map[pair]bool{}
+		var mOut, mIn int
+		for v := 0; v < n; v++ {
+			for _, tgt := range g.Out(NodeID(v)) {
+				fromOut[pair{NodeID(v), tgt}] = true
+				mOut++
+			}
+			for _, src := range g.In(NodeID(v)) {
+				fromIn[pair{src, NodeID(v)}] = true
+				mIn++
+			}
+		}
+		if mOut != mIn || len(fromOut) != len(fromIn) {
+			return false
+		}
+		for p := range fromOut {
+			if !fromIn[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildMatchesNaive compares CSR construction against a naive
+// map-based adjacency model.
+func TestBuildMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		var edges []Edge
+		for i := 0; i < rng.Intn(200); i++ {
+			edges = append(edges, Edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))})
+		}
+		g := FromEdges(n, edges)
+		naive := make(map[NodeID]map[NodeID]bool)
+		for _, e := range edges {
+			if naive[e.From] == nil {
+				naive[e.From] = map[NodeID]bool{}
+			}
+			naive[e.From][e.To] = true
+		}
+		for v := 0; v < n; v++ {
+			want := make([]NodeID, 0, len(naive[NodeID(v)]))
+			for tgt := range naive[NodeID(v)] {
+				want = append(want, tgt)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := g.Out(NodeID(v))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: out list %v, want %v", trial, v, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d node %d: out list %v, want %v", trial, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHasEdgeExhaustive(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {0, 3}, {0, 4}, {2, 2}})
+	for u := NodeID(0); u < 5; u++ {
+		for v := NodeID(0); v < 5; v++ {
+			want := (u == 0 && (v == 1 || v == 3 || v == 4)) || (u == 2 && v == 2)
+			if g.HasEdge(u, v) != want {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, g.HasEdge(u, v), want)
+			}
+		}
+	}
+}
+
+func TestSortLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(3000)
+		a := make([]NodeID, n)
+		for i := range a {
+			a[i] = NodeID(rng.Intn(100))
+		}
+		want := append([]NodeID(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sortNodeIDs(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("trial %d: sort mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSortLargeAdversarial(t *testing.T) {
+	// Patterns that stress quicksort pivoting: sorted, reverse-sorted,
+	// all-equal, organ pipe.
+	mk := func(n int, f func(i int) NodeID) []NodeID {
+		a := make([]NodeID, n)
+		for i := range a {
+			a[i] = f(i)
+		}
+		return a
+	}
+	cases := [][]NodeID{
+		mk(1000, func(i int) NodeID { return NodeID(i) }),
+		mk(1000, func(i int) NodeID { return NodeID(999 - i) }),
+		mk(1000, func(int) NodeID { return 7 }),
+		mk(1000, func(i int) NodeID {
+			if i < 500 {
+				return NodeID(i)
+			}
+			return NodeID(999 - i)
+		}),
+	}
+	for ci, a := range cases {
+		want := append([]NodeID(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sortNodeIDs(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("case %d: mismatch at %d: got %d want %d", ci, i, a[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 14
+	edges := make([]Edge, n*8)
+	for i := range edges {
+		edges[i] = Edge{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(n, edges)
+	}
+}

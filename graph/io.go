@@ -1,0 +1,295 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary graph format ("SCCG"): a compact little-endian dump of the CSR
+// arrays so large generated datasets load without re-sorting.
+//
+//	magic   [4]byte  "SCCG"
+//	version uint32   1
+//	n       uint64   node count
+//	m       uint64   edge count
+//	outIdx  [n+1]uint64
+//	outAdj  [m]uint32
+//	inIdx   [n+1]uint64
+//	inAdj   [m]uint32
+
+const (
+	binaryMagic   = "SCCG"
+	binaryVersion = 1
+)
+
+// Save writes g to w in the SCCG binary format.
+func (g *Graph) Save(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(g.NumNodes()))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.NumEdges()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeInt64s(bw, g.outIdx); err != nil {
+		return err
+	}
+	if err := writeNodeIDs(bw, g.outAdj); err != nil {
+		return err
+	}
+	if err := writeInt64s(bw, g.inIdx); err != nil {
+		return err
+	}
+	if err := writeNodeIDs(bw, g.inAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a graph in the SCCG binary format.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:])
+	m := binary.LittleEndian.Uint64(hdr[12:])
+	const maxNodes = 1 << 31
+	if n >= maxNodes {
+		return nil, fmt.Errorf("graph: node count %d exceeds 32-bit id space", n)
+	}
+	const maxEdges = 1 << 40 // 4 TiB of adjacency — far beyond any valid file
+	if m > maxEdges {
+		return nil, fmt.Errorf("graph: implausible edge count %d", m)
+	}
+	g := &Graph{}
+	var err error
+	if g.outIdx, err = readInt64s(br, int(n)+1); err != nil {
+		return nil, err
+	}
+	if g.outAdj, err = readNodeIDs(br, int(m)); err != nil {
+		return nil, err
+	}
+	if g.inIdx, err = readInt64s(br, int(n)+1); err != nil {
+		return nil, err
+	}
+	if g.inAdj, err = readNodeIDs(br, int(m)); err != nil {
+		return nil, err
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SaveFile writes g to the named file in the SCCG binary format.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from a file in the SCCG binary format.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// validate checks CSR structural invariants after an untrusted load.
+func (g *Graph) validate() error {
+	n := g.NumNodes()
+	for _, dir := range []struct {
+		name string
+		idx  []int64
+		adj  []NodeID
+	}{{"out", g.outIdx, g.outAdj}, {"in", g.inIdx, g.inAdj}} {
+		if dir.idx[0] != 0 {
+			return fmt.Errorf("graph: %s index does not start at 0", dir.name)
+		}
+		for v := 0; v < n; v++ {
+			if dir.idx[v] > dir.idx[v+1] {
+				return fmt.Errorf("graph: %s index not monotone at node %d", dir.name, v)
+			}
+		}
+		if dir.idx[n] != int64(len(dir.adj)) {
+			return fmt.Errorf("graph: %s index end %d != adjacency length %d",
+				dir.name, dir.idx[n], len(dir.adj))
+		}
+		for _, t := range dir.adj {
+			if t < 0 || int(t) >= n {
+				return fmt.Errorf("graph: %s adjacency target %d out of range", dir.name, t)
+			}
+		}
+	}
+	if len(g.outAdj) != len(g.inAdj) {
+		return fmt.Errorf("graph: out edges %d != in edges %d", len(g.outAdj), len(g.inAdj))
+	}
+	return nil
+}
+
+func writeInt64s(w io.Writer, v []int64) error {
+	buf := make([]byte, 8192)
+	for len(v) > 0 {
+		chunk := len(buf) / 8
+		if chunk > len(v) {
+			chunk = len(v)
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v[i]))
+		}
+		if _, err := w.Write(buf[:chunk*8]); err != nil {
+			return err
+		}
+		v = v[chunk:]
+	}
+	return nil
+}
+
+func writeNodeIDs(w io.Writer, v []NodeID) error {
+	buf := make([]byte, 8192)
+	for len(v) > 0 {
+		chunk := len(buf) / 4
+		if chunk > len(v) {
+			chunk = len(v)
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(v[i]))
+		}
+		if _, err := w.Write(buf[:chunk*4]); err != nil {
+			return err
+		}
+		v = v[chunk:]
+	}
+	return nil
+}
+
+// maxEagerAlloc bounds how many elements the readers allocate before
+// any input has actually arrived: a corrupt header claiming billions of
+// edges must not OOM the loader, so buffers grow with the data instead
+// of being sized from the untrusted count.
+const maxEagerAlloc = 1 << 20
+
+func readInt64s(r io.Reader, n int) ([]int64, error) {
+	out := make([]int64, 0, min(n, maxEagerAlloc))
+	buf := make([]byte, 8192)
+	for len(out) < n {
+		chunk := len(buf) / 8
+		if chunk > n-len(out) {
+			chunk = n - len(out)
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+			return nil, fmt.Errorf("graph: reading int64 block: %w", err)
+		}
+		for j := 0; j < chunk; j++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[j*8:])))
+		}
+	}
+	return out, nil
+}
+
+func readNodeIDs(r io.Reader, n int) ([]NodeID, error) {
+	out := make([]NodeID, 0, min(n, maxEagerAlloc))
+	buf := make([]byte, 8192)
+	for len(out) < n {
+		chunk := len(buf) / 4
+		if chunk > n-len(out) {
+			chunk = n - len(out)
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, fmt.Errorf("graph: reading node block: %w", err)
+		}
+		for j := 0; j < chunk; j++ {
+			out = append(out, NodeID(binary.LittleEndian.Uint32(buf[j*4:])))
+		}
+	}
+	return out, nil
+}
+
+// ReadEdgeList parses a whitespace-separated text edge list ("u v" per
+// line; '#' and '%' comment lines are skipped, matching SNAP / KONECT
+// conventions). Node IDs may be sparse; they are used verbatim, so the
+// resulting graph has max(id)+1 nodes.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, Edge{NodeID(u), NodeID(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(int(maxID+1), edges), nil
+}
+
+// WriteEdgeList writes g as a text edge list, one "u v" pair per line.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		for _, t := range g.Out(NodeID(v)) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, t); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// BuildParallel assembles the CSR graph like Build but parallelizes
+// the heavy stages — degree counting, edge scatter, per-node adjacency
+// sorting, and compaction — across the given number of workers
+// (<= 0 selects GOMAXPROCS). The result is identical to Build's.
+//
+// Construction is bandwidth-bound, so the win tracks the host's memory
+// parallelism rather than its core count.
+func (b *Builder) BuildParallel(workers int) *Graph {
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	out := csrFromParallel(b.n, b.edges, false, workers)
+	in := csrFromParallel(b.n, b.edges, true, workers)
+	return &Graph{outIdx: out.idx, outAdj: out.adj, inIdx: in.idx, inAdj: in.adj}
+}
+
+// csrFromParallel builds one CSR direction in four parallel stages.
+func csrFromParallel(n int, edges []Edge, byDst bool, workers int) csr {
+	key := func(e Edge) (NodeID, NodeID) {
+		if byDst {
+			return e.To, e.From
+		}
+		return e.From, e.To
+	}
+	// Stage 1: degree histogram with atomic counters.
+	counts := make([]int32, n+1)
+	parallel.ForDynamicRange(workers, len(edges), 4096, func(lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			k, _ := key(e)
+			atomic.AddInt32(&counts[k+1], 1)
+		}
+	})
+	// Stage 2: sequential prefix sum (O(n), cheap relative to scatter).
+	idx := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		idx[i+1] = idx[i] + int64(counts[i+1])
+	}
+	// Stage 3: scatter with per-node atomic cursors.
+	adj := make([]NodeID, len(edges))
+	cursor := make([]int32, n)
+	parallel.ForDynamicRange(workers, len(edges), 4096, func(lo, hi int) {
+		for _, e := range edges[lo:hi] {
+			k, v := key(e)
+			slot := idx[k] + int64(atomic.AddInt32(&cursor[k], 1)-1)
+			adj[slot] = v
+		}
+	})
+	// Stage 4: per-node sort + dedup. Unique counts feed a second
+	// prefix sum, then lists are copied compacted into the final array.
+	uniq := make([]int32, n)
+	parallel.ForDynamicRange(workers, n, 512, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			list := adj[idx[v]:idx[v+1]]
+			sortNodeIDs(list)
+			var u int32
+			var prev NodeID = -1
+			for _, x := range list {
+				if x != prev {
+					u++
+					prev = x
+				}
+			}
+			uniq[v] = u
+		}
+	})
+	finalIdx := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		finalIdx[v+1] = finalIdx[v] + int64(uniq[v])
+	}
+	finalAdj := make([]NodeID, finalIdx[n])
+	parallel.ForDynamicRange(workers, n, 512, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			list := adj[idx[v]:idx[v+1]]
+			w := finalIdx[v]
+			var prev NodeID = -1
+			for _, x := range list {
+				if x != prev {
+					finalAdj[w] = x
+					w++
+					prev = x
+				}
+			}
+		}
+	})
+	return csr{idx: finalIdx, adj: finalAdj}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuildParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(500)
+		b := NewBuilder(n)
+		m := rng.Intn(5000)
+		for i := 0; i < m; i++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		serial := b.Build()
+		for _, workers := range []int{1, 4, 8} {
+			par := b.BuildParallel(workers)
+			if !graphsEqual(serial, par) {
+				t.Fatalf("trial %d workers %d: parallel build differs", trial, workers)
+			}
+		}
+	}
+}
+
+func TestBuildParallelEmptyAndTiny(t *testing.T) {
+	if g := NewBuilder(0).BuildParallel(4); g.NumNodes() != 0 {
+		t.Fatal("empty parallel build broken")
+	}
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // duplicate
+	g := b.BuildParallel(4)
+	if g.NumEdges() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("tiny parallel build: m=%d", g.NumEdges())
+	}
+}
+
+func TestBuildParallelHubGraph(t *testing.T) {
+	// A single hub exercises the atomic-cursor scatter under maximum
+	// contention on one node.
+	const n = 1000
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, NodeID(i))
+		b.AddEdge(NodeID(i), 0)
+	}
+	serial := b.Build()
+	par := b.BuildParallel(8)
+	if !graphsEqual(serial, par) {
+		t.Fatal("hub graph parallel build differs")
+	}
+}
+
+func BenchmarkBuildSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 15
+	builder := NewBuilder(n)
+	for i := 0; i < n*8; i++ {
+		builder.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.Build()
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 15
+	builder := NewBuilder(n)
+	for i := 0; i < n*8; i++ {
+		builder.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder.BuildParallel(0)
+	}
+}

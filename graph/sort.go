@@ -1,0 +1,107 @@
+package graph
+
+// sortLarge sorts a NodeID slice with an introsort-style quicksort:
+// median-of-three pivoting with a heap-sort fallback at excessive
+// depth. We avoid sort.Slice here because adjacency sorting sits on
+// the graph-construction hot path and the interface-based comparator
+// costs ~2-3x.
+func sortLarge(a []NodeID) {
+	depth := 0
+	for n := len(a); n > 1; n >>= 1 {
+		depth++
+	}
+	quicksort(a, 2*depth)
+}
+
+func quicksort(a []NodeID, depthBudget int) {
+	for len(a) > 24 {
+		if depthBudget == 0 {
+			heapsort(a)
+			return
+		}
+		depthBudget--
+		p := partition(a)
+		// Recurse on the smaller side, loop on the larger.
+		if p < len(a)-p-1 {
+			quicksort(a[:p], depthBudget)
+			a = a[p+1:]
+		} else {
+			quicksort(a[p+1:], depthBudget)
+			a = a[:p]
+		}
+	}
+	// Insertion sort for the base case.
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// partition performs a Hoare-style partition with median-of-three
+// pivot selection and returns the pivot's final index.
+func partition(a []NodeID) int {
+	hi := len(a) - 1
+	mid := hi / 2
+	// Order a[0], a[mid], a[hi]; use a[mid] as pivot, parked at a[hi-1].
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[hi] < a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	a[mid], a[hi-1] = a[hi-1], a[mid]
+	pivot := a[hi-1]
+	i, j := 0, hi-1
+	for {
+		i++
+		for a[i] < pivot {
+			i++
+		}
+		j--
+		for a[j] > pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+	}
+	a[i], a[hi-1] = a[hi-1], a[i]
+	return i
+}
+
+func heapsort(a []NodeID) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDown(a, 0, i)
+	}
+}
+
+func siftDown(a []NodeID, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

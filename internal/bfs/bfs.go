@@ -1,0 +1,170 @@
+// Package bfs implements the level-synchronous parallel breadth-first
+// traversal used by the data-parallel FW-BW phase (§3.2, §4.2 of the
+// paper). Small-world graphs have few BFS levels with many nodes per
+// level, so processing each level's frontier in parallel extracts
+// data-level parallelism even while computing a single reachable set.
+//
+// The traversal operates on the engine's Color array rather than a
+// visited bitmap: a node is claimed by atomically compare-and-swapping
+// its color from the partition color being traversed to the new color
+// (FW, BW, or SCC), which both marks it visited and records the
+// partition assignment in one step.
+package bfs
+
+import (
+	"sync/atomic"
+
+	"repro/graph"
+	"repro/internal/parallel"
+)
+
+// Transition is one admissible color rewrite during traversal: a
+// neighbor with color From is claimed by setting it to To.
+type Transition struct {
+	From, To int32
+}
+
+// Result reports the nodes claimed by each transition.
+type Result struct {
+	// Claimed[i] counts nodes claimed via Transitions[i].
+	Claimed []int64
+	// Levels is the number of BFS levels processed (frontier swaps).
+	Levels int
+}
+
+// Run performs a parallel BFS over g from the given seed frontier.
+// Edges are followed backward (in-neighbors) if reverse is true. A
+// neighbor is visited iff its current color equals some
+// transitions[i].From; winning the CAS to transitions[i].To claims the
+// node. Seeds must already carry their post-claim colors; they are
+// expanded unconditionally and not counted in Result.Claimed.
+//
+// The color slice is shared with concurrent readers/writers and is
+// accessed only with atomic operations.
+func Run(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+	color []int32, transitions []Transition) Result {
+
+	res := Result{Claimed: make([]int64, len(transitions))}
+	if len(seeds) == 0 {
+		return res
+	}
+	if workers < 1 {
+		workers = parallel.DefaultWorkers()
+	}
+
+	frontier := append([]graph.NodeID(nil), seeds...)
+	// Per-worker next-frontier buffers and claim counters, padded into
+	// separate structs to limit false sharing on the counters.
+	next := make([][]graph.NodeID, workers)
+	claims := make([][]int64, workers)
+	for w := range claims {
+		claims[w] = make([]int64, len(transitions))
+	}
+
+	for len(frontier) > 0 {
+		res.Levels++
+		// Chunk size tuned small: frontier nodes have wildly varying
+		// degree on scale-free graphs (§4.3 dynamic scheduling).
+		parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
+			buf := next[w]
+			cnt := claims[w]
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				var nbrs []graph.NodeID
+				if reverse {
+					nbrs = g.In(v)
+				} else {
+					nbrs = g.Out(v)
+				}
+				for _, t := range nbrs {
+					c := atomic.LoadInt32(&color[t])
+					for ti := range transitions {
+						if c == transitions[ti].From {
+							if atomic.CompareAndSwapInt32(&color[t], c, transitions[ti].To) {
+								buf = append(buf, t)
+								cnt[ti]++
+							}
+							break
+						}
+					}
+				}
+			}
+			next[w] = buf
+		})
+		// Level barrier: merge per-worker buffers into the new frontier.
+		frontier = frontier[:0]
+		for w := range next {
+			frontier = append(frontier, next[w]...)
+			next[w] = next[w][:0]
+		}
+	}
+	for w := range claims {
+		for ti := range transitions {
+			res.Claimed[ti] += claims[w][ti]
+		}
+	}
+	return res
+}
+
+// RunCollect is Run but additionally returns every node claimed during
+// the traversal (excluding seeds), for callers that need the visited
+// set as an explicit list.
+func RunCollect(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+	color []int32, transitions []Transition) (Result, []graph.NodeID) {
+
+	res := Result{Claimed: make([]int64, len(transitions))}
+	if len(seeds) == 0 {
+		return res, nil
+	}
+	if workers < 1 {
+		workers = parallel.DefaultWorkers()
+	}
+	var all []graph.NodeID
+	frontier := append([]graph.NodeID(nil), seeds...)
+	next := make([][]graph.NodeID, workers)
+	claims := make([][]int64, workers)
+	for w := range claims {
+		claims[w] = make([]int64, len(transitions))
+	}
+	for len(frontier) > 0 {
+		res.Levels++
+		parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
+			buf := next[w]
+			cnt := claims[w]
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				var nbrs []graph.NodeID
+				if reverse {
+					nbrs = g.In(v)
+				} else {
+					nbrs = g.Out(v)
+				}
+				for _, t := range nbrs {
+					c := atomic.LoadInt32(&color[t])
+					for ti := range transitions {
+						if c == transitions[ti].From {
+							if atomic.CompareAndSwapInt32(&color[t], c, transitions[ti].To) {
+								buf = append(buf, t)
+								cnt[ti]++
+							}
+							break
+						}
+					}
+				}
+			}
+			next[w] = buf
+		})
+		frontier = frontier[:0]
+		for w := range next {
+			frontier = append(frontier, next[w]...)
+			all = append(all, next[w]...)
+			next[w] = next[w][:0]
+		}
+	}
+	for w := range claims {
+		for ti := range transitions {
+			res.Claimed[ti] += claims[w][ti]
+		}
+	}
+	return res, all
+}

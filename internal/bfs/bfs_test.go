@@ -1,0 +1,194 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+// serialReach computes the forward (or backward) reachable set from
+// src restricted to nodes of color `from`, as a reference model.
+func serialReach(g *graph.Graph, src graph.NodeID, color []int32, from int32, reverse bool) map[graph.NodeID]bool {
+	seen := map[graph.NodeID]bool{src: true}
+	stack := []graph.NodeID{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var nbrs []graph.NodeID
+		if reverse {
+			nbrs = g.In(v)
+		} else {
+			nbrs = g.Out(v)
+		}
+		for _, t := range nbrs {
+			if !seen[t] && color[t] == from {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+func TestRunMatchesSerialForward(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(3))
+		for trial := 0; trial < 20; trial++ {
+			n := 10 + rng.Intn(100)
+			b := graph.NewBuilder(n)
+			for i := 0; i < n*4; i++ {
+				b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+			}
+			g := b.Build()
+			src := graph.NodeID(rng.Intn(n))
+
+			want := serialReach(g, src, make([]int32, n), 0, false)
+
+			color := make([]int32, n)
+			color[src] = 5
+			res := Run(g, workers, false, []graph.NodeID{src}, color,
+				[]Transition{{From: 0, To: 5}})
+			claimed := res.Claimed[0]
+			if claimed != int64(len(want)-1) {
+				t.Fatalf("trial %d workers %d: claimed %d, want %d", trial, workers, claimed, len(want)-1)
+			}
+			for v := 0; v < n; v++ {
+				gotVisited := color[v] == 5
+				if gotVisited != want[graph.NodeID(v)] {
+					t.Fatalf("trial %d: node %d visited=%v want=%v", trial, v, gotVisited, want[graph.NodeID(v)])
+				}
+			}
+		}
+	}
+}
+
+func TestRunBackward(t *testing.T) {
+	// 0→1→2: backward from 2 reaches {2,1,0}.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
+	color := []int32{0, 0, 9}
+	res := Run(g, 2, true, []graph.NodeID{2}, color, []Transition{{From: 0, To: 9}})
+	if res.Claimed[0] != 2 {
+		t.Fatalf("claimed %d, want 2", res.Claimed[0])
+	}
+	for v, c := range color {
+		if c != 9 {
+			t.Fatalf("node %d color %d", v, c)
+		}
+	}
+}
+
+func TestRunRespectsColorBoundary(t *testing.T) {
+	// Path 0→1→2→3 with node 2 colored differently: BFS from 0 must
+	// stop at the boundary and not claim 2 or 3.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
+	color := []int32{7, 0, 1, 0}
+	res := Run(g, 2, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 7}})
+	if res.Claimed[0] != 1 {
+		t.Fatalf("claimed %d, want 1", res.Claimed[0])
+	}
+	if color[2] != 1 || color[3] != 0 {
+		t.Fatalf("colors beyond boundary mutated: %v", color)
+	}
+}
+
+func TestRunTwoTransitions(t *testing.T) {
+	// The backward sweep of FW-BW: color c=0 → cbw=2, cfw=1 → cscc=3.
+	// Graph: 0↔1 cycle (both will be FW from 0), 2→0 (BW only).
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}, {From: 2, To: 0}})
+	color := []int32{1, 1, 0} // fwd pass already colored 0,1 as cfw=1
+	color[0] = 3              // pivot claimed as cscc before backward sweep
+	res := Run(g, 2, true, []graph.NodeID{0}, color,
+		[]Transition{{From: 0, To: 2}, {From: 1, To: 3}})
+	if res.Claimed[0] != 1 { // node 2 → cbw
+		t.Fatalf("cbw claims = %d, want 1", res.Claimed[0])
+	}
+	if res.Claimed[1] != 1 { // node 1 → cscc
+		t.Fatalf("cscc claims = %d, want 1", res.Claimed[1])
+	}
+	if color[1] != 3 || color[2] != 2 {
+		t.Fatalf("final colors %v", color)
+	}
+}
+
+func TestRunEmptySeeds(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	res := Run(g, 2, false, nil, make([]int32, 2), []Transition{{From: 0, To: 1}})
+	if res.Levels != 0 {
+		t.Fatalf("levels = %d, want 0", res.Levels)
+	}
+}
+
+func TestRunLevelsOnPath(t *testing.T) {
+	// Path of length 5 → 6 BFS levels (seed level + 5 expansions; the
+	// last expansion finds an empty frontier so Levels counts 6).
+	edges := make([]graph.Edge, 5)
+	for i := range edges {
+		edges[i] = graph.Edge{From: graph.NodeID(i), To: graph.NodeID(i + 1)}
+	}
+	g := graph.FromEdges(6, edges)
+	color := make([]int32, 6)
+	color[0] = 1
+	res := Run(g, 1, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}})
+	if res.Claimed[0] != 5 {
+		t.Fatalf("claimed %d, want 5", res.Claimed[0])
+	}
+	if res.Levels != 6 {
+		t.Fatalf("levels = %d, want 6", res.Levels)
+	}
+}
+
+func TestRunCollectReturnsClaimed(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 2))
+	n := g.NumNodes()
+	color := make([]int32, n)
+	src := graph.NodeID(0)
+	color[src] = 1
+	res, nodes := RunCollect(g, 4, false, []graph.NodeID{src}, color, []Transition{{From: 0, To: 1}})
+	if int64(len(nodes)) != res.Claimed[0] {
+		t.Fatalf("collected %d nodes, claimed %d", len(nodes), res.Claimed[0])
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, v := range nodes {
+		if color[v] != 1 {
+			t.Fatalf("collected node %d has color %d", v, color[v])
+		}
+		if seen[v] {
+			t.Fatalf("node %d collected twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRunParallelDeterministicClaims(t *testing.T) {
+	// Total claims must be identical across worker counts even though
+	// interleaving differs.
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 4))
+	n := g.NumNodes()
+	base := -1
+	for _, workers := range []int{1, 2, 8} {
+		color := make([]int32, n)
+		color[3] = 1
+		res := Run(g, workers, false, []graph.NodeID{3}, color, []Transition{{From: 0, To: 1}})
+		if base == -1 {
+			base = int(res.Claimed[0])
+		} else if int(res.Claimed[0]) != base {
+			t.Fatalf("workers=%d claimed %d, want %d", workers, res.Claimed[0], base)
+		}
+	}
+}
+
+func BenchmarkBFSRMAT(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(14, 8, 1))
+	n := g.NumNodes()
+	color := make([]int32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range color {
+			color[j] = 0
+		}
+		color[0] = 1
+		Run(g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}})
+	}
+}

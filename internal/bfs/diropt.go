@@ -1,0 +1,195 @@
+package bfs
+
+import (
+	"sync/atomic"
+
+	"repro/graph"
+	"repro/internal/parallel"
+)
+
+// Direction-optimizing traversal after Beamer, Asanović & Patterson
+// (cited as [10] in the paper; §4.2 notes such BFS improvements "may
+// improve our performance results even further"). Small-world
+// frontiers explode within a few levels; once the frontier is a
+// sizable fraction of the remaining candidates it is cheaper to flip
+// to bottom-up sweeps — every unvisited candidate probes whether any
+// traversal-parent is already visited — than to expand the frontier
+// edge by edge.
+
+// DirOptConfig tunes the switch heuristics.
+type DirOptConfig struct {
+	// Alpha: switch top-down → bottom-up when frontier size exceeds
+	// remaining/Alpha. 0 selects 8.
+	Alpha int
+	// Beta: switch bottom-up → top-down when a sweep claims fewer than
+	// remaining/Beta nodes. 0 selects 24.
+	Beta int
+}
+
+func (c DirOptConfig) withDefaults() DirOptConfig {
+	if c.Alpha <= 0 {
+		c.Alpha = 8
+	}
+	if c.Beta <= 0 {
+		c.Beta = 24
+	}
+	return c
+}
+
+// RunDirOpt performs the same traversal as Run but with direction
+// optimization. candidates must contain every node the traversal
+// could possibly claim (e.g. the current partition's member list);
+// nil means all nodes of g. The result is the same claimed set as
+// Run's — only the visit schedule differs.
+func RunDirOpt(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+	color []int32, transitions []Transition, candidates []graph.NodeID, cfg DirOptConfig) Result {
+
+	res := Result{Claimed: make([]int64, len(transitions))}
+	if len(seeds) == 0 {
+		return res
+	}
+	if workers < 1 {
+		workers = parallel.DefaultWorkers()
+	}
+	cfg = cfg.withDefaults()
+	if candidates == nil {
+		candidates = make([]graph.NodeID, g.NumNodes())
+		for i := range candidates {
+			candidates[i] = graph.NodeID(i)
+		}
+	}
+
+	// The transition tables are tiny (one or two entries), so linear
+	// scans beat any map on the hot paths.
+	transIdx := func(c int32) int {
+		for i := range transitions {
+			if transitions[i].From == c {
+				return i
+			}
+		}
+		return -1
+	}
+	isVisited := func(c int32) bool {
+		for i := range transitions {
+			if transitions[i].To == c {
+				return true
+			}
+		}
+		return false
+	}
+	// remaining: candidates not yet claimed (rebuilt during bottom-up
+	// sweeps; between top-down levels it is only an upper bound, which
+	// the switch heuristic tolerates).
+	remaining := make([]graph.NodeID, 0, len(candidates))
+	for _, v := range candidates {
+		if transIdx(atomic.LoadInt32(&color[v])) >= 0 {
+			remaining = append(remaining, v)
+		}
+	}
+
+	frontier := append([]graph.NodeID(nil), seeds...)
+	next := make([][]graph.NodeID, workers)
+	claims := make([][]int64, workers)
+	for w := range claims {
+		claims[w] = make([]int64, len(transitions))
+	}
+	bottomUp := false
+
+	for len(frontier) > 0 && len(remaining) > 0 {
+		res.Levels++
+		if !bottomUp && len(frontier)*cfg.Alpha > len(remaining) {
+			bottomUp = true
+		}
+		var levelClaims int
+		if bottomUp {
+			// Bottom-up sweep: each unclaimed candidate probes its
+			// traversal-parents (out-neighbors for a reverse traversal,
+			// in-neighbors for a forward one) for a visited node.
+			survivors := make([][]graph.NodeID, workers)
+			parallel.ForDynamicWorker(workers, len(remaining), 256, func(w, lo, hi int) {
+				buf := next[w]
+				keep := survivors[w]
+				cnt := claims[w]
+				for i := lo; i < hi; i++ {
+					u := remaining[i]
+					c := atomic.LoadInt32(&color[u])
+					ti := transIdx(c)
+					if ti < 0 {
+						continue // claimed meanwhile
+					}
+					var parents []graph.NodeID
+					if reverse {
+						parents = g.Out(u)
+					} else {
+						parents = g.In(u)
+					}
+					claimed := false
+					for _, p := range parents {
+						if isVisited(atomic.LoadInt32(&color[p])) {
+							if atomic.CompareAndSwapInt32(&color[u], c, transitions[ti].To) {
+								buf = append(buf, u)
+								cnt[ti]++
+								claimed = true
+							}
+							break
+						}
+					}
+					if !claimed && atomic.LoadInt32(&color[u]) == c {
+						keep = append(keep, u)
+					}
+				}
+				next[w] = buf
+				survivors[w] = keep
+			})
+			frontier = frontier[:0]
+			remaining = remaining[:0]
+			for w := range next {
+				levelClaims += len(next[w])
+				frontier = append(frontier, next[w]...)
+				next[w] = next[w][:0]
+				remaining = append(remaining, survivors[w]...)
+			}
+			if levelClaims*cfg.Beta < len(remaining) {
+				bottomUp = false // frontier is sparse again
+			}
+		} else {
+			// Top-down level, as in Run.
+			parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
+				buf := next[w]
+				cnt := claims[w]
+				for i := lo; i < hi; i++ {
+					v := frontier[i]
+					var nbrs []graph.NodeID
+					if reverse {
+						nbrs = g.In(v)
+					} else {
+						nbrs = g.Out(v)
+					}
+					for _, t := range nbrs {
+						c := atomic.LoadInt32(&color[t])
+						if ti := transIdx(c); ti >= 0 {
+							if atomic.CompareAndSwapInt32(&color[t], c, transitions[ti].To) {
+								buf = append(buf, t)
+								cnt[ti]++
+							}
+						}
+					}
+				}
+				next[w] = buf
+			})
+			frontier = frontier[:0]
+			for w := range next {
+				levelClaims += len(next[w])
+				frontier = append(frontier, next[w]...)
+				next[w] = next[w][:0]
+			}
+		}
+		_ = levelClaims
+	}
+	for w := range claims {
+		for ti := range transitions {
+			res.Claimed[ti] += claims[w][ti]
+		}
+	}
+	return res
+}

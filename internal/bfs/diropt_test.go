@@ -1,0 +1,168 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+// runBoth runs Run and RunDirOpt on identical copies of the color
+// array and reports whether the final colorings agree.
+func runBoth(t *testing.T, g *graph.Graph, reverse bool, seed graph.NodeID,
+	baseColor []int32, seedColor int32, transitions []Transition, cfg DirOptConfig) {
+	t.Helper()
+	c1 := append([]int32(nil), baseColor...)
+	c1[seed] = seedColor
+	r1 := Run(g, 4, reverse, []graph.NodeID{seed}, c1, transitions)
+
+	c2 := append([]int32(nil), baseColor...)
+	c2[seed] = seedColor
+	r2 := RunDirOpt(g, 4, reverse, []graph.NodeID{seed}, c2, transitions, nil, cfg)
+
+	for ti := range transitions {
+		if r1.Claimed[ti] != r2.Claimed[ti] {
+			t.Fatalf("transition %d: top-down claimed %d, dir-opt claimed %d",
+				ti, r1.Claimed[ti], r2.Claimed[ti])
+		}
+	}
+	for v := range c1 {
+		if c1[v] != c2[v] {
+			t.Fatalf("node %d: top-down color %d, dir-opt color %d", v, c1[v], c2[v])
+		}
+	}
+}
+
+func TestDirOptMatchesTopDownRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(150)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*4; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		seed := graph.NodeID(rng.Intn(n))
+		reverse := trial%2 == 0
+		runBoth(t, g, reverse, seed, make([]int32, n), 5,
+			[]Transition{{From: 0, To: 5}}, DirOptConfig{})
+	}
+}
+
+func TestDirOptForcedBottomUp(t *testing.T) {
+	// Alpha=1 forces an immediate switch to bottom-up.
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	n := g.NumNodes()
+	runBoth(t, g, false, 7, make([]int32, n), 1,
+		[]Transition{{From: 0, To: 1}}, DirOptConfig{Alpha: 1, Beta: 1 << 30})
+}
+
+func TestDirOptForcedTopDown(t *testing.T) {
+	// A huge Alpha keeps the traversal top-down throughout.
+	g := gen.RMAT(gen.DefaultRMAT(9, 6, 4))
+	n := g.NumNodes()
+	runBoth(t, g, true, 3, make([]int32, n), 1,
+		[]Transition{{From: 0, To: 1}}, DirOptConfig{Alpha: 1 << 30})
+}
+
+func TestDirOptTwoTransitions(t *testing.T) {
+	// The FW-BW backward sweep shape with two admissible rewrites.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(100)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*4; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		// Pre-color a random half as cfw=1 to emulate a forward pass.
+		base := make([]int32, n)
+		for v := range base {
+			if rng.Intn(2) == 0 {
+				base[v] = 1
+			}
+		}
+		seed := graph.NodeID(rng.Intn(n))
+		runBoth(t, g, true, seed, base, 3,
+			[]Transition{{From: 0, To: 2}, {From: 1, To: 3}}, DirOptConfig{Alpha: 2})
+	}
+}
+
+func TestDirOptRespectsCandidates(t *testing.T) {
+	// Nodes outside the candidate list can still be claimed top-down,
+	// but restricting candidates must not lose claims when candidates
+	// cover the reachable set.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
+	color := []int32{9, 0, 0, 0}
+	res := RunDirOpt(g, 2, false, []graph.NodeID{0}, color,
+		[]Transition{{From: 0, To: 9}}, []graph.NodeID{1, 2, 3}, DirOptConfig{Alpha: 1})
+	if res.Claimed[0] != 3 {
+		t.Fatalf("claimed %d, want 3", res.Claimed[0])
+	}
+}
+
+func TestDirOptEmptySeeds(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	res := RunDirOpt(g, 2, false, nil, make([]int32, 2),
+		[]Transition{{From: 0, To: 1}}, nil, DirOptConfig{})
+	if res.Levels != 0 {
+		t.Fatalf("levels = %d", res.Levels)
+	}
+}
+
+func TestDirOptPlantedGiant(t *testing.T) {
+	// On a graph dominated by one giant SCC, bottom-up must engage and
+	// still claim the exact forward-reachable set.
+	p := gen.SmallWorldSCC(5000, 100, 2.5, 10, 1.0, 6)
+	g := p.Graph
+	n := g.NumNodes()
+	// Find a giant-SCC node to seed from.
+	counts := map[int]int{}
+	for _, c := range p.Comp {
+		counts[c]++
+	}
+	var giantComp int
+	for c, sz := range counts {
+		if sz == 5000 {
+			giantComp = c
+		}
+	}
+	var seed graph.NodeID = -1
+	for v, c := range p.Comp {
+		if c == giantComp {
+			seed = graph.NodeID(v)
+			break
+		}
+	}
+	runBoth(t, g, false, seed, make([]int32, n), 1,
+		[]Transition{{From: 0, To: 1}}, DirOptConfig{})
+}
+
+func BenchmarkBFSTopDownGiant(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(15, 10, 1))
+	n := g.NumNodes()
+	color := make([]int32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range color {
+			color[j] = 0
+		}
+		color[0] = 1
+		Run(g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}})
+	}
+}
+
+func BenchmarkBFSDirOptGiant(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(15, 10, 1))
+	n := g.NumNodes()
+	color := make([]int32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range color {
+			color[j] = 0
+		}
+		color[0] = 1
+		RunDirOpt(g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}}, nil, DirOptConfig{})
+	}
+}

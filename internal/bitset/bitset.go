@@ -1,0 +1,136 @@
+// Package bitset provides fixed-size bit vectors used as compact node
+// sets throughout the SCC engine. Two variants are provided: Bits, a
+// plain single-writer bitset, and Atomic, a concurrent bitset whose Set
+// operations are lock-free and safe to call from many goroutines.
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const wordBits = 64
+
+// Bits is a fixed-capacity bitset. It is not safe for concurrent
+// mutation; use Atomic for that.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Bits able to hold n bits, all initially zero.
+func New(n int) *Bits {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Bits{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bits) Len() int { return b.n }
+
+// Set sets bit i.
+func (b *Bits) Set(i int) { b.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Clear clears bit i.
+func (b *Bits) Clear(i int) { b.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Get reports whether bit i is set.
+func (b *Bits) Get(i int) bool {
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears every bit.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bits) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (b *Bits) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*wordBits + tz)
+			w &= w - 1
+		}
+	}
+}
+
+// Atomic is a fixed-capacity concurrent bitset. Set/TestAndSet are
+// lock-free; Get is a plain atomic load.
+type Atomic struct {
+	words []atomic.Uint64
+	n     int
+}
+
+// NewAtomic returns an Atomic bitset able to hold n bits, all zero.
+func NewAtomic(n int) *Atomic {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Atomic{words: make([]atomic.Uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity in bits.
+func (a *Atomic) Len() int { return a.n }
+
+// Set sets bit i.
+func (a *Atomic) Set(i int) {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 || w.CompareAndSwap(old, old|mask) {
+			return
+		}
+	}
+}
+
+// TestAndSet sets bit i and reports whether this call changed it from
+// zero to one (i.e. whether the caller "won" the bit).
+func (a *Atomic) TestAndSet(i int) bool {
+	w := &a.words[i/wordBits]
+	mask := uint64(1) << (uint(i) % wordBits)
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Get reports whether bit i is set.
+func (a *Atomic) Get(i int) bool {
+	return a.words[i/wordBits].Load()&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits. It is only exact when no
+// concurrent mutation is in flight.
+func (a *Atomic) Count() int {
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i].Load())
+	}
+	return c
+}
+
+// Reset clears every bit. Not safe to run concurrently with Set.
+func (a *Atomic) Reset() {
+	for i := range a.words {
+		a.words[i].Store(0)
+	}
+}

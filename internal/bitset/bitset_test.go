@@ -1,0 +1,207 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasic(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+}
+
+func TestBitsForEach(t *testing.T) {
+	b := New(200)
+	want := []int{3, 5, 63, 64, 100, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitsZeroSize(t *testing.T) {
+	b := New(0)
+	if b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("zero-size bitset misbehaves")
+	}
+	b.ForEach(func(int) { t.Fatal("ForEach visited a bit in empty set") })
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+// TestBitsMatchesMap drives Bits against a map[int]bool reference model.
+func TestBitsMatchesMap(t *testing.T) {
+	const n = 500
+	b := New(n)
+	ref := make(map[int]bool)
+	rng := rand.New(rand.NewSource(1))
+	for op := 0; op < 5000; op++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			b.Clear(i)
+			delete(ref, i)
+		case 2:
+			if b.Get(i) != ref[i] {
+				t.Fatalf("op %d: Get(%d) = %v, want %v", op, i, b.Get(i), ref[i])
+			}
+		}
+	}
+	if b.Count() != len(ref) {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(ref))
+	}
+}
+
+func TestAtomicBasic(t *testing.T) {
+	a := NewAtomic(129)
+	if a.Get(128) {
+		t.Fatal("bit set in fresh atomic bitset")
+	}
+	a.Set(128)
+	if !a.Get(128) {
+		t.Fatal("bit 128 not set")
+	}
+	if a.TestAndSet(128) {
+		t.Fatal("TestAndSet on set bit returned true")
+	}
+	if !a.TestAndSet(7) {
+		t.Fatal("TestAndSet on clear bit returned false")
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", a.Count())
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("Count after Reset != 0")
+	}
+}
+
+// TestAtomicTestAndSetWinners checks that for every bit, exactly one
+// concurrent TestAndSet call wins.
+func TestAtomicTestAndSetWinners(t *testing.T) {
+	const n = 1 << 12
+	const workers = 8
+	a := NewAtomic(n)
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if a.TestAndSet(i) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range wins {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("total wins = %d, want %d", total, n)
+	}
+	if a.Count() != n {
+		t.Fatalf("Count = %d, want %d", a.Count(), n)
+	}
+}
+
+// TestAtomicConcurrentSet checks Set is not lossy under contention
+// within a single word.
+func TestAtomicConcurrentSet(t *testing.T) {
+	a := NewAtomic(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 64; i += 8 {
+				a.Set(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Count() != 64 {
+		t.Fatalf("Count = %d, want 64", a.Count())
+	}
+}
+
+// Property: Count equals the number of distinct indices ever Set.
+func TestQuickCountDistinct(t *testing.T) {
+	f := func(idx []uint16) bool {
+		b := New(1 << 16)
+		seen := make(map[uint16]bool)
+		for _, i := range idx {
+			b.Set(int(i))
+			seen[i] = true
+		}
+		return b.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(1)), MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBitsSet(b *testing.B) {
+	s := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkAtomicTestAndSet(b *testing.B) {
+	s := NewAtomic(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.TestAndSet(i & (1<<20 - 1))
+	}
+}

@@ -1,0 +1,135 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+func checkColoring(t *testing.T, g *graph.Graph, workers int) *Result {
+	t.Helper()
+	res := Run(g, Options{Workers: workers})
+	tc, tn := seq.Tarjan(g)
+	if !verify.SamePartition(res.Comp, tc) {
+		t.Fatal("coloring partition differs from Tarjan")
+	}
+	if int(res.NumSCCs) != tn {
+		t.Fatalf("NumSCCs = %d, want %d", res.NumSCCs, tn)
+	}
+	return res
+}
+
+func TestColoringTinyGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []graph.Edge
+	}{
+		{"empty", 0, nil},
+		{"single", 1, nil},
+		{"two-cycle", 2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}}},
+		{"path", 4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}},
+		{"two-islands", 5, []graph.Edge{
+			{From: 0, To: 1}, {From: 1, To: 0}, {From: 2, To: 3}, {From: 3, To: 4}, {From: 4, To: 2}}},
+	}
+	for _, tc := range cases {
+		g := graph.FromEdges(tc.n, tc.edges)
+		for _, w := range []int{1, 4} {
+			checkColoring(t, g, w)
+		}
+	}
+}
+
+func TestColoringRepresentativeIsMaxID(t *testing.T) {
+	// Coloring's natural SCC representative is the maximum member id.
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 2}, {From: 2, To: 0}, {From: 1, To: 3}, {From: 3, To: 1}})
+	res := Run(g, Options{Workers: 2})
+	if res.Comp[0] != 2 || res.Comp[2] != 2 {
+		t.Fatalf("comp of {0,2} = %d,%d, want 2", res.Comp[0], res.Comp[2])
+	}
+	if res.Comp[1] != 3 || res.Comp[3] != 3 {
+		t.Fatalf("comp of {1,3} = %d,%d, want 3", res.Comp[1], res.Comp[3])
+	}
+}
+
+func TestColoringRandomQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(120)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		res := Run(g, Options{Workers: 4})
+		tc, _ := seq.Tarjan(g)
+		return verify.SamePartition(res.Comp, tc)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(3)), MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoringRMATAndPlanted(t *testing.T) {
+	checkColoring(t, gen.RMAT(gen.DefaultRMAT(11, 8, 4)), 4)
+
+	p := gen.SmallWorldSCC(1000, 200, 2.3, 20, 1.5, 8)
+	truth := make([]int32, len(p.Comp))
+	for i, c := range p.Comp {
+		truth[i] = int32(c)
+	}
+	res := Run(p.Graph, Options{Workers: 4})
+	if !verify.SamePartition(res.Comp, truth) {
+		t.Fatal("coloring differs from planted truth")
+	}
+}
+
+func TestColoringDAGManyRounds(t *testing.T) {
+	// Coloring's known weakness (the reason MultiStep bolts Trim onto
+	// it): on DAG-like graphs each round only claims the locally
+	// maximal roots, so the round count tracks the longest path rather
+	// than staying constant.
+	g := gen.CitationDAG(2000, 4, 6)
+	res := checkColoring(t, g, 2)
+	if res.Rounds < 10 {
+		t.Fatalf("coloring finished a deep DAG in %d rounds; expected the per-level behavior", res.Rounds)
+	}
+}
+
+func TestColoringLattice(t *testing.T) {
+	g := gen.RoadLattice(gen.RoadLatticeConfig{Rows: 40, Cols: 40, TwoWayProb: 0.1, Seed: 2})
+	checkColoring(t, g, 4)
+}
+
+func TestColoringDeterministic(t *testing.T) {
+	// Color propagation's fixpoint is schedule-independent: results and
+	// representatives are identical across worker counts.
+	g := gen.RMAT(gen.DefaultRMAT(10, 6, 9))
+	var want []int32
+	for _, w := range []int{1, 3, 8} {
+		res := Run(g, Options{Workers: w})
+		if want == nil {
+			want = res.Comp
+			continue
+		}
+		for v := range want {
+			if res.Comp[v] != want[v] {
+				t.Fatalf("workers=%d: node %d comp %d, want %d", w, v, res.Comp[v], want[v])
+			}
+		}
+	}
+}
+
+func BenchmarkColoringRMAT(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(13, 8, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, Options{Workers: 4})
+	}
+}

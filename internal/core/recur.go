@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/graph"
+	"repro/internal/worklist"
+)
+
+// task is one phase-2 work item: a partition color plus, under the
+// hybrid set representation of §4.1, the explicit list of the
+// partition's nodes. With Options.DisableHybrid the list is nil and
+// the partition is recovered by scanning the full Color array — the
+// ~10x-slower variant the paper measured.
+type task struct {
+	c     int32
+	nodes []graph.NodeID
+	// parent is the TaskTrace index of the spawning task (-1 for
+	// seeds); only meaningful under Options.TraceSchedule.
+	parent int32
+}
+
+// taskQueue abstracts the phase-2 scheduler so the paper's two-level
+// queue (§4.3) can be ablated against a work-stealing design.
+type taskQueue interface {
+	Seed([]task)
+	Push(worker int, t task)
+	Run(fn func(worker int, t task))
+	stats() worklist.Stats
+}
+
+// twoLevelQueue adapts the paper's queue to taskQueue.
+type twoLevelQueue struct{ *worklist.Queue[task] }
+
+func (q twoLevelQueue) stats() worklist.Stats { return q.Queue.Stats() }
+
+// stealingQueue adapts the work-stealing scheduler.
+type stealingQueue struct{ *worklist.StealingQueue[task] }
+
+func (q stealingQueue) stats() worklist.Stats { s, _ := q.StealingQueue.Stats(); return s }
+
+// phase2 runs the task-parallel recursive FW-BW phase over the seeded
+// work queue (the "until work queue is empty do in parallel" loop of
+// Algorithms 3, 6 and 9).
+func (e *engine) phase2(tasks []task) {
+	e.res.InitialTasks = len(tasks)
+	var q taskQueue
+	if e.opt.UseStealing {
+		q = stealingQueue{worklist.NewStealing[task](e.opt.Workers)}
+	} else {
+		q = twoLevelQueue{worklist.New[task](e.opt.Workers, e.opt.K)}
+	}
+	q.Seed(tasks)
+	scratch := make([]recurScratch, e.opt.Workers)
+	var (
+		nodes atomic.Int64
+		sccs  atomic.Int64
+		logMu sync.Mutex
+	)
+	trace := e.opt.TraceSchedule
+	q.Run(func(w int, t task) {
+		var id int32
+		var t0 time.Time
+		if trace {
+			logMu.Lock()
+			id = int32(len(e.res.TaskTrace))
+			e.res.TaskTrace = append(e.res.TaskTrace, TaskTrace{Parent: t.parent})
+			logMu.Unlock()
+			t.parent = id // children hang off this execution
+			t0 = time.Now()
+		}
+		rec, ok := e.recurFWBW(&scratch[w], t, q, w)
+		if trace {
+			d := time.Since(t0)
+			logMu.Lock()
+			e.res.TaskTrace[id].Duration = d
+			logMu.Unlock()
+		}
+		if !ok {
+			return
+		}
+		nodes.Add(int64(rec.SCC))
+		sccs.Add(1)
+		if e.opt.TraceTasks > 0 && e.taskCount.Add(1) <= int64(e.opt.TraceTasks) {
+			logMu.Lock()
+			e.res.TaskLog = append(e.res.TaskLog, rec)
+			logMu.Unlock()
+		}
+	})
+	e.res.Phases[PhaseRecurFWBW].Nodes += nodes.Load()
+	e.res.Phases[PhaseRecurFWBW].SCCs += sccs.Load()
+	e.res.Queue = q.stats()
+}
+
+// recurScratch is per-worker reusable DFS state.
+type recurScratch struct {
+	stack []graph.NodeID
+}
+
+// recurFWBW executes one task: Algorithm 5. It finds the SCC of a
+// pivot via sequential forward and backward DFS (§4.2: plain DFS beats
+// parallel BFS on the small partitions of phase 2), publishes it, and
+// pushes the three residual partitions. Returns the task record and
+// whether a pivot existed.
+func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (TaskRecord, bool) {
+	nodes := t.nodes
+	if nodes == nil {
+		// Ablation path: recover the partition by scanning the whole
+		// Color array (§4.1's "very expensive operation").
+		for v := 0; v < e.g.NumNodes(); v++ {
+			if atomic.LoadInt32(&e.color[v]) == t.c {
+				nodes = append(nodes, graph.NodeID(v))
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		return TaskRecord{}, false
+	}
+	c := t.c
+	pivot := nodes[int(e.rand64()%uint64(len(nodes)))]
+	cfw, cbw := e.newColor(), e.newColor()
+
+	// Forward DFS: claim every color-c node reachable from the pivot
+	// into cfw. Only this task writes color-c nodes, so plain stores
+	// behind atomic loads suffice; stores are atomic so concurrent
+	// tasks scanning neighbors read consistent values.
+	fwList := make([]graph.NodeID, 0, 16)
+	stack := append(s.stack[:0], pivot)
+	atomic.StoreInt32(&e.color[pivot], cfw)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, k := range e.g.Out(v) {
+			if atomic.LoadInt32(&e.color[k]) == c {
+				atomic.StoreInt32(&e.color[k], cfw)
+				fwList = append(fwList, k)
+				stack = append(stack, k)
+			}
+		}
+	}
+
+	// Backward DFS: color-c nodes become cbw; cfw nodes are in FW∩BW —
+	// the pivot's SCC (Lemma 1) — and are marked removed immediately.
+	// Traversal continues through SCC members (Algorithm 5 does not
+	// prune at cscc nodes it just claimed).
+	bwList := make([]graph.NodeID, 0, 16)
+	sccSize := 1
+	e.comp[pivot] = int32(pivot)
+	atomic.StoreInt32(&e.color[pivot], Removed)
+	stack = append(stack[:0], pivot)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, k := range e.g.In(v) {
+			switch atomic.LoadInt32(&e.color[k]) {
+			case c:
+				atomic.StoreInt32(&e.color[k], cbw)
+				bwList = append(bwList, k)
+				stack = append(stack, k)
+			case cfw:
+				e.comp[k] = int32(pivot)
+				atomic.StoreInt32(&e.color[k], Removed)
+				sccSize++
+				stack = append(stack, k)
+			}
+		}
+	}
+	s.stack = stack[:0]
+
+	// Assemble the three residual partitions and push them. Under the
+	// hybrid representation each child task inherits an exact node
+	// list; fwList is filtered in place (SCC members left it), and the
+	// parent's list filtered for still-color-c nodes is the remainder.
+	fwRemain := fwList[:0]
+	for _, v := range fwList {
+		if atomic.LoadInt32(&e.color[v]) == cfw {
+			fwRemain = append(fwRemain, v)
+		}
+	}
+	var remain []graph.NodeID
+	if t.nodes != nil {
+		remain = t.nodes[:0]
+		for _, v := range t.nodes {
+			if atomic.LoadInt32(&e.color[v]) == c {
+				remain = append(remain, v)
+			}
+		}
+	}
+	rec := TaskRecord{SCC: sccSize, FW: len(fwRemain), BW: len(bwList), Remain: len(nodes) - sccSize - len(fwRemain) - len(bwList)}
+
+	if e.opt.DisableHybrid {
+		if len(fwRemain) > 0 {
+			q.Push(worker, task{c: cfw, parent: t.parent})
+		}
+		if len(bwList) > 0 {
+			q.Push(worker, task{c: cbw, parent: t.parent})
+		}
+		if rec.Remain > 0 {
+			q.Push(worker, task{c: c, parent: t.parent})
+		}
+	} else {
+		if len(fwRemain) > 0 {
+			q.Push(worker, task{c: cfw, nodes: fwRemain, parent: t.parent})
+		}
+		if len(bwList) > 0 {
+			q.Push(worker, task{c: cbw, nodes: bwList, parent: t.parent})
+		}
+		if len(remain) > 0 {
+			q.Push(worker, task{c: c, nodes: remain, parent: t.parent})
+		}
+	}
+	return rec, true
+}

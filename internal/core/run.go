@@ -1,0 +1,201 @@
+package core
+
+import (
+	"time"
+
+	"repro/graph"
+	"repro/internal/trim"
+	"repro/internal/wcc"
+)
+
+// Run executes the selected algorithm on g and returns the SCC
+// decomposition with full instrumentation.
+func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
+	opt = opt.withDefaults(alg)
+	n := g.NumNodes()
+	e := &engine{
+		g:     g,
+		opt:   opt,
+		alg:   alg,
+		color: make([]int32, n),
+		comp:  make([]int32, n),
+		res:   &Result{},
+	}
+	for i := range e.comp {
+		e.comp[i] = -1
+	}
+	e.rngState.Store(uint64(opt.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	e.res.Comp = e.comp
+
+	start := time.Now()
+	switch alg {
+	case Baseline:
+		e.runBaseline()
+	case Method1:
+		e.runMethod1()
+	case Method2:
+		e.runMethod2()
+	case FWBW:
+		e.runFWBW()
+	default:
+		panic("core: unknown algorithm")
+	}
+	e.res.Total = time.Since(start)
+	for p := Phase(0); p < NumPhases; p++ {
+		e.res.NumSCCs += e.res.Phases[p].SCCs
+	}
+	return e.res
+}
+
+// timePhase runs fn and adds its wall time to the given phase.
+func (e *engine) timePhase(p Phase, fn func()) {
+	t0 := time.Now()
+	fn()
+	e.res.Phases[p].Time += time.Since(t0)
+}
+
+// parTrim runs Par-Trim over the candidates, attributing results to
+// phase p, and returns the survivors.
+func (e *engine) parTrim(p Phase, candidates []graph.NodeID) []graph.NodeID {
+	var out []graph.NodeID
+	e.timePhase(p, func() {
+		res, alive := trim.Par(e.g, e.opt.Workers, e.color, e.comp, candidates)
+		e.res.Phases[p].Nodes += res.Removed
+		e.res.Phases[p].SCCs += res.SCCs
+		e.res.Phases[p].Rounds += res.Rounds
+		out = alive
+	})
+	return out
+}
+
+// runBaseline is Algorithm 3: Par-Trim, then recursive FW-BW from a
+// single initial partition.
+func (e *engine) runBaseline() {
+	alive := e.parTrim(PhaseParTrim, nil)
+	e.timePhase(PhaseRecurFWBW, func() {
+		e.phase2(e.buildTasks(alive))
+	})
+}
+
+// runFWBW is the original FW-BW algorithm of Fleischer et al.: the
+// recursive phase alone, seeded with the whole graph as one task. Its
+// poor behavior on real graphs (every size-1 SCC costs a full task
+// with two traversals) is what motivated the Trim step.
+func (e *engine) runFWBW() {
+	all := make([]graph.NodeID, e.g.NumNodes())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	e.timePhase(PhaseRecurFWBW, func() {
+		e.phase2([]task{{c: 0, nodes: all, parent: -1}})
+	})
+}
+
+// runMethod1 is Algorithm 6: Par-Trim, data-parallel FW-BW for the
+// giant SCC, Par-Trim again, then the recursive phase.
+func (e *engine) runMethod1() {
+	alive := e.parTrim(PhaseParTrim, nil)
+	e.timePhase(PhaseParFWBW, func() {
+		alive = e.parFWBW(alive)
+	})
+	alive = e.parTrim(PhaseParTrimPost, alive)
+	e.timePhase(PhaseRecurFWBW, func() {
+		e.phase2(e.buildTasks(alive))
+	})
+}
+
+// runMethod2 is Algorithm 9: Par-Trim, Par-FWBW, Par-Trim′ (Trim,
+// Trim2, Trim), Par-WCC, then the recursive phase.
+func (e *engine) runMethod2() {
+	alive := e.parTrim(PhaseParTrim, nil)
+	e.timePhase(PhaseParFWBW, func() {
+		alive = e.parFWBW(alive)
+	})
+	// Par-Trim′: Trim iteratively, Trim2 once (it is more expensive,
+	// §3.4), then Trim iteratively again.
+	alive = e.parTrim(PhaseParTrimPost, alive)
+	if !e.opt.DisableTrim2 {
+		for iter := 0; iter < e.opt.Trim2Iterations; iter++ {
+			var removed int64
+			e.timePhase(PhaseParTrimPost, func() {
+				res, survivors := trim.Par2(e.g, e.opt.Workers, e.color, e.comp, alive)
+				e.res.Phases[PhaseParTrimPost].Nodes += res.Removed
+				e.res.Phases[PhaseParTrimPost].SCCs += res.SCCs
+				e.res.Phases[PhaseParTrimPost].Rounds += res.Rounds
+				removed = res.Removed
+				alive = survivors
+			})
+			alive = e.parTrim(PhaseParTrimPost, alive)
+			if removed == 0 {
+				break // further Trim2 passes cannot find new pairs
+			}
+		}
+		if e.opt.EnableTrim3 {
+			e.timePhase(PhaseParTrimPost, func() {
+				res, survivors := trim.Par3(e.g, e.opt.Workers, e.color, e.comp, alive)
+				e.res.Phases[PhaseParTrimPost].Nodes += res.Removed
+				e.res.Phases[PhaseParTrimPost].SCCs += res.SCCs
+				e.res.Phases[PhaseParTrimPost].Rounds += res.Rounds
+				alive = survivors
+			})
+			alive = e.parTrim(PhaseParTrimPost, alive)
+		}
+	}
+	// Par-WCC: one task (color) per weakly connected component.
+	var tasks []task
+	e.timePhase(PhaseParWCC, func() {
+		tasks = e.wccTasks(alive)
+	})
+	e.timePhase(PhaseRecurFWBW, func() {
+		e.phase2(tasks)
+	})
+}
+
+// buildTasks groups the alive nodes by their current color into
+// phase-2 tasks — the §4.1 "scan of non-marked nodes to construct the
+// initial work items". Under DisableHybrid the node lists are dropped.
+func (e *engine) buildTasks(alive []graph.NodeID) []task {
+	groups := make(map[int32][]graph.NodeID, 8)
+	for _, v := range alive {
+		c := e.color[v]
+		groups[c] = append(groups[c], v)
+	}
+	tasks := make([]task, 0, len(groups))
+	for c, nodes := range groups {
+		if e.opt.DisableHybrid {
+			tasks = append(tasks, task{c: c, parent: -1})
+		} else {
+			tasks = append(tasks, task{c: c, nodes: nodes, parent: -1})
+		}
+	}
+	return tasks
+}
+
+// wccTasks labels weakly connected components among the alive nodes
+// (Algorithm 7), recolors each component with a fresh color, and
+// returns one task per component.
+func (e *engine) wccTasks(alive []graph.NodeID) []task {
+	label := make([]int32, e.g.NumNodes())
+	res := wcc.Run(e.g, e.opt.Workers, e.color, alive, label)
+	e.res.WCCComponents = res.Components
+	e.res.WCCRounds = res.Rounds
+	e.res.Phases[PhaseParWCC].Rounds += res.Rounds
+	groups := make(map[int32][]graph.NodeID, res.Components)
+	for _, v := range alive {
+		root := label[v]
+		groups[root] = append(groups[root], v)
+	}
+	tasks := make([]task, 0, len(groups))
+	for _, nodes := range groups {
+		c := e.newColor()
+		for _, v := range nodes {
+			e.color[v] = c
+		}
+		if e.opt.DisableHybrid {
+			tasks = append(tasks, task{c: c, parent: -1})
+		} else {
+			tasks = append(tasks, task{c: c, nodes: nodes, parent: -1})
+		}
+	}
+	return tasks
+}

@@ -1,0 +1,113 @@
+package multistep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+func checkMS(t *testing.T, g *graph.Graph, opt Options) *Result {
+	t.Helper()
+	res := Run(g, opt)
+	tc, tn := seq.Tarjan(g)
+	if !verify.SamePartition(res.Comp, tc) {
+		t.Fatal("MultiStep partition differs from Tarjan")
+	}
+	if int(res.NumSCCs) != tn {
+		t.Fatalf("NumSCCs = %d, want %d", res.NumSCCs, tn)
+	}
+	return res
+}
+
+func TestMultiStepTinyGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []graph.Edge
+	}{
+		{"empty", 0, nil},
+		{"single", 1, nil},
+		{"two-cycle", 2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}}},
+		{"path", 4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}}},
+	}
+	for _, tc := range cases {
+		g := graph.FromEdges(tc.n, tc.edges)
+		checkMS(t, g, Options{Workers: 2, Seed: 1})
+	}
+}
+
+func TestMultiStepRandomQuick(t *testing.T) {
+	f := func(seed int64, cutoffRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		// Exercise both the coloring path (cutoff 1) and the serial
+		// path (huge cutoff).
+		cutoff := 1
+		if cutoffRaw%2 == 0 {
+			cutoff = 1 << 20
+		}
+		res := Run(g, Options{Workers: 4, SerialCutoff: cutoff, Seed: seed})
+		tc, _ := seq.Tarjan(g)
+		return verify.SamePartition(res.Comp, tc)
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rand.New(rand.NewSource(4)), MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiStepRMATStageAttribution(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(12, 8, 7))
+	res := checkMS(t, g, Options{Workers: 4, SerialCutoff: 64, Seed: 1})
+	if res.GiantSCC == 0 {
+		t.Fatal("no giant SCC peeled")
+	}
+	total := res.TrimmedNodes + res.GiantSCC + res.ColoredNodes + res.SerialNodes
+	if total != int64(g.NumNodes()) {
+		t.Fatalf("stage attribution %d != n %d", total, g.NumNodes())
+	}
+}
+
+func TestMultiStepPlanted(t *testing.T) {
+	p := gen.SmallWorldSCC(2000, 400, 2.3, 20, 1.5, 11)
+	truth := make([]int32, len(p.Comp))
+	for i, c := range p.Comp {
+		truth[i] = int32(c)
+	}
+	for _, cutoff := range []int{1, 100000} {
+		res := Run(p.Graph, Options{Workers: 4, SerialCutoff: cutoff, Seed: 2})
+		if !verify.SamePartition(res.Comp, truth) {
+			t.Fatalf("cutoff=%d: differs from planted truth", cutoff)
+		}
+	}
+}
+
+func TestMultiStepDAG(t *testing.T) {
+	g := gen.CitationDAG(3000, 4, 3)
+	res := checkMS(t, g, Options{Workers: 2, Seed: 1})
+	if res.TrimmedNodes != 3000 {
+		t.Fatalf("trim handled %d of 3000 DAG nodes", res.TrimmedNodes)
+	}
+}
+
+func TestMultiStepLattice(t *testing.T) {
+	g := gen.RoadLattice(gen.RoadLatticeConfig{Rows: 50, Cols: 50, TwoWayProb: 0.1, Seed: 6})
+	checkMS(t, g, Options{Workers: 4, SerialCutoff: 128, Seed: 1})
+}
+
+func BenchmarkMultiStepRMAT(b *testing.B) {
+	g := gen.RMAT(gen.DefaultRMAT(13, 8, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, Options{Workers: 4, Seed: 1})
+	}
+}

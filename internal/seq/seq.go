@@ -1,0 +1,186 @@
+// Package seq implements the sequential SCC algorithms: Tarjan's
+// algorithm, the asymptotically optimal baseline the paper measures
+// speedup against, and Kosaraju's algorithm, used as an independent
+// cross-check oracle in tests.
+//
+// Both are iterative (explicit stacks): §4.2 of the paper notes that a
+// recursive DFS needs stack depth proportional to the largest SCC,
+// which is O(N) on real-world graphs — hundreds of MB of program
+// stack. Go goroutine stacks grow dynamically but an explicit stack is
+// still substantially faster and bounds memory precisely.
+package seq
+
+import "repro/graph"
+
+// Tarjan computes the SCC decomposition of g and returns comp, where
+// comp[v] is the component id of node v. Component ids are dense,
+// 0..numComps-1, and are assigned in the order components complete
+// (reverse topological order of the condensation).
+//
+// Following §4.2, the visitation stack is maintained as both a vector
+// and a membership array so the "is w on the stack" test is O(1).
+func Tarjan(g *graph.Graph) (comp []int32, numComps int) {
+	n := g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	if n == 0 {
+		return comp, 0
+	}
+
+	const unvisited = -1
+	index := make([]int32, n) // discovery index, -1 if unvisited
+	low := make([]int32, n)   // lowlink
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+
+	stack := make([]graph.NodeID, 0, 1024) // Tarjan's node stack
+	// Explicit DFS call stack: frame = (node, next out-edge offset).
+	type frame struct {
+		v    graph.NodeID
+		next int32
+	}
+	call := make([]frame, 0, 1024)
+
+	var next int32 // next discovery index
+	var nc int32   // next component id
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call, frame{graph.NodeID(root), 0})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, graph.NodeID(root))
+		onStack[root] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			out := g.Out(v)
+			advanced := false
+			for int(f.next) < len(out) {
+				w := out[f.next]
+				f.next++
+				if index[w] == unvisited {
+					// Descend into w.
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && low[v] > index[w] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop its component if it is a root.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nc
+					if w == v {
+						break
+					}
+				}
+				nc++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[parent] > low[v] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, int(nc)
+}
+
+// Kosaraju computes the SCC decomposition with Kosaraju's two-pass
+// algorithm: an iterative DFS on g recording finish order, then a
+// second DFS sweep over the transpose in reverse finish order. It is
+// slower than Tarjan (two passes, touches both adjacency directions)
+// and exists as an independent oracle.
+func Kosaraju(g *graph.Graph) (comp []int32, numComps int) {
+	n := g.NumNodes()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	if n == 0 {
+		return comp, 0
+	}
+
+	// Pass 1: finish order via iterative DFS with edge-offset frames.
+	finish := make([]graph.NodeID, 0, n)
+	visited := make([]bool, n)
+	type frame struct {
+		v    graph.NodeID
+		next int32
+	}
+	call := make([]frame, 0, 1024)
+	for root := 0; root < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		call = append(call, frame{graph.NodeID(root), 0})
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			out := g.Out(f.v)
+			advanced := false
+			for int(f.next) < len(out) {
+				w := out[f.next]
+				f.next++
+				if !visited[w] {
+					visited[w] = true
+					call = append(call, frame{w, 0})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				finish = append(finish, f.v)
+				call = call[:len(call)-1]
+			}
+		}
+	}
+
+	// Pass 2: sweep the transpose in reverse finish order.
+	var nc int32
+	work := make([]graph.NodeID, 0, 1024)
+	for i := n - 1; i >= 0; i-- {
+		r := finish[i]
+		if comp[r] != -1 {
+			continue
+		}
+		comp[r] = nc
+		work = append(work[:0], r)
+		for len(work) > 0 {
+			v := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, w := range g.In(v) {
+				if comp[w] == -1 {
+					comp[w] = nc
+					work = append(work, w)
+				}
+			}
+		}
+		nc++
+	}
+	return comp, int(nc)
+}

@@ -1,0 +1,246 @@
+// Package trim implements the parallel trimming kernels of the paper:
+// Par-Trim (Algorithm 4), which iteratively removes trivial size-1 SCCs
+// (nodes with zero in- or out-degree within their partition), and
+// Par-Trim2 (Algorithm 8), which detects the two size-2 SCC patterns of
+// Figure 4 in a single parallel pass.
+//
+// Both kernels operate on the engine's shared state: color[v] is the
+// partition color of node v (-1 once removed), and comp[v] records the
+// SCC representative once v's SCC is known. Removal is published by a
+// compare-and-swap on color, so concurrent trims are monotone-safe: a
+// node is only ever trimmed based on neighbors that are genuinely
+// removed, and removing more nodes can only enable more trims.
+package trim
+
+import (
+	"sync/atomic"
+
+	"repro/graph"
+	"repro/internal/parallel"
+)
+
+// Removed is the color value of a node whose SCC has been identified.
+const Removed int32 = -1
+
+// Result summarizes one trimming invocation.
+type Result struct {
+	// Removed is the number of nodes whose SCCs were identified.
+	Removed int64
+	// SCCs is the number of SCCs emitted (== Removed for Par-Trim,
+	// Removed/2 for Par-Trim2).
+	SCCs int64
+	// Rounds is the number of fixpoint iterations (1 for Par-Trim2).
+	Rounds int
+}
+
+// aliveDegrees counts v's in- and out-neighbors that share v's color.
+// Self-loops are excluded from both counts: a node whose only cycle is
+// a self-loop is still a size-1 SCC and is correctly trimmed (the SCC
+// {v} is emitted either way, just earlier).
+func aliveDegrees(g *graph.Graph, color []int32, v graph.NodeID, c int32) (in, out int) {
+	for _, k := range g.In(v) {
+		if k != v && atomic.LoadInt32(&color[k]) == c {
+			in++
+		}
+	}
+	for _, k := range g.Out(v) {
+		if k != v && atomic.LoadInt32(&color[k]) == c {
+			out++
+		}
+	}
+	return in, out
+}
+
+// Par runs Par-Trim over the candidate nodes until no more nodes can
+// be trimmed. candidates lists the nodes to consider (they need not
+// all be alive); if nil, every node of g is considered. It returns the
+// trim result and the surviving (still-alive) subset of the
+// candidates, which the caller may reuse as the next phase's node set.
+func Par(g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+	if candidates == nil {
+		candidates = make([]graph.NodeID, g.NumNodes())
+		for i := range candidates {
+			candidates[i] = graph.NodeID(i)
+		}
+	}
+	if workers < 1 {
+		workers = parallel.DefaultWorkers()
+	}
+	var res Result
+	active := candidates
+	survivors := make([]graph.NodeID, 0, len(active))
+	// Per-worker survivor buffers avoid a shared append.
+	bufs := make([][]graph.NodeID, workers)
+	counts := make([]int64, workers)
+	for {
+		res.Rounds++
+		for w := range bufs {
+			bufs[w] = bufs[w][:0]
+			counts[w] = 0
+		}
+		// Dynamic scheduling: trimming cost is the node's degree, which
+		// is heavily skewed on scale-free graphs (§4.3).
+		parallel.ForDynamicWorker(workers, len(active), 128, func(w, lo, hi int) {
+			buf := bufs[w]
+			removed := int64(0)
+			for i := lo; i < hi; i++ {
+				v := active[i]
+				c := atomic.LoadInt32(&color[v])
+				if c == Removed {
+					continue
+				}
+				in, out := aliveDegrees(g, color, v, c)
+				if in == 0 || out == 0 {
+					if atomic.CompareAndSwapInt32(&color[v], c, Removed) {
+						comp[v] = int32(v)
+						removed++
+						continue
+					}
+				}
+				buf = append(buf, v)
+			}
+			bufs[w] = buf
+			counts[w] += removed
+		})
+		var roundRemoved int64
+		survivors = survivors[:0]
+		for w := range bufs {
+			survivors = append(survivors, bufs[w]...)
+			roundRemoved += counts[w]
+		}
+		res.Removed += roundRemoved
+		res.SCCs += roundRemoved
+		active, survivors = survivors, active[:0]
+		if roundRemoved == 0 {
+			break
+		}
+	}
+	out := make([]graph.NodeID, len(active))
+	copy(out, active)
+	return res, out
+}
+
+// Par2 runs Par-Trim2 once over the candidate nodes, removing size-2
+// SCCs matching the patterns of Figure 4: a 2-cycle {n,k} where either
+// both nodes have no other incoming edges (pattern a) or both have no
+// other outgoing edges (pattern b) within the partition. It returns
+// the result and the surviving candidates.
+//
+// A pair is claimed by CASing the lower-numbered node's color to
+// Removed first; the losing side of a race rolls back, so each size-2
+// SCC is emitted exactly once.
+func Par2(g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+	if candidates == nil {
+		candidates = make([]graph.NodeID, g.NumNodes())
+		for i := range candidates {
+			candidates[i] = graph.NodeID(i)
+		}
+	}
+	if workers < 1 {
+		workers = parallel.DefaultWorkers()
+	}
+	res := Result{Rounds: 1}
+	bufs := make([][]graph.NodeID, workers)
+	pairCounts := make([]int64, workers)
+
+	parallel.ForDynamicWorker(workers, len(candidates), 128, func(w, lo, hi int) {
+		buf := bufs[w]
+		var pairs int64
+		for i := lo; i < hi; i++ {
+			v := candidates[i]
+			c := atomic.LoadInt32(&color[v])
+			if c == Removed {
+				continue
+			}
+			if k, ok := trim2Partner(g, color, v, c); ok {
+				if claimPair(color, comp, v, k, c) {
+					pairs++
+					continue
+				}
+				// Lost the race: v was claimed by its partner's side.
+				if atomic.LoadInt32(&color[v]) == Removed {
+					continue
+				}
+			}
+			buf = append(buf, v)
+		}
+		bufs[w] = buf
+		pairCounts[w] += pairs
+	})
+	var survivors []graph.NodeID
+	for w := range bufs {
+		survivors = append(survivors, bufs[w]...)
+		res.SCCs += pairCounts[w]
+	}
+	res.Removed = 2 * res.SCCs
+	return res, survivors
+}
+
+// trim2Partner checks both Figure-4 patterns for node v and returns
+// the partner node if v is half of a detectable size-2 SCC.
+func trim2Partner(g *graph.Graph, color []int32, v graph.NodeID, c int32) (graph.NodeID, bool) {
+	in, out := aliveDegrees(g, color, v, c)
+	// Pattern (a): v's single in-neighbor k, mutual edge, k also has a
+	// single in-neighbor (which must then be v).
+	if in == 1 {
+		k := soleNeighbor(g.In(v), color, v, c)
+		if k >= 0 && g.HasEdge(v, k) {
+			kin, _ := aliveDegrees(g, color, k, c)
+			if kin == 1 {
+				return k, true
+			}
+		}
+	}
+	// Pattern (b): v's single out-neighbor k, mutual edge, k also has a
+	// single out-neighbor.
+	if out == 1 {
+		k := soleNeighbor(g.Out(v), color, v, c)
+		if k >= 0 && g.HasEdge(k, v) {
+			_, kout := aliveDegrees(g, color, k, c)
+			if kout == 1 {
+				return k, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// soleNeighbor returns the unique alive same-color neighbor of v in
+// the given adjacency list (excluding v itself), or -1 if there is not
+// exactly one.
+func soleNeighbor(adj []graph.NodeID, color []int32, v graph.NodeID, c int32) graph.NodeID {
+	var found graph.NodeID = -1
+	for _, k := range adj {
+		if k == v || atomic.LoadInt32(&color[k]) != c {
+			continue
+		}
+		if found >= 0 && found != k {
+			return -1
+		}
+		found = k
+	}
+	return found
+}
+
+// claimPair atomically claims the 2-cycle {a,b} (colors c→Removed),
+// rolling back if the partner is lost to a concurrent claim. On
+// success both comp entries point at the smaller node id.
+func claimPair(color, comp []int32, a, b graph.NodeID, c int32) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if !atomic.CompareAndSwapInt32(&color[lo], c, Removed) {
+		return false
+	}
+	if !atomic.CompareAndSwapInt32(&color[hi], c, Removed) {
+		// Partner vanished: undo the first claim. The transient Removed
+		// state can at worst make a concurrent observer skip a trim it
+		// would have made; trims are best-effort so that is benign.
+		atomic.StoreInt32(&color[lo], c)
+		return false
+	}
+	comp[lo] = int32(lo)
+	comp[hi] = int32(lo)
+	return true
+}

@@ -1,0 +1,136 @@
+package trim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/graph"
+	"repro/internal/seq"
+)
+
+func TestPar3IsolatedTriangle(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}})
+	color, comp := freshState(3)
+	res, alive := Par3(g, 2, color, comp, nil)
+	if res.SCCs != 1 || res.Removed != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(alive) != 0 {
+		t.Fatalf("alive = %v", alive)
+	}
+	for v := 0; v < 3; v++ {
+		if comp[v] != 0 {
+			t.Fatalf("comp = %v", comp[:3])
+		}
+	}
+}
+
+func TestPar3PatternAWithOutgoing(t *testing.T) {
+	// Triangle 0→1→2→0 with extra OUTgoing edges to sinks: pattern (a)
+	// (all in-degrees 1) still holds.
+	g := graph.FromEdges(5, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+		{From: 0, To: 3}, {From: 1, To: 4}})
+	color, comp := freshState(5)
+	res, _ := Par3(g, 1, color, comp, []graph.NodeID{0, 1, 2})
+	if res.SCCs != 1 {
+		t.Fatalf("SCCs = %d, want 1", res.SCCs)
+	}
+}
+
+func TestPar3PatternBWithIncoming(t *testing.T) {
+	// Triangle with extra INcoming edges: pattern (b) (all out-degrees
+	// 1) holds.
+	g := graph.FromEdges(5, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
+		{From: 3, To: 0}, {From: 4, To: 1}})
+	color, comp := freshState(5)
+	res, _ := Par3(g, 1, color, comp, []graph.NodeID{0, 1, 2})
+	if res.SCCs != 1 {
+		t.Fatalf("SCCs = %d, want 1", res.SCCs)
+	}
+}
+
+func TestPar3SkipsLargerSCC(t *testing.T) {
+	// Triangle embedded in a 4-cycle sharing two nodes: the triangle's
+	// members are part of a larger SCC and must not be claimed.
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, // triangle
+		{From: 2, To: 3}, {From: 3, To: 0}}) // second cycle through 0,2
+	color, comp := freshState(4)
+	res, _ := Par3(g, 2, color, comp, nil)
+	if res.SCCs != 0 {
+		t.Fatalf("claimed %d triangles inside a larger SCC", res.SCCs)
+	}
+}
+
+func TestPar3SkipsTwoCycle(t *testing.T) {
+	// A 2-cycle must not be claimed by the triangle detector.
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	color, comp := freshState(2)
+	res, alive := Par3(g, 1, color, comp, nil)
+	if res.SCCs != 0 || len(alive) != 2 {
+		t.Fatalf("res=%+v alive=%v", res, alive)
+	}
+}
+
+func TestPar3ManyTrianglesNoDoubleClaim(t *testing.T) {
+	const tris = 1500
+	b := graph.NewBuilder(3 * tris)
+	for i := 0; i < tris; i++ {
+		x := graph.NodeID(3 * i)
+		b.AddEdge(x, x+1)
+		b.AddEdge(x+1, x+2)
+		b.AddEdge(x+2, x)
+	}
+	g := b.Build()
+	color, comp := freshState(3 * tris)
+	res, alive := Par3(g, 8, color, comp, nil)
+	if res.SCCs != tris {
+		t.Fatalf("SCCs = %d, want %d", res.SCCs, tris)
+	}
+	if len(alive) != 0 {
+		t.Fatalf("%d survivors", len(alive))
+	}
+}
+
+// TestPar3ClaimsAreRealSCCs cross-checks against Tarjan on random
+// graphs seeded with triangles.
+func TestPar3ClaimsAreRealSCCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := 30 + rng.Intn(80)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n/2; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		for i := 0; i < n/6; i++ {
+			x, y, z := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if x != y && y != z && x != z {
+				b.AddEdge(graph.NodeID(x), graph.NodeID(y))
+				b.AddEdge(graph.NodeID(y), graph.NodeID(z))
+				b.AddEdge(graph.NodeID(z), graph.NodeID(x))
+			}
+		}
+		g := b.Build()
+		tc, _ := seq.Tarjan(g)
+		tarjanSize := map[int32]int{}
+		for _, c := range tc {
+			tarjanSize[c]++
+		}
+		color, comp := freshState(n)
+		Par3(g, 4, color, comp, nil)
+		for v := 0; v < n; v++ {
+			if comp[v] < 0 {
+				continue
+			}
+			if tarjanSize[tc[v]] != 3 {
+				t.Fatalf("trial %d: node %d claimed but Tarjan SCC size %d", trial, v, tarjanSize[tc[v]])
+			}
+			if tc[comp[v]] != tc[v] {
+				t.Fatalf("trial %d: node %d's representative in different SCC", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package verify provides checks on SCC decompositions used both by
+// the public scc.Validate API and throughout the test suites:
+// partition equivalence, full correctness against reachability, and
+// condensation acyclicity.
+package verify
+
+import (
+	"fmt"
+
+	"repro/graph"
+)
+
+// SamePartition reports whether two component labelings induce the same
+// partition of {0..n-1}, i.e. are equal up to renaming of labels.
+func SamePartition(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int32]int32)
+	rev := make(map[int32]int32)
+	for i := range a {
+		if mapped, ok := fwd[a[i]]; ok {
+			if mapped != b[i] {
+				return false
+			}
+		} else {
+			fwd[a[i]] = b[i]
+		}
+		if mapped, ok := rev[b[i]]; ok {
+			if mapped != a[i] {
+				return false
+			}
+		} else {
+			rev[b[i]] = a[i]
+		}
+	}
+	return true
+}
+
+// CheckDecomposition verifies that comp is exactly the SCC
+// decomposition of g:
+//
+//  1. every node has a component label,
+//  2. the condensation (component quotient graph) is acyclic, which
+//     proves each label class is a union of SCCs cut along DAG edges,
+//  3. each label class is strongly connected, which together with (2)
+//     proves each class is exactly one SCC.
+//
+// It runs in O((n+m) log) time and is intended for tests and for
+// validating untrusted results, not for the hot path.
+func CheckDecomposition(g *graph.Graph, comp []int32) error {
+	n := g.NumNodes()
+	if len(comp) != n {
+		return fmt.Errorf("verify: comp length %d != node count %d", len(comp), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	// Relabel to dense ids.
+	dense := make(map[int32]int32, 64)
+	label := make([]int32, n)
+	for v := 0; v < n; v++ {
+		c := comp[v]
+		if c < 0 {
+			return fmt.Errorf("verify: node %d unlabeled (comp %d)", v, c)
+		}
+		d, ok := dense[c]
+		if !ok {
+			d = int32(len(dense))
+			dense[c] = d
+		}
+		label[v] = d
+	}
+	k := len(dense)
+
+	// (2) condensation must be a DAG: Kahn's algorithm on the quotient.
+	type edgeKey struct{ a, b int32 }
+	qedges := make(map[edgeKey]bool)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			if label[v] != label[w] {
+				qedges[edgeKey{label[v], label[w]}] = true
+			}
+		}
+	}
+	indeg := make([]int, k)
+	adj := make([][]int32, k)
+	for e := range qedges {
+		adj[e.a] = append(adj[e.a], e.b)
+		indeg[e.b]++
+	}
+	queue := make([]int32, 0, k)
+	for c := 0; c < k; c++ {
+		if indeg[c] == 0 {
+			queue = append(queue, int32(c))
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		processed++
+		for _, d := range adj[c] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if processed != k {
+		return fmt.Errorf("verify: condensation has a cycle (%d of %d components in topological order)", processed, k)
+	}
+
+	// (3) each class must be strongly connected: pick one representative
+	// per class; forward-BFS restricted to the class must reach every
+	// member, and backward-BFS likewise.
+	rep := make([]graph.NodeID, k)
+	size := make([]int64, k)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		c := label[v]
+		size[c]++
+		if rep[c] < 0 {
+			rep[c] = graph.NodeID(v)
+		}
+	}
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var stack []graph.NodeID
+	countReach := func(start graph.NodeID, c int32, pass int32, backward bool) int64 {
+		stack = append(stack[:0], start)
+		seen[start] = pass
+		var cnt int64 = 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			var nbrs []graph.NodeID
+			if backward {
+				nbrs = g.In(v)
+			} else {
+				nbrs = g.Out(v)
+			}
+			for _, w := range nbrs {
+				if label[w] == c && seen[w] != pass {
+					seen[w] = pass
+					cnt++
+					stack = append(stack, w)
+				}
+			}
+		}
+		return cnt
+	}
+	pass := int32(0)
+	for c := int32(0); c < int32(k); c++ {
+		if got := countReach(rep[c], c, pass, false); got != size[c] {
+			return fmt.Errorf("verify: component %d (size %d) not forward-connected: reached %d", c, size[c], got)
+		}
+		pass++
+		if got := countReach(rep[c], c, pass, true); got != size[c] {
+			return fmt.Errorf("verify: component %d (size %d) not backward-connected: reached %d", c, size[c], got)
+		}
+		pass++
+	}
+	return nil
+}

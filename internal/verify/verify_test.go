@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/graph"
+)
+
+func TestSamePartition(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want bool
+	}{
+		{[]int32{}, []int32{}, true},
+		{[]int32{0, 0, 1}, []int32{5, 5, 9}, true},
+		{[]int32{0, 0, 1}, []int32{5, 9, 9}, false},
+		{[]int32{0, 1}, []int32{0, 0}, false},
+		{[]int32{0, 0}, []int32{0, 1}, false},
+		{[]int32{1, 2, 1}, []int32{2, 1, 2}, true},
+		{[]int32{0}, []int32{0, 1}, false},
+	}
+	for i, c := range cases {
+		if got := SamePartition(c.a, c.b); got != c.want {
+			t.Errorf("case %d: SamePartition(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCheckDecompositionAcceptsCorrect(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3.
+	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 2, To: 3}})
+	if err := CheckDecomposition(g, []int32{7, 7, 7, 3}); err != nil {
+		t.Fatalf("correct decomposition rejected: %v", err)
+	}
+}
+
+func TestCheckDecompositionRejectsMerged(t *testing.T) {
+	// Nodes 0→1 are NOT mutually reachable; labeling them together must fail.
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
+	if err := CheckDecomposition(g, []int32{0, 0}); err == nil {
+		t.Fatal("merged non-SCC accepted")
+	}
+}
+
+func TestCheckDecompositionRejectsSplit(t *testing.T) {
+	// 2-cycle split into two components: condensation gets a cycle.
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	if err := CheckDecomposition(g, []int32{0, 1}); err == nil {
+		t.Fatal("split SCC accepted")
+	}
+}
+
+func TestCheckDecompositionRejectsUnlabeled(t *testing.T) {
+	g := graph.FromEdges(1, nil)
+	if err := CheckDecomposition(g, []int32{-1}); err == nil {
+		t.Fatal("unlabeled node accepted")
+	}
+}
+
+func TestCheckDecompositionRejectsWrongLength(t *testing.T) {
+	g := graph.FromEdges(2, nil)
+	if err := CheckDecomposition(g, []int32{0}); err == nil {
+		t.Fatal("wrong-length comp accepted")
+	}
+}
+
+func TestCheckDecompositionEmpty(t *testing.T) {
+	g := graph.FromEdges(0, nil)
+	if err := CheckDecomposition(g, nil); err != nil {
+		t.Fatalf("empty graph rejected: %v", err)
+	}
+}
+
+func TestCheckDecompositionSparseLabels(t *testing.T) {
+	// Labels need not be dense.
+	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	if err := CheckDecomposition(g, []int32{1000, 1000, 31}); err != nil {
+		t.Fatalf("sparse labels rejected: %v", err)
+	}
+}

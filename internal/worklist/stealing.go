@@ -1,0 +1,205 @@
+package worklist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// StealingQueue is an alternative scheduler for the same workload
+// shape: per-worker deques with random-victim work stealing instead of
+// the paper's global + local two-level queue. It exists to ablate the
+// §4.3 design choice — the two-level queue centralizes sharing through
+// one lock but moves work in batches of K; stealing avoids the central
+// lock but pays per-steal synchronization. On task populations as
+// small as SCC partitions the two designs are usually within noise of
+// each other, which is the point: the paper's simpler design is not
+// leaving performance on the table.
+type StealingQueue[T any] struct {
+	workers int
+	deques  []stealDeque[T]
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	idle int
+	done bool
+
+	ready     atomic.Int64
+	readyPeak atomic.Int64
+	total     atomic.Int64
+	executed  atomic.Int64
+	rng       atomic.Uint64
+	steals    atomic.Int64
+}
+
+// stealDeque is a mutex-guarded deque: the owner pushes/pops at the
+// tail, thieves take from the head. A lock per deque keeps the
+// implementation dependency-free (a lock-free Chase-Lev deque needs
+// unsafe); contention is per-victim rather than global.
+type stealDeque[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewStealing returns a stealing scheduler for the given worker count.
+func NewStealing[T any](workers int) *StealingQueue[T] {
+	if workers < 1 {
+		panic("worklist: workers must be >= 1")
+	}
+	q := &StealingQueue[T]{workers: workers, deques: make([]stealDeque[T], workers)}
+	q.cond = sync.NewCond(&q.mu)
+	q.rng.Store(0x9e3779b97f4a7c15)
+	return q
+}
+
+// Seed distributes items round-robin across the deques before Run.
+func (q *StealingQueue[T]) Seed(items []T) {
+	for i, item := range items {
+		d := &q.deques[i%q.workers]
+		d.mu.Lock()
+		d.items = append(d.items, item)
+		d.mu.Unlock()
+	}
+	q.noteEnqueued(len(items))
+}
+
+// Push enqueues an item on the calling worker's deque and wakes any
+// parked thieves.
+func (q *StealingQueue[T]) Push(worker int, item T) {
+	d := &q.deques[worker]
+	d.mu.Lock()
+	d.items = append(d.items, item)
+	d.mu.Unlock()
+	q.noteEnqueued(1)
+	q.mu.Lock()
+	idle := q.idle
+	q.mu.Unlock()
+	if idle > 0 {
+		q.cond.Broadcast()
+	}
+}
+
+func (q *StealingQueue[T]) noteEnqueued(n int) {
+	q.total.Add(int64(n))
+	r := q.ready.Add(int64(n))
+	for {
+		peak := q.readyPeak.Load()
+		if r <= peak || q.readyPeak.CompareAndSwap(peak, r) {
+			return
+		}
+	}
+}
+
+// Run executes fn over all items until every deque drains and all
+// workers are idle.
+func (q *StealingQueue[T]) Run(fn func(worker int, item T)) {
+	q.mu.Lock()
+	q.done = false
+	q.idle = 0
+	q.mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(q.workers)
+	for w := 0; w < q.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			q.worker(w, fn)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (q *StealingQueue[T]) worker(w int, fn func(worker int, item T)) {
+	for {
+		item, ok := q.popOwn(w)
+		if !ok {
+			item, ok = q.steal(w)
+		}
+		if ok {
+			q.ready.Add(-1)
+			q.executed.Add(1)
+			fn(w, item)
+			continue
+		}
+		// Nothing local, nothing stolen: park. A worker that might
+		// still produce work is inside fn and therefore not idle, so
+		// idle == workers with nothing queued is a stable termination
+		// condition; the detecting worker raises done for everyone.
+		q.mu.Lock()
+		if q.done {
+			q.mu.Unlock()
+			return
+		}
+		if q.ready.Load() > 0 {
+			// A push landed between our failed steal and the lock:
+			// retry immediately.
+			q.mu.Unlock()
+			continue
+		}
+		q.idle++
+		if q.idle == q.workers {
+			q.done = true
+			q.mu.Unlock()
+			q.cond.Broadcast()
+			return
+		}
+		for q.ready.Load() == 0 && !q.done {
+			q.cond.Wait()
+		}
+		done := q.done
+		q.idle--
+		q.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+// popOwn pops from the worker's own tail (LIFO for locality).
+func (q *StealingQueue[T]) popOwn(w int) (T, bool) {
+	d := &q.deques[w]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	item := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return item, true
+}
+
+// steal takes from a victim's head (FIFO steals move the oldest —
+// likely largest — work). The scan starts at a random offset but
+// covers every peer, so a nonempty deque is always found.
+func (q *StealingQueue[T]) steal(w int) (T, bool) {
+	z := q.rng.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	start := int(z % uint64(q.workers))
+	for i := 0; i < q.workers; i++ {
+		victim := (start + i) % q.workers
+		if victim == w {
+			continue
+		}
+		d := &q.deques[victim]
+		d.mu.Lock()
+		if len(d.items) > 0 {
+			item := d.items[0]
+			d.items = d.items[1:]
+			d.mu.Unlock()
+			q.steals.Add(1)
+			return item, true
+		}
+		d.mu.Unlock()
+	}
+	var zero T
+	return zero, false
+}
+
+// Stats returns the scheduler's counters; Steals is specific to this
+// design.
+func (q *StealingQueue[T]) Stats() (Stats, int64) {
+	return Stats{
+		PeakReady: q.readyPeak.Load(),
+		Total:     q.total.Load(),
+		Executed:  q.executed.Load(),
+	}, q.steals.Load()
+}

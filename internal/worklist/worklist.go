@@ -1,0 +1,169 @@
+// Package worklist implements the paper's custom two-level work queue
+// (§4.3): a global queue shared by all workers plus a private local
+// queue per worker. Each worker fetches up to K items at a time from
+// the global queue into its local queue; newly generated items go to
+// the local queue first and overflow to the global queue in batches of
+// K once the local queue reaches 2K. The paper sets K=1 for Baseline
+// and Method 1 (parallelism-starved) and K=8 for Method 2.
+//
+// The queue also records the statistics the paper reports: the peak
+// number of simultaneously ready tasks (its "maximum queue depth" —
+// six for Method 1 on Flickr, ~10,000 for Method 2) and the total task
+// count.
+package worklist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a two-level work queue of items of type T, executed by a
+// fixed pool of workers. Create with New, seed with Seed (or push from
+// inside tasks), then call Run.
+type Queue[T any] struct {
+	k       int
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	global []T
+	idle   int
+	done   bool
+
+	local [][]T
+
+	ready     atomic.Int64 // items currently queued (global + all locals)
+	readyPeak atomic.Int64
+	total     atomic.Int64 // items ever enqueued
+	executed  atomic.Int64
+}
+
+// New returns a Queue executed by `workers` workers with batch size k.
+// workers and k must be ≥ 1.
+func New[T any](workers, k int) *Queue[T] {
+	if workers < 1 {
+		panic("worklist: workers must be >= 1")
+	}
+	if k < 1 {
+		panic("worklist: k must be >= 1")
+	}
+	q := &Queue[T]{k: k, workers: workers, local: make([][]T, workers)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Seed pushes items onto the global queue before Run starts. It must
+// not be called concurrently with Run.
+func (q *Queue[T]) Seed(items []T) {
+	q.global = append(q.global, items...)
+	q.noteEnqueued(len(items))
+}
+
+// Push enqueues an item from inside a task running on the given
+// worker. The item lands on the worker's local queue; if the local
+// queue reaches 2K, the K oldest items spill to the global queue.
+func (q *Queue[T]) Push(worker int, item T) {
+	l := append(q.local[worker], item)
+	q.noteEnqueued(1)
+	if len(l) >= 2*q.k {
+		spill := make([]T, q.k)
+		copy(spill, l[:q.k])
+		n := copy(l, l[q.k:])
+		l = l[:n]
+		q.mu.Lock()
+		q.global = append(q.global, spill...)
+		q.mu.Unlock()
+		q.cond.Broadcast()
+	}
+	q.local[worker] = l
+}
+
+func (q *Queue[T]) noteEnqueued(n int) {
+	q.total.Add(int64(n))
+	r := q.ready.Add(int64(n))
+	for {
+		peak := q.readyPeak.Load()
+		if r <= peak || q.readyPeak.CompareAndSwap(peak, r) {
+			return
+		}
+	}
+}
+
+// Run executes fn on queued items until the queue drains and every
+// worker is idle. fn receives the executing worker's index (valid for
+// Push) and the item. Run blocks until completion; the Queue can be
+// reused afterwards (stats accumulate).
+func (q *Queue[T]) Run(fn func(worker int, item T)) {
+	q.mu.Lock()
+	q.done = false
+	q.idle = 0
+	q.mu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(q.workers)
+	for w := 0; w < q.workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			q.worker(w, fn)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (q *Queue[T]) worker(w int, fn func(worker int, item T)) {
+	for {
+		// Drain the local queue (LIFO for locality).
+		for len(q.local[w]) > 0 {
+			l := q.local[w]
+			item := l[len(l)-1]
+			q.local[w] = l[:len(l)-1]
+			q.ready.Add(-1)
+			q.executed.Add(1)
+			fn(w, item)
+		}
+		// Refill from the global queue, or terminate.
+		q.mu.Lock()
+		for len(q.global) == 0 {
+			if q.done {
+				q.mu.Unlock()
+				return
+			}
+			q.idle++
+			if q.idle == q.workers {
+				q.done = true
+				q.mu.Unlock()
+				q.cond.Broadcast()
+				return
+			}
+			q.cond.Wait()
+			q.idle--
+		}
+		take := q.k
+		if take > len(q.global) {
+			take = len(q.global)
+		}
+		q.local[w] = append(q.local[w], q.global[len(q.global)-take:]...)
+		q.global = q.global[:len(q.global)-take]
+		q.mu.Unlock()
+	}
+}
+
+// Stats is a snapshot of queue counters.
+type Stats struct {
+	// PeakReady is the maximum number of simultaneously queued items —
+	// the paper's "maximum queue depth", its measure of available
+	// task-level parallelism.
+	PeakReady int64
+	// Total is the number of items ever enqueued.
+	Total int64
+	// Executed is the number of items executed so far.
+	Executed int64
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue[T]) Stats() Stats {
+	return Stats{
+		PeakReady: q.readyPeak.Load(),
+		Total:     q.total.Load(),
+		Executed:  q.executed.Load(),
+	}
+}

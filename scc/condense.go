@@ -1,0 +1,120 @@
+package scc
+
+import (
+	"fmt"
+
+	"repro/graph"
+)
+
+// Condensed is the condensation of a graph: one node per SCC, an edge
+// between components iff the original graph has an edge between them.
+// The condensation is always a DAG, which makes it the standard
+// substrate for cycle-aware processing: topological scheduling of
+// mutually recursive groups, reachability closure, dependency
+// analysis.
+type Condensed struct {
+	// DAG is the component-level graph; node c is component c.
+	DAG *graph.Graph
+	// NodeComp maps every original node to its dense component id.
+	NodeComp []int32
+	// Sizes[c] is the number of original nodes in component c.
+	Sizes []int64
+	// Topo lists the component ids in a topological order of the DAG
+	// (every edge goes from an earlier to a later position).
+	Topo []int32
+}
+
+// Condense builds the condensation of g from a component labeling (as
+// produced by Detect). The labeling is trusted; pass it through
+// Validate first if it comes from an untrusted source.
+func Condense(g *graph.Graph, comp []int32) (*Condensed, error) {
+	if g.NumNodes() != len(comp) {
+		return nil, fmt.Errorf("scc: comp length %d != node count %d", len(comp), g.NumNodes())
+	}
+	dense, k := Renumber(comp)
+	sizes := make([]int64, k)
+	for _, c := range dense {
+		sizes[c]++
+	}
+	// Deduplicate component edges with a per-source stamp array: for
+	// CSR inputs each source's targets arrive grouped, so a stamp per
+	// destination component suffices and avoids a map.
+	b := graph.NewBuilder(k)
+	stamp := make([]int32, k)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		cv := dense[v]
+		for _, w := range g.Out(graph.NodeID(v)) {
+			cw := dense[w]
+			if cv != cw && stamp[cw] != cv {
+				stamp[cw] = cv
+				b.AddEdge(cv, cw)
+			}
+		}
+	}
+	dag := b.Build()
+
+	// Kahn topological order.
+	indeg := make([]int32, k)
+	for c := 0; c < k; c++ {
+		for _, d := range dag.Out(graph.NodeID(c)) {
+			indeg[d]++
+		}
+	}
+	topo := make([]int32, 0, k)
+	queue := make([]int32, 0, k)
+	for c := int32(0); c < int32(k); c++ {
+		if indeg[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		topo = append(topo, c)
+		for _, d := range dag.Out(graph.NodeID(c)) {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, int32(d))
+			}
+		}
+	}
+	if len(topo) != k {
+		return nil, fmt.Errorf("scc: labeling is not an SCC decomposition (condensation has a cycle)")
+	}
+	return &Condensed{DAG: dag, NodeComp: dense, Sizes: sizes, Topo: topo}, nil
+}
+
+// Members returns the original nodes of component c, in ascending id
+// order.
+func (c *Condensed) Members(comp int32) []graph.NodeID {
+	out := make([]graph.NodeID, 0, c.Sizes[comp])
+	for v, cc := range c.NodeComp {
+		if cc == comp {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Reachable reports, for every component, whether it is reachable from
+// the given component in the condensation DAG.
+func (c *Condensed) Reachable(from int32) []bool {
+	seen := make([]bool, c.DAG.NumNodes())
+	stack := []graph.NodeID{graph.NodeID(from)}
+	seen[from] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range c.DAG.Out(v) {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,156 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+func TestCondenseSmall(t *testing.T) {
+	// A: {0,1} cycle → B: {2} → C: {3,4} cycle; extra parallel edges.
+	g := graph.FromEdges(5, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0},
+		{From: 1, To: 2}, {From: 0, To: 2},
+		{From: 2, To: 3}, {From: 3, To: 4}, {From: 4, To: 3}})
+	res, err := Detect(g, Options{Algorithm: Tarjan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Condense(g, res.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DAG.NumNodes() != 3 {
+		t.Fatalf("condensation nodes = %d", c.DAG.NumNodes())
+	}
+	if c.DAG.NumEdges() != 2 {
+		t.Fatalf("condensation edges = %d (parallel edges not deduped?)", c.DAG.NumEdges())
+	}
+	// Sizes: 2, 1, 2 in some order; total 5.
+	var total int64
+	for _, s := range c.Sizes {
+		total += s
+	}
+	if total != 5 {
+		t.Fatalf("sizes %v", c.Sizes)
+	}
+	// Topological order respects edges.
+	pos := make(map[int32]int)
+	for i, comp := range c.Topo {
+		pos[comp] = i
+	}
+	for v := 0; v < c.DAG.NumNodes(); v++ {
+		for _, w := range c.DAG.Out(graph.NodeID(v)) {
+			if pos[int32(v)] >= pos[int32(w)] {
+				t.Fatalf("topo order violates edge %d→%d", v, w)
+			}
+		}
+	}
+}
+
+func TestCondenseRejectsBadLabeling(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
+	// Splitting a 2-cycle creates a cyclic condensation.
+	if _, err := Condense(g, []int32{0, 1}); err == nil {
+		t.Fatal("cyclic condensation accepted")
+	}
+	if _, err := Condense(g, []int32{0}); err == nil {
+		t.Fatal("wrong-length labeling accepted")
+	}
+}
+
+func TestCondenseMembersAndReachable(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2}, {From: 3, To: 0}})
+	res, _ := Detect(g, Options{Algorithm: Tarjan})
+	c, err := Condense(g, res.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := c.NodeComp[0]
+	members := c.Members(pair)
+	if len(members) != 2 || members[0] != 0 || members[1] != 1 {
+		t.Fatalf("members of {0,1} = %v", members)
+	}
+	// From node 3's component everything is reachable.
+	reach := c.Reachable(c.NodeComp[3])
+	for comp, ok := range reach {
+		if !ok {
+			t.Fatalf("component %d not reachable from 3's component", comp)
+		}
+	}
+	// From node 2's component only itself.
+	reach2 := c.Reachable(c.NodeComp[2])
+	count := 0
+	for _, ok := range reach2 {
+		if ok {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d components reachable from sink", count)
+	}
+}
+
+func TestCondenseRandomAgainstReachability(t *testing.T) {
+	// Property: u's component reaches v's component in the DAG iff u
+	// reaches v in the original graph (checked on small graphs).
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*2; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		res, _ := Detect(g, Options{Algorithm: Tarjan})
+		c, err := Condense(g, res.Comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < n; u++ {
+			reach := nodeReach(g, graph.NodeID(u))
+			creach := c.Reachable(c.NodeComp[u])
+			for v := 0; v < n; v++ {
+				if reach[v] != creach[c.NodeComp[v]] {
+					t.Fatalf("trial %d: reach(%d,%d)=%v but condensation says %v",
+						trial, u, v, reach[v], creach[c.NodeComp[v]])
+				}
+			}
+		}
+	}
+}
+
+func nodeReach(g *graph.Graph, src graph.NodeID) []bool {
+	seen := make([]bool, g.NumNodes())
+	seen[src] = true
+	stack := []graph.NodeID{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range g.Out(v) {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCondenseLargeGraph(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(12, 8, 4))
+	res, _ := Detect(g, Options{Algorithm: Method2, Seed: 1})
+	c, err := Condense(g, res.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(c.DAG.NumNodes()) != res.NumSCCs {
+		t.Fatalf("condensation nodes %d != NumSCCs %d", c.DAG.NumNodes(), res.NumSCCs)
+	}
+	if len(c.Topo) != c.DAG.NumNodes() {
+		t.Fatal("topo order incomplete")
+	}
+}

@@ -1,0 +1,85 @@
+package scc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/graph"
+)
+
+// WriteDOT renders g in Graphviz DOT format with nodes colored by
+// component: members of the same SCC share a fillcolor, and SCCs of
+// size > 1 are grouped into clusters. Intended for small graphs
+// (documentation, debugging); DOT rendering does not scale past a few
+// thousand nodes.
+func WriteDOT(w io.Writer, g *graph.Graph, comp []int32) error {
+	if g.NumNodes() != len(comp) {
+		return fmt.Errorf("scc: comp length %d != node count %d", len(comp), g.NumNodes())
+	}
+	dense, k := Renumber(comp)
+	sizes := make([]int64, k)
+	for _, c := range dense {
+		sizes[c]++
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph scc {")
+	fmt.Fprintln(bw, "  node [style=filled];")
+	palette := []string{
+		"lightblue", "lightgoldenrod", "lightpink", "lightgreen",
+		"lightsalmon", "lightcyan", "plum", "khaki",
+	}
+	// Non-trivial SCCs become clusters.
+	for c := int32(0); c < int32(k); c++ {
+		if sizes[c] < 2 {
+			continue
+		}
+		fmt.Fprintf(bw, "  subgraph cluster_%d {\n    label=\"scc %d (%d nodes)\";\n", c, c, sizes[c])
+		for v := 0; v < g.NumNodes(); v++ {
+			if dense[v] == c {
+				fmt.Fprintf(bw, "    n%d [fillcolor=%s];\n", v, palette[int(c)%len(palette)])
+			}
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if sizes[dense[v]] < 2 {
+			fmt.Fprintf(bw, "  n%d [fillcolor=white];\n", v)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, t := range g.Out(graph.NodeID(v)) {
+			fmt.Fprintf(bw, "  n%d -> n%d;\n", v, t)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteCondensationDOT renders a condensation DAG in DOT format, with
+// component sizes as labels. Giant components are visually emphasized.
+func (c *Condensed) WriteCondensationDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph condensation {")
+	fmt.Fprintln(bw, "  rankdir=LR; node [shape=circle, style=filled, fillcolor=white];")
+	var maxSize int64
+	for _, s := range c.Sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	for comp, size := range c.Sizes {
+		attrs := ""
+		if size == maxSize && size > 1 {
+			attrs = ", fillcolor=lightblue, penwidth=2"
+		}
+		fmt.Fprintf(bw, "  c%d [label=\"%d\"%s];\n", comp, size, attrs)
+	}
+	for v := 0; v < c.DAG.NumNodes(); v++ {
+		for _, t := range c.DAG.Out(graph.NodeID(v)) {
+			fmt.Fprintf(bw, "  c%d -> c%d;\n", v, t)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,58 @@
+package scc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/graph"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2}, {From: 3, To: 0}})
+	res, _ := Detect(g, Options{Algorithm: Tarjan})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, res.Comp); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph scc", "subgraph cluster_", "n0 -> n1", "n3 -> n0", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// The 2-cycle must be inside exactly one cluster.
+	if strings.Count(out, "subgraph cluster_") != 1 {
+		t.Fatalf("want exactly one cluster:\n%s", out)
+	}
+}
+
+func TestWriteDOTRejectsBadComp(t *testing.T) {
+	g := graph.FromEdges(2, nil)
+	if err := WriteDOT(&bytes.Buffer{}, g, []int32{0}); err == nil {
+		t.Fatal("wrong-length comp accepted")
+	}
+}
+
+func TestWriteCondensationDOT(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2}, {From: 2, To: 3}})
+	res, _ := Detect(g, Options{Algorithm: Tarjan})
+	c, err := Condense(g, res.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCondensationDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph condensation") || !strings.Contains(out, "->") {
+		t.Fatalf("condensation DOT malformed:\n%s", out)
+	}
+	// The giant (size 2) must be emphasized.
+	if !strings.Contains(out, "lightblue") {
+		t.Fatalf("giant component not emphasized:\n%s", out)
+	}
+}

@@ -1,0 +1,71 @@
+package scc_test
+
+import (
+	"fmt"
+
+	"repro/graph"
+	"repro/scc"
+)
+
+// ExampleDetect shows basic SCC detection on a small graph.
+func ExampleDetect() {
+	// 0 ⇄ 1 → 2 (a 2-cycle feeding a sink).
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2},
+	})
+	res, err := scc.Detect(g, scc.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", res.NumSCCs)
+	fmt.Println("0 and 1 together:", res.Comp[0] == res.Comp[1])
+	fmt.Println("2 separate:", res.Comp[2] != res.Comp[0])
+	// Output:
+	// components: 2
+	// 0 and 1 together: true
+	// 2 separate: true
+}
+
+// ExampleDetect_tarjan runs the sequential baseline.
+func ExampleDetect_tarjan() {
+	g := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 2, To: 3},
+	})
+	res, _ := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
+	fmt.Println(res.Algorithm, res.NumSCCs)
+	// Output: Tarjan 2
+}
+
+// ExampleCondense builds a topological schedule over components.
+func ExampleCondense() {
+	// Two mutually recursive modules {0,1} feeding module 2.
+	g := graph.FromEdges(3, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2},
+	})
+	res, _ := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
+	c, err := scc.Condense(g, res.Comp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("DAG nodes:", c.DAG.NumNodes())
+	first := c.Topo[0]
+	fmt.Println("first stage size:", c.Sizes[first])
+	// Output:
+	// DAG nodes: 2
+	// first stage size: 2
+}
+
+// ExampleSizeHistogram summarizes a decomposition's size structure.
+func ExampleSizeHistogram() {
+	comp := []int32{7, 7, 7, 3, 3, 9} // sizes 3, 2, 1
+	h := scc.SizeHistogram(comp)
+	fmt.Println("size-1:", h[1], "size-2:", h[2], "size-3:", h[3])
+	// Output: size-1: 1 size-2: 1 size-3: 1
+}
+
+// ExampleRenumber converts representatives to dense component ids.
+func ExampleRenumber() {
+	dense, k := scc.Renumber([]int32{42, 42, 7})
+	fmt.Println(dense, k)
+	// Output: [0 0 1] 2
+}

@@ -1,0 +1,399 @@
+// Package scc is the public API for strongly-connected-component
+// detection, implementing the algorithms of Hong, Rodia & Olukotun,
+// "On Fast Parallel Detection of Strongly Connected Components (SCC)
+// in Small-World Graphs" (SC '13).
+//
+// Quick start:
+//
+//	g := gen.RMAT(gen.DefaultRMAT(20, 16, 42))
+//	res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2})
+//	if err != nil { ... }
+//	fmt.Println(res.NumSCCs, res.LargestSCC())
+//
+// Five algorithms are available: the sequential baselines Tarjan and
+// Kosaraju, and the three parallel algorithms from the paper —
+// Baseline (parallel FW-BW-Trim), Method1 (two-phase parallelization
+// that peels the giant SCC with data-parallel BFS), and Method2
+// (Method1 plus Trim2 and parallel WCC seeding of the work queue).
+// Method2 is the right default for small-world graphs; Tarjan wins on
+// high-diameter graphs such as road networks (§5 of the paper).
+package scc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/graph"
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/multistep"
+	"repro/internal/obf"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+// Algorithm selects the SCC detection algorithm.
+type Algorithm int
+
+const (
+	// Method2 (the zero value, and the recommended default) is
+	// Algorithm 9 of the paper: Par-Trim, data-parallel FW-BW,
+	// Par-Trim′ (Trim/Trim2/Trim), Par-WCC, then task-parallel
+	// recursive FW-BW.
+	Method2 Algorithm = iota
+	// Method1 is Algorithm 6: two-phase parallelization without the
+	// Trim2 and WCC steps.
+	Method1
+	// Baseline is Algorithm 3: parallel Trim plus task-parallel
+	// recursive FW-BW (the conventional FW-BW-Trim).
+	Baseline
+	// Tarjan is the sequential asymptotically optimal algorithm
+	// (iterative, explicit stack).
+	Tarjan
+	// Kosaraju is the sequential two-pass algorithm.
+	Kosaraju
+	// FWBW is Fleischer et al.'s original parallel FW-BW algorithm
+	// with no trimming — the historical baseline FW-BW-Trim improved
+	// on. Provided for comparison; expect it to be slow on graphs with
+	// many trivial SCCs.
+	FWBW
+	// OBF is the recursive OWCTY-Backward-Forward algorithm of Barnat
+	// et al. ([9] in the paper), the alternative parallel decomposition
+	// the related-work section discusses. The paper reports it gives
+	// no large improvement on real-world graphs with few big SCCs;
+	// it is provided to reproduce that comparison.
+	OBF
+	// Coloring is Orzan's color-propagation algorithm, the third
+	// classic parallel SCC approach and the basis of the MultiStep and
+	// iSpan follow-on work. Provided as an extension baseline.
+	Coloring
+	// MultiStep is Slota, Rathi & Madduri's follow-on to the paper:
+	// Trim, one FW-BW step for the giant SCC, color propagation for
+	// the mid-size residue, and a sequential-Tarjan finish below a
+	// size cutoff.
+	MultiStep
+	// Gabow is the sequential path-based (two-stack) algorithm — the
+	// third classic linear-time method, used as an extra oracle.
+	Gabow
+)
+
+// String returns the algorithm's name as used in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case Method2:
+		return "Method2"
+	case Method1:
+		return "Method1"
+	case Baseline:
+		return "Baseline"
+	case Tarjan:
+		return "Tarjan"
+	case Kosaraju:
+		return "Kosaraju"
+	case FWBW:
+		return "FW-BW"
+	case OBF:
+		return "OBF"
+	case Coloring:
+		return "Coloring"
+	case MultiStep:
+		return "MultiStep"
+	case Gabow:
+		return "Gabow"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Phase identifies one segment of a parallel run's execution
+// breakdown (Figure 7 of the paper).
+type Phase int
+
+const (
+	// PhaseParTrim is the initial parallel Trim.
+	PhaseParTrim Phase = iota
+	// PhaseParFWBW is the data-parallel giant-SCC detection.
+	PhaseParFWBW
+	// PhaseParTrimPost is Par-Trim′ (post-FWBW trimming, including
+	// Trim2 for Method2).
+	PhaseParTrimPost
+	// PhaseParWCC is parallel weakly-connected-component seeding.
+	PhaseParWCC
+	// PhaseRecurFWBW is the task-parallel recursive FW-BW phase.
+	PhaseRecurFWBW
+	// NumPhases is the number of phases.
+	NumPhases
+)
+
+// String returns the phase label used in the paper's Figure 7.
+func (p Phase) String() string { return core.Phase(p).String() }
+
+// Options configures Detect.
+type Options struct {
+	// Algorithm selects the detection algorithm; the zero value is
+	// Method2.
+	Algorithm Algorithm
+	// Workers is the number of parallel workers; <= 0 selects
+	// GOMAXPROCS. Ignored by the sequential algorithms.
+	Workers int
+	// K is the two-level work queue's batch size (§4.3 of the paper);
+	// 0 selects the paper's defaults (1 for Baseline/Method1, 8 for
+	// Method2).
+	K int
+	// GiantThreshold is the node fraction above which a phase-1 SCC
+	// counts as giant; 0 selects the paper's 1%.
+	GiantThreshold float64
+	// MaxPhase1Trials bounds the data-parallel FW-BW trials; 0
+	// selects 3.
+	MaxPhase1Trials int
+	// Seed makes pivot selection reproducible.
+	Seed int64
+	// DisableTrim2 removes the Trim2 step from Method2 (ablation).
+	DisableTrim2 bool
+	// DisableHybrid disables the §4.1 hybrid set representation
+	// (ablation; expect order-of-magnitude slowdowns on large graphs).
+	DisableHybrid bool
+	// TraceTasks records the first N recursive-phase task executions
+	// in Result.TaskLog, like the §3.3 log.
+	TraceTasks int
+	// PivotSample is the number of candidates examined when picking a
+	// phase-1 pivot (0 = 64; 1 = the paper's uniform-random pivot).
+	PivotSample int
+	// TraceSchedule records the recursive phase's task DAG in
+	// Result.TaskTrace for scheduling simulation.
+	TraceSchedule bool
+	// DirOptBFS enables direction-optimizing BFS for the phase-1
+	// reachability sweeps (the §4.2 Beamer-style upgrade).
+	DirOptBFS bool
+	// Trim2Iterations repeats Method2's Trim2+Trim pair (the paper
+	// applies Trim2 once, §3.4); 0 = once.
+	Trim2Iterations int
+	// EnableTrim3 adds a size-3 SCC detection pass after Trim2 (an
+	// extension beyond the paper; see BenchmarkAblationTrim3).
+	EnableTrim3 bool
+	// UseStealing swaps the §4.3 two-level work queue for a
+	// work-stealing scheduler in the recursive phase (design ablation).
+	UseStealing bool
+	// Validate re-checks the decomposition against the graph before
+	// returning (adds O(n+m) verification time).
+	Validate bool
+}
+
+// PhaseStats is one phase's share of a parallel run.
+type PhaseStats struct {
+	// Time is the phase's wall-clock time.
+	Time time.Duration
+	// Nodes is how many nodes had their SCC identified in the phase.
+	Nodes int64
+	// SCCs is how many SCCs the phase emitted.
+	SCCs int64
+	// Rounds is the phase's number of barrier-synchronized parallel
+	// rounds (trim iterations, BFS levels, WCC rounds).
+	Rounds int
+}
+
+// TaskRecord is one recursive-phase task execution in the format of
+// the paper's §3.3 log.
+type TaskRecord struct {
+	// SCC is the size of the SCC the task identified.
+	SCC int
+	// FW, BW and Remain are the sizes of the three partitions the task
+	// produced.
+	FW, BW, Remain int
+}
+
+// TaskTrace is one recorded task for the scheduling simulator.
+type TaskTrace struct {
+	// Parent is the index of the spawning task, or -1 for seeds.
+	Parent int32
+	// Duration is the task's measured sequential duration.
+	Duration time.Duration
+}
+
+// QueueStats reports work-queue behavior for the recursive phase.
+type QueueStats struct {
+	// PeakReady is the maximum number of simultaneously queued tasks —
+	// the paper's "maximum queue depth" measure of available
+	// task-level parallelism.
+	PeakReady int64
+	// Total is the number of tasks ever enqueued.
+	Total int64
+}
+
+// Result is the outcome of a Detect call.
+type Result struct {
+	// Comp maps every node to its SCC representative: two nodes are in
+	// the same SCC iff their Comp entries are equal. Representatives
+	// are node ids, not dense component indices; use Renumber for
+	// dense ids.
+	Comp []int32
+	// NumSCCs is the number of strongly connected components.
+	NumSCCs int64
+	// Algorithm echoes the algorithm that produced the result.
+	Algorithm Algorithm
+	// Total is the end-to-end detection wall time.
+	Total time.Duration
+	// Phases is the per-phase breakdown (parallel algorithms only).
+	Phases [NumPhases]PhaseStats
+	// Queue is the recursive phase's work-queue statistics.
+	Queue QueueStats
+	// TaskLog is the first Options.TraceTasks task executions.
+	TaskLog []TaskRecord
+	// TaskTrace is the recursive phase's task DAG (with
+	// Options.TraceSchedule).
+	TaskTrace []TaskTrace
+	// GiantSCC is the size of the giant SCC peeled in phase 1.
+	GiantSCC int64
+	// Phase1Trials is the number of data-parallel FW-BW trials.
+	Phase1Trials int
+	// Phase1Levels is the total BFS levels across phase-1 trials.
+	Phase1Levels int
+	// WCCComponents is the number of weakly connected components found
+	// by Par-WCC (Method2 only).
+	WCCComponents int
+	// WCCRounds is Par-WCC's propagation round count.
+	WCCRounds int
+	// InitialTasks is the number of tasks seeding the recursive phase.
+	InitialTasks int
+}
+
+// Detect decomposes g into strongly connected components. Detect is
+// safe to call concurrently on the same graph: graphs are immutable
+// and every run allocates its own working state.
+func Detect(g *graph.Graph, opts Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("scc: nil graph")
+	}
+	if opts.K < 0 {
+		return nil, fmt.Errorf("scc: negative work-queue batch size K=%d", opts.K)
+	}
+	if opts.GiantThreshold < 0 || opts.GiantThreshold > 1 {
+		return nil, fmt.Errorf("scc: GiantThreshold %f outside [0,1]", opts.GiantThreshold)
+	}
+	if opts.MaxPhase1Trials < 0 {
+		return nil, fmt.Errorf("scc: negative MaxPhase1Trials %d", opts.MaxPhase1Trials)
+	}
+	if opts.TraceTasks < 0 || opts.PivotSample < 0 || opts.Trim2Iterations < 0 {
+		return nil, fmt.Errorf("scc: negative trace/sample/iteration option")
+	}
+	var res *Result
+	switch opts.Algorithm {
+	case Tarjan:
+		start := time.Now()
+		comp, n := seq.Tarjan(g)
+		res = &Result{Comp: comp, NumSCCs: int64(n), Algorithm: Tarjan, Total: time.Since(start)}
+	case Kosaraju:
+		start := time.Now()
+		comp, n := seq.Kosaraju(g)
+		res = &Result{Comp: comp, NumSCCs: int64(n), Algorithm: Kosaraju, Total: time.Since(start)}
+	case Gabow:
+		start := time.Now()
+		comp, n := seq.Gabow(g)
+		res = &Result{Comp: comp, NumSCCs: int64(n), Algorithm: Gabow, Total: time.Since(start)}
+	case OBF:
+		start := time.Now()
+		r := obf.Run(g, obf.Options{Workers: opts.Workers, K: opts.K, Seed: opts.Seed})
+		res = &Result{
+			Comp:      r.Comp,
+			NumSCCs:   r.NumSCCs,
+			Algorithm: OBF,
+			Total:     time.Since(start),
+			Queue:     QueueStats{PeakReady: r.Queue.PeakReady, Total: r.Queue.Total},
+		}
+	case Coloring:
+		start := time.Now()
+		r := coloring.Run(g, coloring.Options{Workers: opts.Workers})
+		res = &Result{
+			Comp:      r.Comp,
+			NumSCCs:   r.NumSCCs,
+			Algorithm: Coloring,
+			Total:     time.Since(start),
+		}
+	case MultiStep:
+		start := time.Now()
+		r := multistep.Run(g, multistep.Options{Workers: opts.Workers, Seed: opts.Seed})
+		res = &Result{
+			Comp:      r.Comp,
+			NumSCCs:   r.NumSCCs,
+			Algorithm: MultiStep,
+			Total:     time.Since(start),
+			GiantSCC:  r.GiantSCC,
+		}
+	case Baseline, Method1, Method2, FWBW:
+		res = fromCore(opts.Algorithm, core.Run(g, coreAlgorithm(opts.Algorithm), core.Options{
+			Workers:         opts.Workers,
+			K:               opts.K,
+			GiantThreshold:  opts.GiantThreshold,
+			MaxPhase1Trials: opts.MaxPhase1Trials,
+			Seed:            opts.Seed,
+			DisableTrim2:    opts.DisableTrim2,
+			DisableHybrid:   opts.DisableHybrid,
+			TraceTasks:      opts.TraceTasks,
+			PivotSample:     opts.PivotSample,
+			TraceSchedule:   opts.TraceSchedule,
+			DirOptBFS:       opts.DirOptBFS,
+			Trim2Iterations: opts.Trim2Iterations,
+			EnableTrim3:     opts.EnableTrim3,
+			UseStealing:     opts.UseStealing,
+		}))
+	default:
+		return nil, fmt.Errorf("scc: unknown algorithm %v", opts.Algorithm)
+	}
+	if opts.Validate {
+		if err := verify.CheckDecomposition(g, res.Comp); err != nil {
+			return nil, fmt.Errorf("scc: self-validation failed: %w", err)
+		}
+	}
+	return res, nil
+}
+
+func coreAlgorithm(a Algorithm) core.Algorithm {
+	switch a {
+	case Baseline:
+		return core.Baseline
+	case Method1:
+		return core.Method1
+	case FWBW:
+		return core.FWBW
+	default:
+		return core.Method2
+	}
+}
+
+func fromCore(a Algorithm, r *core.Result) *Result {
+	res := &Result{
+		Comp:          r.Comp,
+		NumSCCs:       r.NumSCCs,
+		Algorithm:     a,
+		Total:         r.Total,
+		Queue:         QueueStats{PeakReady: r.Queue.PeakReady, Total: r.Queue.Total},
+		GiantSCC:      r.GiantSCC,
+		Phase1Trials:  r.Phase1Trials,
+		Phase1Levels:  r.Phase1Levels,
+		WCCComponents: r.WCCComponents,
+		WCCRounds:     r.WCCRounds,
+		InitialTasks:  r.InitialTasks,
+	}
+	for p := 0; p < int(NumPhases); p++ {
+		cp := r.Phases[p]
+		res.Phases[p] = PhaseStats{Time: cp.Time, Nodes: cp.Nodes, SCCs: cp.SCCs, Rounds: cp.Rounds}
+	}
+	for _, rec := range r.TaskLog {
+		res.TaskLog = append(res.TaskLog, TaskRecord(rec))
+	}
+	for _, tr := range r.TaskTrace {
+		res.TaskTrace = append(res.TaskTrace, TaskTrace(tr))
+	}
+	return res
+}
+
+// Validate checks that comp is exactly the SCC decomposition of g:
+// every label class is strongly connected and the condensation is
+// acyclic. It is O(n+m) and intended for tests and untrusted inputs.
+func Validate(g *graph.Graph, comp []int32) error {
+	return verify.CheckDecomposition(g, comp)
+}
+
+// SamePartition reports whether two component labelings induce the
+// same partition of the node set (equal up to label renaming).
+func SamePartition(a, b []int32) bool { return verify.SamePartition(a, b) }

@@ -1,0 +1,184 @@
+// Package schedsim models the parallel execution of a recorded run on
+// a machine with P hardware threads, so that the thread sweeps of the
+// paper's Figure 6 can be reproduced on hosts with fewer cores than
+// the authors' 2-socket, 16-core, 32-thread Xeon.
+//
+// Two execution shapes are modeled:
+//
+//   - Task-parallel phases (Recur-FWBW): the engine records the task
+//     dependency DAG with measured sequential durations
+//     (core.Result.TaskTrace); SimulateTasks replays it through greedy
+//     list scheduling on P processors. This captures exactly the
+//     starvation the paper analyzes — a serial chain of tasks cannot
+//     speed up no matter how many processors are simulated, while the
+//     ~10,000 independent WCC tasks of Method 2 scale until the machine
+//     saturates.
+//
+//   - Data-parallel phases (Par-Trim, Par-FWBW, Par-WCC): measured at
+//     one worker, modeled as T(P) = T1/E(P) + rounds·barrier(P), where
+//     E(P) is the machine's effective parallelism and the second term
+//     charges one barrier per BFS level / trim round / WCC round.
+//
+// The machine model encodes the efficiency knees the paper points out
+// in §5: crossing the socket boundary (NUMA) and sharing physical
+// cores (SMT) both yield less than one core's worth of throughput per
+// added thread.
+package schedsim
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// Tier is a group of hardware threads with a common relative speed.
+type Tier struct {
+	// Threads is the number of threads in this tier.
+	Threads int
+	// Speed is each thread's throughput relative to a tier-0 thread.
+	Speed float64
+}
+
+// MachineModel describes the simulated machine.
+type MachineModel struct {
+	// Tiers lists thread groups in the order they are used as the
+	// thread count grows.
+	Tiers []Tier
+	// BarrierCost is the cost of one barrier synchronization across
+	// the participating threads (charged once per parallel round).
+	BarrierCost time.Duration
+}
+
+// PaperMachine models the paper's evaluation host: two Intel Xeon
+// E5-2660 sockets, 8 cores each, 2 hardware threads per core. The
+// first 8 threads are full cores on one socket; threads 9-16 are cores
+// on the second socket discounted for NUMA traffic; threads 17-32 are
+// SMT siblings contributing a fraction of a core each.
+func PaperMachine() MachineModel {
+	return MachineModel{
+		Tiers: []Tier{
+			{Threads: 8, Speed: 1.0},
+			{Threads: 8, Speed: 0.7},
+			{Threads: 16, Speed: 0.35},
+		},
+		BarrierCost: time.Microsecond,
+	}
+}
+
+// Speeds returns the per-thread relative speeds for a run with p
+// threads, in assignment order. p beyond the machine's total threads
+// is clamped.
+func (m MachineModel) Speeds(p int) []float64 {
+	speeds := make([]float64, 0, p)
+	for _, tier := range m.Tiers {
+		for i := 0; i < tier.Threads && len(speeds) < p; i++ {
+			speeds = append(speeds, tier.Speed)
+		}
+	}
+	if len(speeds) == 0 {
+		speeds = append(speeds, 1.0)
+	}
+	return speeds
+}
+
+// EffectiveParallelism is the total throughput (in tier-0 cores) of a
+// p-thread run: the sum of the assigned threads' speeds.
+func (m MachineModel) EffectiveParallelism(p int) float64 {
+	total := 0.0
+	for _, s := range m.Speeds(p) {
+		total += s
+	}
+	return total
+}
+
+// Task is one node of a recorded task DAG.
+type Task struct {
+	// Parent is the index of the task whose execution spawned this
+	// one, or -1 for initially ready tasks.
+	Parent int32
+	// Duration is the task's measured sequential duration.
+	Duration time.Duration
+}
+
+// readyItem is a ready task in the simulation queue.
+type readyItem struct {
+	at time.Duration // when the task became ready
+	id int32
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// SimulateTasks replays the task DAG on p threads of the machine and
+// returns the modeled makespan. Scheduling is greedy: tasks are
+// dispatched in ready order to the processor that can finish them
+// earliest (accounting for per-tier speeds). A task becomes ready the
+// moment its parent completes, matching the engine's work queue, and
+// each dispatch pays one BarrierCost-scaled dequeue overhead.
+func SimulateTasks(tasks []Task, m MachineModel, p int) time.Duration {
+	if len(tasks) == 0 {
+		return 0
+	}
+	speeds := m.Speeds(p)
+	free := make([]time.Duration, len(speeds))
+
+	children := make([][]int32, len(tasks))
+	var ready readyHeap
+	for i, t := range tasks {
+		if t.Parent < 0 {
+			ready = append(ready, readyItem{0, int32(i)})
+		} else {
+			children[t.Parent] = append(children[t.Parent], int32(i))
+		}
+	}
+	heap.Init(&ready)
+
+	var makespan time.Duration
+	for ready.Len() > 0 {
+		item := heap.Pop(&ready).(readyItem)
+		t := tasks[item.id]
+		// Pick the processor minimizing the finish time.
+		bestJ, bestFinish := 0, time.Duration(math.MaxInt64)
+		for j := range free {
+			start := max(item.at, free[j])
+			finish := start + time.Duration(float64(t.Duration)/speeds[j])
+			if finish < bestFinish {
+				bestJ, bestFinish = j, finish
+			}
+		}
+		free[bestJ] = bestFinish
+		if bestFinish > makespan {
+			makespan = bestFinish
+		}
+		for _, c := range children[item.id] {
+			heap.Push(&ready, readyItem{bestFinish, c})
+		}
+	}
+	return makespan
+}
+
+// ModelDataParallel models a barrier-synchronized data-parallel phase
+// that took t1 at one worker with the given number of parallel rounds:
+// the work shrinks by the machine's effective parallelism, and each
+// round pays a barrier whose cost grows logarithmically with the
+// thread count.
+func (m MachineModel) ModelDataParallel(t1 time.Duration, rounds, p int) time.Duration {
+	e := m.EffectiveParallelism(p)
+	work := time.Duration(float64(t1) / e)
+	if p <= 1 {
+		return t1
+	}
+	// Barriers cost slightly more as more threads must rendezvous.
+	barrier := time.Duration(float64(m.BarrierCost) * float64(rounds) * (1 + math.Log2(float64(p))/5))
+	return work + barrier
+}

@@ -1,0 +1,194 @@
+package schedsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func uniformMachine(threads int) MachineModel {
+	return MachineModel{Tiers: []Tier{{Threads: threads, Speed: 1.0}}}
+}
+
+func TestSpeedsClampAndOrder(t *testing.T) {
+	m := PaperMachine()
+	s := m.Speeds(10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < 8; i++ {
+		if s[i] != 1.0 {
+			t.Fatalf("thread %d speed %f", i, s[i])
+		}
+	}
+	for i := 8; i < 10; i++ {
+		if s[i] != 0.7 {
+			t.Fatalf("thread %d speed %f", i, s[i])
+		}
+	}
+	if got := len(m.Speeds(100)); got != 32 {
+		t.Fatalf("over-request gave %d threads", got)
+	}
+	if got := m.Speeds(0); len(got) != 1 {
+		t.Fatalf("zero-request gave %d threads", len(got))
+	}
+}
+
+func TestEffectiveParallelismKnees(t *testing.T) {
+	m := PaperMachine()
+	e8, e16, e32 := m.EffectiveParallelism(8), m.EffectiveParallelism(16), m.EffectiveParallelism(32)
+	if e8 != 8 {
+		t.Fatalf("E(8) = %f", e8)
+	}
+	if math.Abs(e16-(8+8*0.7)) > 1e-9 {
+		t.Fatalf("E(16) = %f", e16)
+	}
+	if math.Abs(e32-(8+8*0.7+16*0.35)) > 1e-9 {
+		t.Fatalf("E(32) = %f", e32)
+	}
+	// Marginal gain per thread must shrink across the knees.
+	if (e16-e8)/8 >= 1.0 || (e32-e16)/16 >= (e16-e8)/8 {
+		t.Fatal("knees not monotone")
+	}
+}
+
+func TestSimulateEmptyAndSingle(t *testing.T) {
+	m := uniformMachine(4)
+	if got := SimulateTasks(nil, m, 4); got != 0 {
+		t.Fatalf("empty makespan %v", got)
+	}
+	tasks := []Task{{Parent: -1, Duration: time.Millisecond}}
+	if got := SimulateTasks(tasks, m, 4); got != time.Millisecond {
+		t.Fatalf("single-task makespan %v", got)
+	}
+}
+
+func TestSimulateSerialChainDoesNotScale(t *testing.T) {
+	// The §3.3 pathology: each task spawns exactly one child. Makespan
+	// is the sum of durations no matter how many processors exist.
+	const n = 100
+	tasks := make([]Task, n)
+	tasks[0] = Task{Parent: -1, Duration: time.Millisecond}
+	for i := 1; i < n; i++ {
+		tasks[i] = Task{Parent: int32(i - 1), Duration: time.Millisecond}
+	}
+	m := uniformMachine(32)
+	for _, p := range []int{1, 8, 32} {
+		got := SimulateTasks(tasks, m, p)
+		if got != n*time.Millisecond {
+			t.Fatalf("p=%d chain makespan %v, want %v", p, got, n*time.Millisecond)
+		}
+	}
+}
+
+func TestSimulateIndependentTasksScaleLinearly(t *testing.T) {
+	// 64 independent 1ms tasks: p procs → ceil(64/p) ms.
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		tasks[i] = Task{Parent: -1, Duration: time.Millisecond}
+	}
+	m := uniformMachine(64)
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		got := SimulateTasks(tasks, m, p)
+		want := time.Duration(64/p) * time.Millisecond
+		if got != want {
+			t.Fatalf("p=%d makespan %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSimulateSlowTierProcessorsUsedWhenBeneficial(t *testing.T) {
+	// 2 tasks, machine with one fast and one half-speed thread: with
+	// p=2 the second task should run on the slow thread (2ms) rather
+	// than queue behind the fast one (1ms+1ms, but finishing at 2ms
+	// too) — makespan must be 2ms, not 3ms.
+	m := MachineModel{Tiers: []Tier{{Threads: 1, Speed: 1.0}, {Threads: 1, Speed: 0.5}}}
+	tasks := []Task{
+		{Parent: -1, Duration: time.Millisecond},
+		{Parent: -1, Duration: time.Millisecond},
+	}
+	got := SimulateTasks(tasks, m, 2)
+	if got != 2*time.Millisecond {
+		t.Fatalf("makespan %v, want 2ms", got)
+	}
+}
+
+func TestSimulateDiamondDependency(t *testing.T) {
+	// root → two children → (children independent): makespan on 2 procs
+	// = root + child; on 1 proc = root + 2×child.
+	tasks := []Task{
+		{Parent: -1, Duration: 4 * time.Millisecond},
+		{Parent: 0, Duration: 3 * time.Millisecond},
+		{Parent: 0, Duration: 3 * time.Millisecond},
+	}
+	m := uniformMachine(8)
+	if got := SimulateTasks(tasks, m, 2); got != 7*time.Millisecond {
+		t.Fatalf("p=2 makespan %v, want 7ms", got)
+	}
+	if got := SimulateTasks(tasks, m, 1); got != 10*time.Millisecond {
+		t.Fatalf("p=1 makespan %v, want 10ms", got)
+	}
+}
+
+func TestModelDataParallelIdentityAtOneThread(t *testing.T) {
+	m := PaperMachine()
+	t1 := 80 * time.Millisecond
+	if got := m.ModelDataParallel(t1, 10, 1); got != t1 {
+		t.Fatalf("T(1) = %v, want %v", got, t1)
+	}
+}
+
+func TestModelDataParallelShrinksThenKnees(t *testing.T) {
+	m := PaperMachine()
+	t1 := 800 * time.Millisecond
+	prev := t1
+	for _, p := range []int{2, 4, 8} {
+		got := m.ModelDataParallel(t1, 20, p)
+		if got >= prev {
+			t.Fatalf("T(%d) = %v did not shrink from %v", p, got, prev)
+		}
+		prev = got
+	}
+	// Within-socket speedup at 8 threads should be near 8x for a phase
+	// with few rounds.
+	got := m.ModelDataParallel(t1, 20, 8)
+	speedup := float64(t1) / float64(got)
+	if speedup < 7 || speedup > 8.01 {
+		t.Fatalf("8-thread modeled speedup %.2f", speedup)
+	}
+	// Barrier cost dominates eventually: a many-round tiny phase must
+	// not scale.
+	tiny := m.ModelDataParallel(100*time.Microsecond, 1000, 32)
+	if tiny < 100*time.Microsecond {
+		t.Fatalf("barrier-bound phase sped up: %v", tiny)
+	}
+}
+
+func TestSimulateManyTasksStress(t *testing.T) {
+	// A fan-out tree with 10k tasks must simulate quickly and produce a
+	// makespan between critical path and total work.
+	const n = 10000
+	tasks := make([]Task, n)
+	var total time.Duration
+	for i := range tasks {
+		d := time.Duration(1+i%7) * time.Microsecond
+		parent := int32(-1)
+		if i > 0 {
+			parent = int32((i - 1) / 3) // ternary tree
+		}
+		tasks[i] = Task{Parent: parent, Duration: d}
+		total += d
+	}
+	m := uniformMachine(16)
+	got := SimulateTasks(tasks, m, 16)
+	if got <= 0 || got > total {
+		t.Fatalf("makespan %v outside (0, %v]", got, total)
+	}
+	seq := SimulateTasks(tasks, m, 1)
+	if seq != total {
+		t.Fatalf("p=1 makespan %v != total work %v", seq, total)
+	}
+	if float64(seq)/float64(got) < 8 {
+		t.Fatalf("tree speedup %.1f, want ≥ 8 on 16 procs", float64(seq)/float64(got))
+	}
+}

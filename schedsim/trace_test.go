@@ -1,0 +1,95 @@
+package schedsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestScheduleMatchesSimulate(t *testing.T) {
+	tasks := []Task{
+		{Parent: -1, Duration: 4 * time.Millisecond},
+		{Parent: 0, Duration: 3 * time.Millisecond},
+		{Parent: 0, Duration: 3 * time.Millisecond},
+		{Parent: 1, Duration: time.Millisecond},
+	}
+	m := uniformMachine(8)
+	for _, p := range []int{1, 2, 4} {
+		placements, makespan := Schedule(tasks, m, p)
+		if got := SimulateTasks(tasks, m, p); got != makespan {
+			t.Fatalf("p=%d: Schedule makespan %v != SimulateTasks %v", p, makespan, got)
+		}
+		if len(placements) != len(tasks) {
+			t.Fatalf("p=%d: %d placements", p, len(placements))
+		}
+		// Placements must respect dependencies and processor exclusivity.
+		finish := map[int32]time.Duration{}
+		for _, pl := range placements {
+			finish[pl.Task] = pl.Finish
+		}
+		for _, pl := range placements {
+			parent := tasks[pl.Task].Parent
+			if parent >= 0 && pl.Start < finish[parent] {
+				t.Fatalf("task %d started before parent finished", pl.Task)
+			}
+		}
+		byProc := map[int][]Placement{}
+		for _, pl := range placements {
+			byProc[pl.Processor] = append(byProc[pl.Processor], pl)
+		}
+		for proc, pls := range byProc {
+			for i := range pls {
+				for j := i + 1; j < len(pls); j++ {
+					a, b := pls[i], pls[j]
+					if a.Start < b.Finish && b.Start < a.Finish {
+						t.Fatalf("processor %d double-booked: %+v vs %+v", proc, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tasks := []Task{
+		{Parent: -1, Duration: time.Millisecond},
+		{Parent: 0, Duration: 2 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tasks, uniformMachine(2), 2); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["name"] == "" {
+		t.Fatalf("event malformed: %v", events[0])
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	m, err := ParseMachine("8x1.0,8x0.7,16x0.35@4us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tiers) != 3 || m.Tiers[1].Speed != 0.7 || m.Tiers[2].Threads != 16 {
+		t.Fatalf("tiers %+v", m.Tiers)
+	}
+	if m.BarrierCost != 4*time.Microsecond {
+		t.Fatalf("barrier %v", m.BarrierCost)
+	}
+	m2, err := ParseMachine("4x1.0")
+	if err != nil || len(m2.Tiers) != 1 || m2.BarrierCost != time.Microsecond {
+		t.Fatalf("simple spec: %v %+v", err, m2)
+	}
+	for _, bad := range []string{"", "x1.0", "4x0", "0x1", "4x1.0@nope", "a,b"} {
+		if _, err := ParseMachine(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
