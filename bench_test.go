@@ -13,6 +13,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/dist"
@@ -293,5 +294,21 @@ func BenchmarkAblationScheduler(b *testing.B) {
 	})
 	b.Run("stealing", func(b *testing.B) {
 		benchDetect(b, "flickr", scc.Method2, scc.Options{Seed: 1, UseStealing: true})
+	})
+}
+
+// --- API overhead: context and observer layer ----------------------
+
+// BenchmarkDetect is the reference cost of the primary entry point
+// with no observer — the configuration whose overhead versus the raw
+// engine must stay within noise.
+func BenchmarkDetect(b *testing.B) {
+	b.Run("nil-observer", func(b *testing.B) {
+		benchDetect(b, "livej", scc.Method2, scc.Options{Seed: 1})
+	})
+	b.Run("counting-observer", func(b *testing.B) {
+		var count atomic.Int64
+		benchDetect(b, "livej", scc.Method2, scc.Options{Seed: 1,
+			Observer: scc.ObserverFunc(func(scc.Event) { count.Add(1) })})
 	})
 }

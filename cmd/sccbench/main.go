@@ -21,6 +21,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"repro/experiments"
+	"repro/scc"
 	"repro/schedsim"
 )
 
@@ -203,6 +205,21 @@ func mustFind(name string) experiments.Dataset {
 }
 
 func fatal(err error) {
+	// Detection errors bubbling out of the experiments are typed;
+	// distinguish configuration mistakes from interrupted runs.
+	switch {
+	case errors.Is(err, scc.ErrInvalidOption):
+		var oe *scc.OptionError
+		if errors.As(err, &oe) {
+			fmt.Fprintf(os.Stderr, "sccbench: bad option %s: %v\n", oe.Field, err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "sccbench:", err)
+		os.Exit(2)
+	case errors.Is(err, scc.ErrCanceled):
+		fmt.Fprintln(os.Stderr, "sccbench: run canceled:", err)
+		os.Exit(3)
+	}
 	fmt.Fprintln(os.Stderr, "sccbench:", err)
 	os.Exit(1)
 }

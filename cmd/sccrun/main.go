@@ -6,9 +6,12 @@
 //	sccrun -alg method2 -workers 8 graph.sccg
 //	sccrun -alg tarjan graph.sccg
 //	sccrun -alg method1 -tasklog 5 -text edges.txt
+//	sccrun -alg method2 -timeout 30s -progress graph.sccg
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +37,8 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile to this file")
 		chrome   = flag.String("chrometrace", "", "record the recursive phase's task schedule (simulated on the paper machine at 32 threads) as Chrome trace JSON")
+		timeout  = flag.Duration("timeout", 0, "abort detection after this duration (0 = no limit)")
+		progress = flag.Bool("progress", false, "stream phase and round progress to stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -61,7 +66,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	res, err := scc.Detect(g, scc.Options{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var obs scc.Observer
+	if *progress {
+		obs = progressObserver{}
+	}
+	res, err := scc.DetectContext(ctx, g, scc.Options{
 		Algorithm:     alg,
 		Workers:       *workers,
 		K:             *k,
@@ -69,9 +84,23 @@ func main() {
 		Validate:      *validate,
 		TraceTasks:    *tasklog,
 		TraceSchedule: *chrome != "",
+		Observer:      obs,
 	})
 	if err != nil {
-		fatal(err)
+		switch {
+		case errors.Is(err, scc.ErrCanceled):
+			fmt.Fprintf(os.Stderr, "sccrun: detection did not finish within %v: %v\n", *timeout, err)
+			os.Exit(3)
+		case errors.Is(err, scc.ErrInvalidOption):
+			var oe *scc.OptionError
+			if errors.As(err, &oe) {
+				fmt.Fprintf(os.Stderr, "sccrun: bad option %s: %v\n", oe.Field, err)
+				os.Exit(2)
+			}
+			fatal(err)
+		default:
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("algorithm:   %v\n", res.Algorithm)
@@ -170,6 +199,30 @@ func load(path string, text bool) (*graph.Graph, error) {
 		return graph.ReadEdgeList(f)
 	}
 	return graph.LoadFile(path)
+}
+
+// progressObserver streams phase and round progress to stderr.
+// Per-task events are skipped — at millions of tasks they would
+// dominate the run.
+type progressObserver struct{}
+
+func (progressObserver) Observe(ev scc.Event) {
+	phase := scc.Phase(ev.Phase)
+	switch ev.Type {
+	case scc.EventPhaseStart:
+		fmt.Fprintf(os.Stderr, "[%s] start\n", phase)
+	case scc.EventPhaseEnd:
+		fmt.Fprintf(os.Stderr, "[%s] done: rounds=%d nodes=%d sccs=%d\n",
+			phase, ev.Round, ev.Nodes, ev.SCCs)
+	case scc.EventTrimRound:
+		fmt.Fprintf(os.Stderr, "[%s] trim round %d: removed %d\n", phase, ev.Round, ev.Nodes)
+	case scc.EventBFSLevel:
+		fmt.Fprintf(os.Stderr, "[%s] BFS level %d: frontier %d\n", phase, ev.Round, ev.Frontier)
+	case scc.EventWCCRound:
+		fmt.Fprintf(os.Stderr, "[%s] WCC round %d\n", phase, ev.Round)
+	case scc.EventQueueSample:
+		fmt.Fprintf(os.Stderr, "[%s] queue: %d pending, %d executed\n", phase, ev.Queued, ev.Executed)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/gen"
+	"repro/scc"
+)
+
+// cancelOnEvent cancels the run from inside the observer the first
+// time an event of the given type arrives.
+type cancelOnEvent struct {
+	typ    EventType
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+// EventType mirrors scc.EventType for dist observers.
+type EventType = scc.EventType
+
+func (c *cancelOnEvent) Observe(ev Event) {
+	if ev.Type == c.typ {
+		c.once.Do(c.cancel)
+	}
+}
+
+// TestRunContextCancel cancels during the first trim round and checks
+// the typed error and the discarded result.
+func TestRunContextCancel(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(12, 8, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &cancelOnEvent{typ: scc.EventTrimRound, cancel: cancel}
+
+	res, err := RunContext(ctx, g, Options{Workers: 4, Seed: 2, Observer: obs})
+	if res != nil {
+		t.Fatalf("canceled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, scc.ErrCanceled) {
+		t.Fatalf("errors.Is(err, scc.ErrCanceled) = false; err = %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false; err = %v", err)
+	}
+	var se *scc.Error
+	if !errors.As(err, &se) || se.Op != "dist" {
+		t.Fatalf("want *scc.Error with Op=dist, got %v", err)
+	}
+}
+
+// TestRunContextAlreadyCanceled checks that a pre-canceled context
+// stops the run at the first superstep boundary.
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, g, Options{Workers: 4, Seed: 2})
+	if res != nil || !errors.Is(err, scc.ErrCanceled) {
+		t.Fatalf("want canceled error and nil result, got res=%v err=%v", res, err)
+	}
+}
+
+// TestRunContextEvents checks that the distributed driver emits the
+// phase sequence Trim, FWBW, Trim, WCC, Gather with nested boundary
+// events and superstep-attributed kernel rounds.
+func TestRunContextEvents(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(11, 8, 3))
+	var mu sync.Mutex
+	var events []Event
+	obs := obsFunc(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	res, err := RunContext(context.Background(), g, Options{Workers: 4, Seed: 3, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSCCs == 0 {
+		t.Fatal("empty result")
+	}
+	want := []PhaseID{PhaseTrim, PhaseFWBW, PhaseTrim, PhaseWCC, PhaseGather}
+	var starts []PhaseID
+	open := PhaseID(-1)
+	for i, ev := range events {
+		switch ev.Type {
+		case scc.EventPhaseStart:
+			if open != -1 {
+				t.Fatalf("event %d: %v started inside %v", i, PhaseID(ev.Phase), open)
+			}
+			open = PhaseID(ev.Phase)
+			starts = append(starts, open)
+		case scc.EventPhaseEnd:
+			if open != PhaseID(ev.Phase) {
+				t.Fatalf("event %d: %v ended but %v open", i, PhaseID(ev.Phase), open)
+			}
+			open = -1
+		default:
+			if open != PhaseID(ev.Phase) {
+				t.Fatalf("event %d: %v stamped %v outside that phase", i, ev.Type, PhaseID(ev.Phase))
+			}
+		}
+	}
+	if len(starts) != len(want) {
+		t.Fatalf("phases %v, want %v", starts, want)
+	}
+	for i := range want {
+		if starts[i] != want[i] {
+			t.Fatalf("phase sequence %v, want %v", starts, want)
+		}
+	}
+}
+
+// obsFunc adapts a function to Observer for tests.
+type obsFunc func(Event)
+
+func (f obsFunc) Observe(ev Event) { f(ev) }

@@ -30,8 +30,18 @@ import (
 	"time"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 )
+
+// Event is one structured progress event from a distributed run; it
+// is the same type the scc package streams, so one Observer can serve
+// both engines. Event.Phase carries the int value of a PhaseID.
+type Event = events.Event
+
+// Observer receives progress events; see scc.Observer for the
+// concurrency contract.
+type Observer = events.Observer
 
 // Options configures a distributed run.
 type Options struct {
@@ -49,6 +59,10 @@ type Options struct {
 	Transport Transport
 	// Partition selects the node-to-worker assignment strategy.
 	Partition Partition
+	// Observer, if non-nil, receives structured progress events
+	// (phase boundaries, superstep rounds) during the run. A nil
+	// Observer costs nothing.
+	Observer Observer
 }
 
 // Partition is a node-to-worker assignment strategy.
@@ -171,6 +185,9 @@ type cluster struct {
 
 	tr  Transport
 	rng uint64
+	// sink carries the run's cancellation context and observer; nil
+	// when neither is in use.
+	sink *events.Sink
 }
 
 // newCluster partitions g across w workers and builds boundary maps.

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/seq"
 )
@@ -33,7 +34,11 @@ func (c *cluster) aliveDegrees(wk int, v graph.NodeID, col int32) (in, out int) 
 // in place and accumulates stats.
 func (c *cluster) distTrim(alive [][]graph.NodeID, st *PhaseStats) {
 	changed := make([]int64, c.w)
+	round := 0
 	for {
+		if c.sink.Err() != nil {
+			return
+		}
 		st.Messages += c.refreshGhostsCounted(st)
 		parallel.Run(c.w, func(wk int) {
 			kept := alive[wk][:0]
@@ -60,6 +65,8 @@ func (c *cluster) distTrim(alive [][]graph.NodeID, st *PhaseStats) {
 		for _, n := range changed {
 			total += n
 		}
+		round++
+		c.sink.Emit(events.Event{Type: events.TrimRound, Round: round, Nodes: total})
 		if total == 0 {
 			return
 		}
@@ -125,7 +132,17 @@ func (c *cluster) distBFS(seeds []graph.NodeID, reverse bool, from []int32, to [
 	outbox, inbox := c.newOutbox()
 
 	nonEmpty := true
+	level := 0
 	for nonEmpty {
+		if c.sink.Err() != nil {
+			break
+		}
+		level++
+		var fsize int
+		for wk := range frontier {
+			fsize += len(frontier[wk])
+		}
+		c.sink.Emit(events.Event{Type: events.BFSLevel, Round: level, Frontier: fsize})
 		st.Supersteps++
 		// Expand local frontiers; remote targets become visit messages.
 		parallel.Run(c.w, func(wk int) {
@@ -202,6 +219,9 @@ func (c *cluster) distFWBW(alive [][]graph.NodeID, st *PhaseStats) int64 {
 	var giant int64
 	nextColor := int32(1)
 	for trial := 0; trial < c.opt.MaxPhase1Trials; trial++ {
+		if c.sink.Err() != nil {
+			break
+		}
 		target := c.largestColor(alive)
 		pivot := c.pickPivot(alive, target)
 		if pivot < 0 {
@@ -288,7 +308,13 @@ func (c *cluster) distWCC(alive [][]graph.NodeID, st *PhaseStats) []int32 {
 	}
 	outbox, inbox := c.newOutbox()
 	changed := make([]bool, c.w)
+	round := 0
 	for {
+		if c.sink.Err() != nil {
+			return label
+		}
+		round++
+		c.sink.Emit(events.Event{Type: events.WCCRound, Round: round})
 		// Broadcast labels of boundary nodes, then pull the minimum
 		// over same-color neighbors.
 		parallel.Run(c.w, func(wk int) {

@@ -1,36 +1,58 @@
 package dist
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/scc"
 )
+
+// Run executes the distributed SCC decomposition of g on a simulated
+// cluster. It is RunContext with a background context; a transport
+// failure (impossible with the in-memory transport) panics — use
+// RunTransport or RunContext to receive it as an error.
+func Run(g *graph.Graph, opt Options) *Result {
+	res, err := RunContext(context.Background(), g, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
 
 // RunTransport executes the distributed decomposition over the
 // transport configured in opt, converting transport failures into an
-// error (the in-memory transport cannot fail).
-func RunTransport(g *graph.Graph, opt Options) (res *Result, err error) {
+// error. It is RunContext with a background context.
+func RunTransport(g *graph.Graph, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, opt)
+}
+
+// RunContext executes the distributed SCC decomposition of g under
+// ctx. Cancellation is cooperative at superstep granularity: every
+// BSP phase polls ctx between barriers, so a canceled run returns
+// within one superstep with an error wrapping both scc.ErrCanceled
+// and ctx.Err(); partial results are discarded. Transport failures
+// are returned as errors. Progress events stream to opt.Observer
+// with Event.Phase carrying the PhaseID.
+func RunContext(ctx context.Context, g *graph.Graph, opt Options) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if te, ok := r.(transportError); ok {
-				res, err = nil, te.err
+				res, err = nil, &scc.Error{Op: "dist", Err: te.err}
 				return
 			}
 			panic(r)
 		}
 	}()
-	return Run(g, opt), nil
-}
-
-// Run executes the distributed SCC decomposition of g on a simulated
-// cluster.
-func Run(g *graph.Graph, opt Options) *Result {
 	opt = opt.withDefaults()
 	c := newCluster(g, opt)
-	res := &Result{Comp: c.comp}
+	c.sink = events.NewSink(ctx, opt.Observer)
+	res = &Result{Comp: c.comp}
 	if g.NumNodes() == 0 {
-		return res
+		return res, nil
 	}
 	start := time.Now()
 
@@ -40,19 +62,47 @@ func Run(g *graph.Graph, opt Options) *Result {
 		alive[wk] = append([]graph.NodeID(nil), c.owned[wk]...)
 	})
 
+	c.phaseStart(PhaseTrim)
 	timePhase(&res.Phases[PhaseTrim], func() { c.distTrim(alive, &res.Phases[PhaseTrim]) })
+	c.phaseEnd(PhaseTrim, &res.Phases[PhaseTrim])
+	if cerr := c.sink.Err(); cerr != nil {
+		return nil, canceled(cerr)
+	}
+
+	c.phaseStart(PhaseFWBW)
 	timePhase(&res.Phases[PhaseFWBW], func() { res.GiantSCC = c.distFWBW(alive, &res.Phases[PhaseFWBW]) })
-	timePhase(&res.Phases[PhaseTrim], func() { c.distTrim(alive, &res.Phases[PhaseTrim]) })
-	// Par-Trim′'s Trim2 step, distributed (§3.4 order: Trim, Trim2,
-	// Trim).
+	c.phaseEnd(PhaseFWBW, &res.Phases[PhaseFWBW])
+	if cerr := c.sink.Err(); cerr != nil {
+		return nil, canceled(cerr)
+	}
+
+	// Par-Trim′'s Trim, Trim2, Trim sequence, distributed (§3.4 order).
+	c.phaseStart(PhaseTrim)
 	timePhase(&res.Phases[PhaseTrim], func() {
+		c.distTrim(alive, &res.Phases[PhaseTrim])
 		c.distTrim2(alive, &res.Phases[PhaseTrim])
 		c.distTrim(alive, &res.Phases[PhaseTrim])
 	})
+	c.phaseEnd(PhaseTrim, &res.Phases[PhaseTrim])
+	if cerr := c.sink.Err(); cerr != nil {
+		return nil, canceled(cerr)
+	}
 
 	var label []int32
+	c.phaseStart(PhaseWCC)
 	timePhase(&res.Phases[PhaseWCC], func() { label = c.distWCC(alive, &res.Phases[PhaseWCC]) })
+	c.phaseEnd(PhaseWCC, &res.Phases[PhaseWCC])
+
+	if cerr := c.sink.Err(); cerr != nil {
+		return nil, canceled(cerr)
+	}
+	c.phaseStart(PhaseGather)
 	timePhase(&res.Phases[PhaseGather], func() { c.gather(alive, label, &res.Phases[PhaseGather]) })
+	c.phaseEnd(PhaseGather, &res.Phases[PhaseGather])
+
+	if cerr := c.sink.Err(); cerr != nil {
+		return nil, canceled(cerr)
+	}
 
 	// Count SCCs: every representative is a member of its own SCC.
 	counts := make([]int64, c.w)
@@ -69,7 +119,26 @@ func Run(g *graph.Graph, opt Options) *Result {
 		res.NumSCCs += n
 	}
 	res.Total = time.Since(start)
-	return res
+	return res, nil
+}
+
+// canceled wraps a context error so that errors.Is matches both
+// scc.ErrCanceled and the context's own error.
+func canceled(ctxErr error) error {
+	return &scc.Error{Op: "dist", Err: fmt.Errorf("%w: %w", scc.ErrCanceled, ctxErr)}
+}
+
+// phaseStart stamps subsequent events with the phase id and emits the
+// PhaseStart boundary event.
+func (c *cluster) phaseStart(p PhaseID) {
+	c.sink.SetPhase(int(p))
+	c.sink.Emit(events.Event{Type: events.PhaseStart})
+}
+
+// phaseEnd emits the PhaseEnd boundary event; Round carries the
+// phase's cumulative superstep count.
+func (c *cluster) phaseEnd(p PhaseID, st *PhaseStats) {
+	c.sink.Emit(events.Event{Type: events.PhaseEnd, Round: st.Supersteps})
 }
 
 func timePhase(st *PhaseStats, fn func()) {

@@ -20,6 +20,9 @@ import (
 // notifies the partner's owner. All removals are deferred to the apply
 // phase so detection never observes its own effects.
 func (c *cluster) distTrim2(alive [][]graph.NodeID, st *PhaseStats) {
+	if c.sink.Err() != nil {
+		return
+	}
 	// Superstep 1: refresh ghost colors, precompute every alive node's
 	// degrees on the snapshot, and exchange boundary degrees. Degrees
 	// are packed into the message value (in-degree high 16 bits, out

@@ -9,8 +9,16 @@
 //	graph       CSR directed graphs, I/O, statistics
 //	gen         synthetic graph generators (R-MAT, lattices, DAGs, ...)
 //	scc         SCC detection: Tarjan, Kosaraju, Baseline, Method1, Method2
+//	dist        the §6 distributed (BSP message-passing) pipeline
 //	schedsim    machine model + list-scheduling simulator for thread sweeps
 //	experiments dataset suite and per-figure experiment runners
+//
+// The primary entry point is scc.DetectContext, which honors
+// cancellation and deadlines and streams progress events:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	res, err := scc.DetectContext(ctx, g, scc.Options{})
 //
 // See README.md for a tour and DESIGN.md for the system inventory.
 package repro

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,10 +38,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// RunContext mirrors scc.DetectContext: the simulated cluster
+	// honors cancellation at superstep boundaries.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	fmt.Printf("%8s %10s %10s %11s %10s %8s\n",
 		"workers", "messages", "msgs/edge", "supersteps", "time", "correct")
 	for _, w := range []int{1, 2, 4, 8, 16} {
-		res := dist.Run(g, dist.Options{Workers: w, Seed: 1})
+		res, err := dist.RunContext(ctx, g, dist.Options{Workers: w, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
 		var msgs int64
 		var steps int
 		for p := dist.PhaseID(0); p < dist.NumDistPhases; p++ {

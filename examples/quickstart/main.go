@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/graph"
 	"repro/scc"
@@ -29,8 +31,12 @@ func main() {
 	g := b.Build()
 
 	// Method2 is the paper's full algorithm and the default; on a
-	// graph this small any algorithm works equally well.
-	res, err := scc.Detect(g, scc.Options{Validate: true})
+	// graph this small any algorithm works equally well. DetectContext
+	// honors deadlines and cancellation — on large inputs, pass a
+	// context with a timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := scc.DetectContext(ctx, g, scc.Options{Validate: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +46,7 @@ func main() {
 
 	// Comp maps each node to its component representative; Renumber
 	// gives dense component ids.
-	dense, k := scc.Renumber(res.Comp)
+	dense, k := res.Renumber()
 	for c := int32(0); c < int32(k); c++ {
 		fmt.Printf("  component %d:", c)
 		for v := 0; v < g.NumNodes(); v++ {

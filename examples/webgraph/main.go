@@ -46,13 +46,14 @@ func main() {
 	counts := map[int32]int64{}
 	var giantRep int32
 	var giantSize int64
-	for _, c := range res.Comp {
+	for v := 0; v < g.NumNodes(); v++ {
+		c := res.ComponentOf(int32(v))
 		counts[c]++
 		if counts[c] > giantSize {
 			giantSize, giantRep = counts[c], c
 		}
 	}
-	inCore := func(v graph.NodeID) bool { return res.Comp[v] == giantRep }
+	inCore := func(v graph.NodeID) bool { return res.ComponentOf(int32(v)) == giantRep }
 
 	fwd := reach(g, inCore, false)
 	bwd := reach(g, inCore, true)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -96,7 +97,10 @@ func figure6On(g *graph.Graph, name string, threads []int, mode Mode, machine sc
 }
 
 func detect(g *graph.Graph, opts scc.Options) *scc.Result {
-	res, err := scc.Detect(g, opts)
+	// The experiment drivers run under the callers' process lifetime;
+	// context.Background keeps them uncancellable while still going
+	// through the primary DetectContext entry point.
+	res, err := scc.DetectContext(context.Background(), g, opts)
 	if err != nil {
 		panic(err)
 	}

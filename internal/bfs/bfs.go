@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 )
 
@@ -39,9 +40,14 @@ type Result struct {
 // node. Seeds must already carry their post-claim colors; they are
 // expanded unconditionally and not counted in Result.Claimed.
 //
+// sink carries cancellation and observability (nil is valid and
+// free): each level barrier emits a BFSLevel event and polls
+// cancellation, returning the partial result early when the run is
+// canceled — callers discard partial state via the sink's error.
+//
 // The color slice is shared with concurrent readers/writers and is
 // accessed only with atomic operations.
-func Run(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+func Run(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 	color []int32, transitions []Transition) Result {
 
 	res := Result{Claimed: make([]int64, len(transitions))}
@@ -62,7 +68,11 @@ func Run(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 	}
 
 	for len(frontier) > 0 {
+		if sink.Err() != nil {
+			break
+		}
 		res.Levels++
+		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: len(frontier)})
 		// Chunk size tuned small: frontier nodes have wildly varying
 		// degree on scale-free graphs (§4.3 dynamic scheduling).
 		parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
@@ -109,7 +119,7 @@ func Run(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 // RunCollect is Run but additionally returns every node claimed during
 // the traversal (excluding seeds), for callers that need the visited
 // set as an explicit list.
-func RunCollect(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+func RunCollect(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 	color []int32, transitions []Transition) (Result, []graph.NodeID) {
 
 	res := Result{Claimed: make([]int64, len(transitions))}
@@ -127,7 +137,11 @@ func RunCollect(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 		claims[w] = make([]int64, len(transitions))
 	}
 	for len(frontier) > 0 {
+		if sink.Err() != nil {
+			break
+		}
 		res.Levels++
+		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: len(frontier)})
 		parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
 			buf := next[w]
 			cnt := claims[w]

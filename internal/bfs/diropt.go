@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 )
 
@@ -40,8 +41,9 @@ func (c DirOptConfig) withDefaults() DirOptConfig {
 // optimization. candidates must contain every node the traversal
 // could possibly claim (e.g. the current partition's member list);
 // nil means all nodes of g. The result is the same claimed set as
-// Run's — only the visit schedule differs.
-func RunDirOpt(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+// Run's — only the visit schedule differs. Like Run, each level
+// emits a BFSLevel event on sink and polls cancellation.
+func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 	color []int32, transitions []Transition, candidates []graph.NodeID, cfg DirOptConfig) Result {
 
 	res := Result{Claimed: make([]int64, len(transitions))}
@@ -96,7 +98,11 @@ func RunDirOpt(g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
 	bottomUp := false
 
 	for len(frontier) > 0 && len(remaining) > 0 {
+		if sink.Err() != nil {
+			break
+		}
 		res.Levels++
+		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: len(frontier)})
 		if !bottomUp && len(frontier)*cfg.Alpha > len(remaining) {
 			bottomUp = true
 		}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/worklist"
 )
@@ -156,6 +157,11 @@ type Options struct {
 	// UseStealing replaces the paper's two-level work queue with a
 	// work-stealing scheduler in phase 2 (§4.3 design ablation).
 	UseStealing bool
+	// Observer, if non-nil, receives structured progress events
+	// (phase boundaries, trim/BFS/WCC rounds, task completions) as the
+	// run executes. It must be safe for concurrent use; see
+	// internal/events. A nil observer costs nothing.
+	Observer events.Observer
 }
 
 func (o Options) withDefaults(alg Algorithm) Options {
@@ -301,8 +307,12 @@ type engine struct {
 
 	nextColor atomic.Int32
 	res       *Result
+	// sink carries the run's cancellation context and observer; nil
+	// when neither is in use (the common, zero-overhead case).
+	sink *events.Sink
 
 	taskCount atomic.Int64 // phase-2 tasks executed (for TraceTasks)
+	obsTasks  atomic.Int64 // phase-2 tasks observed (QueueSample pacing)
 	rngState  atomic.Uint64
 }
 

@@ -21,6 +21,9 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 		threshold = 1
 	}
 	for trial := 0; trial < e.opt.MaxPhase1Trials && len(alive) > 0; trial++ {
+		if e.stopped() {
+			return alive
+		}
 		e.res.Phase1Trials++
 		c, members := e.largestPartition(alive)
 		if len(members) == 0 {
@@ -36,10 +39,10 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 		fwTrans := []bfs.Transition{{From: c, To: cfw}}
 		var fwRes bfs.Result
 		if e.opt.DirOptBFS {
-			fwRes = bfs.RunDirOpt(e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color,
+			fwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color,
 				fwTrans, members, bfs.DirOptConfig{})
 		} else {
-			fwRes = bfs.Run(e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color, fwTrans)
+			fwRes = bfs.Run(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color, fwTrans)
 		}
 		// Backward sweep: unvisited partition nodes become BW; nodes
 		// already in FW are the SCC (Lemma 1: FW ∩ BW).
@@ -47,10 +50,17 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 		bwTrans := []bfs.Transition{{From: c, To: cbw}, {From: cfw, To: cscc}}
 		var bwRes bfs.Result
 		if e.opt.DirOptBFS {
-			bwRes = bfs.RunDirOpt(e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color,
+			bwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color,
 				bwTrans, members, bfs.DirOptConfig{})
 		} else {
-			bwRes = bfs.Run(e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color, bwTrans)
+			bwRes = bfs.Run(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color, bwTrans)
+		}
+		if e.stopped() {
+			// The backward sweep may have been cut short; the partial
+			// coloring is unusable for SCC publication, so unwind
+			// without claiming anything. The whole Result is discarded
+			// by RunContext.
+			return alive
 		}
 		e.res.Phase1Levels += fwRes.Levels + bwRes.Levels
 		e.res.Phases[PhaseParFWBW].Rounds += fwRes.Levels + bwRes.Levels

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/worklist"
 )
 
@@ -28,6 +30,7 @@ type taskQueue interface {
 	Seed([]task)
 	Push(worker int, t task)
 	Run(fn func(worker int, t task))
+	Cancel()
 	stats() worklist.Stats
 }
 
@@ -53,6 +56,13 @@ func (e *engine) phase2(tasks []task) {
 		q = twoLevelQueue{worklist.New[task](e.opt.Workers, e.opt.K)}
 	}
 	q.Seed(tasks)
+	// Cooperative cancellation: the queue's dequeue loop is phase 2's
+	// round boundary, so a context fire stops dispatch after the
+	// in-flight tasks finish and Run unwinds with no leaked workers.
+	if ctx := e.sink.Context(); ctx != nil {
+		stop := context.AfterFunc(ctx, q.Cancel)
+		defer stop()
+	}
 	scratch := make([]recurScratch, e.opt.Workers)
 	var (
 		nodes atomic.Int64
@@ -83,6 +93,16 @@ func (e *engine) phase2(tasks []task) {
 		}
 		nodes.Add(int64(rec.SCC))
 		sccs.Add(1)
+		if e.sink.Active() {
+			e.sink.Emit(events.Event{Type: events.TaskDone, Nodes: int64(rec.SCC)})
+			// Periodic queue-depth samples (every 64th task) expose the
+			// paper's task-level-parallelism measure live.
+			if e.obsTasks.Add(1)%64 == 0 {
+				st := q.stats()
+				e.sink.Emit(events.Event{Type: events.QueueSample,
+					Queued: st.Total - st.Executed, Executed: st.Executed})
+			}
+		}
 		if e.opt.TraceTasks > 0 && e.taskCount.Add(1) <= int64(e.opt.TraceTasks) {
 			logMu.Lock()
 			e.res.TaskLog = append(e.res.TaskLog, rec)

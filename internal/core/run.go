@@ -1,16 +1,34 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/trim"
 	"repro/internal/wcc"
 )
 
 // Run executes the selected algorithm on g and returns the SCC
-// decomposition with full instrumentation.
+// decomposition with full instrumentation. It is RunContext with a
+// background context: it cannot be canceled and never fails.
 func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
+	res, _ := RunContext(context.Background(), g, alg, opt)
+	return res
+}
+
+// RunContext executes the selected algorithm on g under ctx.
+// Cancellation is cooperative: the engine polls ctx at every phase
+// boundary, and the kernels poll it at every barrier-synchronized
+// round (trim iterations, BFS levels, WCC rounds, work-queue
+// dequeues). A canceled run unwinds cleanly — all worker goroutines
+// join before RunContext returns — and yields (nil, ctx.Err()).
+//
+// Progress events are delivered to opt.Observer (see
+// internal/events); with no observer and a never-canceled context the
+// instrumentation adds no measurable cost.
+func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options) (*Result, error) {
 	opt = opt.withDefaults(alg)
 	n := g.NumNodes()
 	e := &engine{
@@ -20,6 +38,7 @@ func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
 		color: make([]int32, n),
 		comp:  make([]int32, n),
 		res:   &Result{},
+		sink:  events.NewSink(ctx, opt.Observer),
 	}
 	for i := range e.comp {
 		e.comp[i] = -1
@@ -41,10 +60,31 @@ func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
 		panic("core: unknown algorithm")
 	}
 	e.res.Total = time.Since(start)
+	if err := e.sink.Err(); err != nil {
+		return nil, err
+	}
 	for p := Phase(0); p < NumPhases; p++ {
 		e.res.NumSCCs += e.res.Phases[p].SCCs
 	}
-	return e.res
+	return e.res, nil
+}
+
+// stopped reports whether the run's context has been canceled; the
+// run methods bail out at the next phase boundary when it fires.
+func (e *engine) stopped() bool { return e.sink.Err() != nil }
+
+// phaseStart stamps subsequent kernel events with phase p and emits
+// the PhaseStart boundary event.
+func (e *engine) phaseStart(p Phase) {
+	e.sink.SetPhase(int(p))
+	e.sink.Emit(events.Event{Type: events.PhaseStart})
+}
+
+// phaseEnd emits the PhaseEnd boundary event with the phase's
+// cumulative totals.
+func (e *engine) phaseEnd(p Phase) {
+	st := e.res.Phases[p]
+	e.sink.Emit(events.Event{Type: events.PhaseEnd, Round: st.Rounds, Nodes: st.Nodes, SCCs: st.SCCs})
 }
 
 // timePhase runs fn and adds its wall time to the given phase.
@@ -59,7 +99,7 @@ func (e *engine) timePhase(p Phase, fn func()) {
 func (e *engine) parTrim(p Phase, candidates []graph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
 	e.timePhase(p, func() {
-		res, alive := trim.Par(e.g, e.opt.Workers, e.color, e.comp, candidates)
+		res, alive := trim.Par(e.sink, e.g, e.opt.Workers, e.color, e.comp, candidates)
 		e.res.Phases[p].Nodes += res.Removed
 		e.res.Phases[p].SCCs += res.SCCs
 		e.res.Phases[p].Rounds += res.Rounds
@@ -71,10 +111,17 @@ func (e *engine) parTrim(p Phase, candidates []graph.NodeID) []graph.NodeID {
 // runBaseline is Algorithm 3: Par-Trim, then recursive FW-BW from a
 // single initial partition.
 func (e *engine) runBaseline() {
+	e.phaseStart(PhaseParTrim)
 	alive := e.parTrim(PhaseParTrim, nil)
+	e.phaseEnd(PhaseParTrim)
+	if e.stopped() {
+		return
+	}
+	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
 		e.phase2(e.buildTasks(alive))
 	})
+	e.phaseEnd(PhaseRecurFWBW)
 }
 
 // runFWBW is the original FW-BW algorithm of Fleischer et al.: the
@@ -86,39 +133,69 @@ func (e *engine) runFWBW() {
 	for i := range all {
 		all[i] = graph.NodeID(i)
 	}
+	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
 		e.phase2([]task{{c: 0, nodes: all, parent: -1}})
 	})
+	e.phaseEnd(PhaseRecurFWBW)
 }
 
 // runMethod1 is Algorithm 6: Par-Trim, data-parallel FW-BW for the
 // giant SCC, Par-Trim again, then the recursive phase.
 func (e *engine) runMethod1() {
+	e.phaseStart(PhaseParTrim)
 	alive := e.parTrim(PhaseParTrim, nil)
+	e.phaseEnd(PhaseParTrim)
+	if e.stopped() {
+		return
+	}
+	e.phaseStart(PhaseParFWBW)
 	e.timePhase(PhaseParFWBW, func() {
 		alive = e.parFWBW(alive)
 	})
+	e.phaseEnd(PhaseParFWBW)
+	if e.stopped() {
+		return
+	}
+	e.phaseStart(PhaseParTrimPost)
 	alive = e.parTrim(PhaseParTrimPost, alive)
+	e.phaseEnd(PhaseParTrimPost)
+	if e.stopped() {
+		return
+	}
+	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
 		e.phase2(e.buildTasks(alive))
 	})
+	e.phaseEnd(PhaseRecurFWBW)
 }
 
 // runMethod2 is Algorithm 9: Par-Trim, Par-FWBW, Par-Trim′ (Trim,
 // Trim2, Trim), Par-WCC, then the recursive phase.
 func (e *engine) runMethod2() {
+	e.phaseStart(PhaseParTrim)
 	alive := e.parTrim(PhaseParTrim, nil)
+	e.phaseEnd(PhaseParTrim)
+	if e.stopped() {
+		return
+	}
+	e.phaseStart(PhaseParFWBW)
 	e.timePhase(PhaseParFWBW, func() {
 		alive = e.parFWBW(alive)
 	})
+	e.phaseEnd(PhaseParFWBW)
+	if e.stopped() {
+		return
+	}
 	// Par-Trim′: Trim iteratively, Trim2 once (it is more expensive,
 	// §3.4), then Trim iteratively again.
+	e.phaseStart(PhaseParTrimPost)
 	alive = e.parTrim(PhaseParTrimPost, alive)
 	if !e.opt.DisableTrim2 {
-		for iter := 0; iter < e.opt.Trim2Iterations; iter++ {
+		for iter := 0; iter < e.opt.Trim2Iterations && !e.stopped(); iter++ {
 			var removed int64
 			e.timePhase(PhaseParTrimPost, func() {
-				res, survivors := trim.Par2(e.g, e.opt.Workers, e.color, e.comp, alive)
+				res, survivors := trim.Par2(e.sink, e.g, e.opt.Workers, e.color, e.comp, alive)
 				e.res.Phases[PhaseParTrimPost].Nodes += res.Removed
 				e.res.Phases[PhaseParTrimPost].SCCs += res.SCCs
 				e.res.Phases[PhaseParTrimPost].Rounds += res.Rounds
@@ -130,9 +207,9 @@ func (e *engine) runMethod2() {
 				break // further Trim2 passes cannot find new pairs
 			}
 		}
-		if e.opt.EnableTrim3 {
+		if e.opt.EnableTrim3 && !e.stopped() {
 			e.timePhase(PhaseParTrimPost, func() {
-				res, survivors := trim.Par3(e.g, e.opt.Workers, e.color, e.comp, alive)
+				res, survivors := trim.Par3(e.sink, e.g, e.opt.Workers, e.color, e.comp, alive)
 				e.res.Phases[PhaseParTrimPost].Nodes += res.Removed
 				e.res.Phases[PhaseParTrimPost].SCCs += res.SCCs
 				e.res.Phases[PhaseParTrimPost].Rounds += res.Rounds
@@ -141,14 +218,25 @@ func (e *engine) runMethod2() {
 			alive = e.parTrim(PhaseParTrimPost, alive)
 		}
 	}
+	e.phaseEnd(PhaseParTrimPost)
+	if e.stopped() {
+		return
+	}
 	// Par-WCC: one task (color) per weakly connected component.
+	e.phaseStart(PhaseParWCC)
 	var tasks []task
 	e.timePhase(PhaseParWCC, func() {
 		tasks = e.wccTasks(alive)
 	})
+	e.phaseEnd(PhaseParWCC)
+	if e.stopped() {
+		return
+	}
+	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
 		e.phase2(tasks)
 	})
+	e.phaseEnd(PhaseRecurFWBW)
 }
 
 // buildTasks groups the alive nodes by their current color into
@@ -176,10 +264,13 @@ func (e *engine) buildTasks(alive []graph.NodeID) []task {
 // returns one task per component.
 func (e *engine) wccTasks(alive []graph.NodeID) []task {
 	label := make([]int32, e.g.NumNodes())
-	res := wcc.Run(e.g, e.opt.Workers, e.color, alive, label)
+	res := wcc.Run(e.sink, e.g, e.opt.Workers, e.color, alive, label)
 	e.res.WCCComponents = res.Components
 	e.res.WCCRounds = res.Rounds
 	e.res.Phases[PhaseParWCC].Rounds += res.Rounds
+	if e.stopped() {
+		return nil
+	}
 	groups := make(map[int32][]graph.NodeID, res.Components)
 	for _, v := range alive {
 		root := label[v]

@@ -72,7 +72,7 @@ func Run(g *graph.Graph, opt Options) *Result {
 	color := make([]int32, n)
 
 	// 1. Trim.
-	tres, alive := trim.Par(g, opt.Workers, color, res.Comp, nil)
+	tres, alive := trim.Par(nil, g, opt.Workers, color, res.Comp, nil)
 	res.TrimmedNodes += tres.Removed
 	res.NumSCCs += tres.SCCs
 
@@ -92,10 +92,10 @@ func Run(g *graph.Graph, opt Options) *Result {
 		}
 		const cfw, cbw, cscc = 1, 2, 3
 		atomic.StoreInt32(&color[pivot], cfw)
-		bfs.Run(g, opt.Workers, false, []graph.NodeID{pivot}, color,
+		bfs.Run(nil, g, opt.Workers, false, []graph.NodeID{pivot}, color,
 			[]bfs.Transition{{From: 0, To: cfw}})
 		atomic.StoreInt32(&color[pivot], cscc)
-		bw := bfs.Run(g, opt.Workers, true, []graph.NodeID{pivot}, color,
+		bw := bfs.Run(nil, g, opt.Workers, true, []graph.NodeID{pivot}, color,
 			[]bfs.Transition{{From: 0, To: cbw}, {From: cfw, To: cscc}})
 		res.GiantSCC = bw.Claimed[1] + 1
 		res.NumSCCs++
@@ -115,7 +115,7 @@ func Run(g *graph.Graph, opt Options) *Result {
 	// Note the FW-BW step left mixed colors (0/cfw/cbw) behind, which
 	// is fine for Trim — color boundaries merely count as detached —
 	// but Coloring and Tarjan below ignore colors entirely.
-	tres, alive = trim.Par(g, opt.Workers, color, res.Comp, alive)
+	tres, alive = trim.Par(nil, g, opt.Workers, color, res.Comp, alive)
 	res.TrimmedNodes += tres.Removed
 	res.NumSCCs += tres.SCCs
 

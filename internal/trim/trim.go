@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 )
 
@@ -56,7 +57,11 @@ func aliveDegrees(g *graph.Graph, color []int32, v graph.NodeID, c int32) (in, o
 // all be alive); if nil, every node of g is considered. It returns the
 // trim result and the surviving (still-alive) subset of the
 // candidates, which the caller may reuse as the next phase's node set.
-func Par(g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+//
+// sink (nil is valid and free) receives one TrimRound event per
+// fixpoint iteration and is polled for cancellation at each round
+// boundary; a canceled run returns the partial result early.
+func Par(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
 	if candidates == nil {
 		candidates = make([]graph.NodeID, g.NumNodes())
 		for i := range candidates {
@@ -73,6 +78,9 @@ func Par(g *graph.Graph, workers int, color, comp []int32, candidates []graph.No
 	bufs := make([][]graph.NodeID, workers)
 	counts := make([]int64, workers)
 	for {
+		if sink.Err() != nil {
+			break
+		}
 		res.Rounds++
 		for w := range bufs {
 			bufs[w] = bufs[w][:0]
@@ -110,6 +118,7 @@ func Par(g *graph.Graph, workers int, color, comp []int32, candidates []graph.No
 		}
 		res.Removed += roundRemoved
 		res.SCCs += roundRemoved
+		sink.Emit(events.Event{Type: events.TrimRound, Round: res.Rounds, Nodes: roundRemoved})
 		active, survivors = survivors, active[:0]
 		if roundRemoved == 0 {
 			break
@@ -128,8 +137,10 @@ func Par(g *graph.Graph, workers int, color, comp []int32, candidates []graph.No
 //
 // A pair is claimed by CASing the lower-numbered node's color to
 // Removed first; the losing side of a race rolls back, so each size-2
-// SCC is emitted exactly once.
-func Par2(g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+// SCC is emitted exactly once. Par2 is a single parallel round; it
+// emits one TrimRound event on sink and checks cancellation once on
+// entry.
+func Par2(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
 	if candidates == nil {
 		candidates = make([]graph.NodeID, g.NumNodes())
 		for i := range candidates {
@@ -138,6 +149,9 @@ func Par2(g *graph.Graph, workers int, color, comp []int32, candidates []graph.N
 	}
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
+	}
+	if sink.Err() != nil {
+		return Result{}, candidates
 	}
 	res := Result{Rounds: 1}
 	bufs := make([][]graph.NodeID, workers)
@@ -173,6 +187,7 @@ func Par2(g *graph.Graph, workers int, color, comp []int32, candidates []graph.N
 		res.SCCs += pairCounts[w]
 	}
 	res.Removed = 2 * res.SCCs
+	sink.Emit(events.Event{Type: events.TrimRound, Round: 1, Nodes: res.Removed})
 	return res, survivors
 }
 

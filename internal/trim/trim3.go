@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 )
 
@@ -16,7 +17,7 @@ import (
 // order costs more neighbor probing for a geometrically shrinking
 // population of components (the ablation BenchmarkAblationTrim3
 // measures exactly this diminishing return).
-func Par3(g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+func Par3(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
 	if candidates == nil {
 		candidates = make([]graph.NodeID, g.NumNodes())
 		for i := range candidates {
@@ -25,6 +26,9 @@ func Par3(g *graph.Graph, workers int, color, comp []int32, candidates []graph.N
 	}
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
+	}
+	if sink.Err() != nil {
+		return Result{}, candidates
 	}
 	res := Result{Rounds: 1}
 	bufs := make([][]graph.NodeID, workers)
@@ -63,6 +67,7 @@ func Par3(g *graph.Graph, workers int, color, comp []int32, candidates []graph.N
 		res.SCCs += triCounts[w]
 	}
 	res.Removed = 3 * res.SCCs
+	sink.Emit(events.Event{Type: events.TrimRound, Round: 1, Nodes: res.Removed})
 	return res, survivors
 }
 

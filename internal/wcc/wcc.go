@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/events"
 	"repro/internal/parallel"
 )
 
@@ -41,7 +42,11 @@ type Result struct {
 // g.NumNodes(); on return label[v] is the minimum node id of v's
 // component, for every v in nodes. Entries for nodes outside `nodes`
 // are left untouched.
-func Run(g *graph.Graph, workers int, color []int32, nodes []graph.NodeID, label []int32) Result {
+//
+// sink (nil is valid and free) receives one WCCRound event per
+// propagation round and is polled for cancellation at each round
+// boundary; a canceled run returns early with partial labels.
+func Run(sink *events.Sink, g *graph.Graph, workers int, color []int32, nodes []graph.NodeID, label []int32) Result {
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
 	}
@@ -51,7 +56,11 @@ func Run(g *graph.Graph, workers int, color []int32, nodes []graph.NodeID, label
 	var res Result
 	changedPerWorker := make([]bool, workers)
 	for {
+		if sink.Err() != nil {
+			break
+		}
 		res.Rounds++
+		sink.Emit(events.Event{Type: events.WCCRound, Round: res.Rounds})
 		for w := range changedPerWorker {
 			changedPerWorker[w] = false
 		}

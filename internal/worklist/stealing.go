@@ -29,6 +29,7 @@ type StealingQueue[T any] struct {
 	executed  atomic.Int64
 	rng       atomic.Uint64
 	steals    atomic.Int64
+	canceled  atomic.Bool
 }
 
 // stealDeque is a mutex-guarded deque: the owner pushes/pops at the
@@ -89,11 +90,21 @@ func (q *StealingQueue[T]) noteEnqueued(n int) {
 	}
 }
 
+// Cancel makes every worker stop after its current item; queued items
+// are abandoned. Sticky and idempotent, like Queue.Cancel.
+func (q *StealingQueue[T]) Cancel() {
+	q.canceled.Store(true)
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
 // Run executes fn over all items until every deque drains and all
-// workers are idle.
+// workers are idle, or until Cancel is called.
 func (q *StealingQueue[T]) Run(fn func(worker int, item T)) {
 	q.mu.Lock()
-	q.done = false
+	q.done = q.canceled.Load() // a pre-Run Cancel sticks
 	q.idle = 0
 	q.mu.Unlock()
 	var wg sync.WaitGroup
@@ -109,6 +120,9 @@ func (q *StealingQueue[T]) Run(fn func(worker int, item T)) {
 
 func (q *StealingQueue[T]) worker(w int, fn func(worker int, item T)) {
 	for {
+		if q.canceled.Load() {
+			return
+		}
 		item, ok := q.popOwn(w)
 		if !ok {
 			item, ok = q.steal(w)

@@ -36,6 +36,7 @@ type Queue[T any] struct {
 	readyPeak atomic.Int64
 	total     atomic.Int64 // items ever enqueued
 	executed  atomic.Int64
+	canceled  atomic.Bool
 }
 
 // New returns a Queue executed by `workers` workers with batch size k.
@@ -89,13 +90,25 @@ func (q *Queue[T]) noteEnqueued(n int) {
 	}
 }
 
+// Cancel makes every worker stop dispatching new items: workers finish
+// the item they are executing, skip everything still queued, and Run
+// returns. Cancel is safe to call from any goroutine, including before
+// Run starts (the cancellation is sticky), and is idempotent.
+func (q *Queue[T]) Cancel() {
+	q.canceled.Store(true)
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
 // Run executes fn on queued items until the queue drains and every
-// worker is idle. fn receives the executing worker's index (valid for
-// Push) and the item. Run blocks until completion; the Queue can be
-// reused afterwards (stats accumulate).
+// worker is idle, or until Cancel is called. fn receives the executing
+// worker's index (valid for Push) and the item. Run blocks until
+// completion; the Queue can be reused afterwards (stats accumulate).
 func (q *Queue[T]) Run(fn func(worker int, item T)) {
 	q.mu.Lock()
-	q.done = false
+	q.done = q.canceled.Load() // a pre-Run Cancel sticks
 	q.idle = 0
 	q.mu.Unlock()
 	var wg sync.WaitGroup
@@ -113,6 +126,9 @@ func (q *Queue[T]) worker(w int, fn func(worker int, item T)) {
 	for {
 		// Drain the local queue (LIFO for locality).
 		for len(q.local[w]) > 0 {
+			if q.canceled.Load() {
+				return
+			}
 			l := q.local[w]
 			item := l[len(l)-1]
 			q.local[w] = l[:len(l)-1]
@@ -122,7 +138,7 @@ func (q *Queue[T]) worker(w int, fn func(worker int, item T)) {
 		}
 		// Refill from the global queue, or terminate.
 		q.mu.Lock()
-		for len(q.global) == 0 {
+		for len(q.global) == 0 || q.canceled.Load() {
 			if q.done {
 				q.mu.Unlock()
 				return

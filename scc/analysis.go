@@ -67,6 +67,17 @@ func LogSizeHistogram(comp []int32) []int64 {
 	return buckets
 }
 
+// Renumber returns the result's labeling converted to dense component
+// ids 0..k-1 (assigned in order of first appearance) together with k,
+// the number of components. It is the method form of the package-level
+// Renumber.
+func (r *Result) Renumber() ([]int32, int) { return Renumber(r.Comp) }
+
+// ComponentOf returns node's SCC representative: two nodes are in the
+// same SCC iff their ComponentOf values are equal. Representatives are
+// node ids, not dense indices; use Renumber for dense ids.
+func (r *Result) ComponentOf(node int32) int32 { return r.Comp[node] }
+
 // LargestSCC returns the size of the largest component (the size of
 // the largest SCC, Table 1's column).
 func (r *Result) LargestSCC() int64 {

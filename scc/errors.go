@@ -1,0 +1,72 @@
+package scc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned (wrapped) by Detect and DetectContext.
+// Match them with errors.Is.
+var (
+	// ErrNilGraph reports a nil *graph.Graph argument.
+	ErrNilGraph = errors.New("nil graph")
+	// ErrInvalidOption reports an Options field outside its valid
+	// range. The concrete error is an *OptionError naming the field;
+	// retrieve it with errors.As.
+	ErrInvalidOption = errors.New("invalid option")
+	// ErrCanceled reports that the run's context was canceled or its
+	// deadline expired before detection completed. Errors wrapping
+	// ErrCanceled also wrap the context's own error, so
+	// errors.Is(err, context.Canceled) (or context.DeadlineExceeded)
+	// holds as appropriate.
+	ErrCanceled = errors.New("detection canceled")
+	// ErrValidation reports that Options.Validate found the computed
+	// decomposition inconsistent with the graph (an engine bug, not a
+	// user error).
+	ErrValidation = errors.New("self-validation failed")
+)
+
+// Error is the error type returned by Detect, DetectContext and the
+// dist entry points. Op names the failing operation ("detect",
+// "validate", ...); Err is the underlying cause and always wraps one
+// of the package's sentinel errors.
+type Error struct {
+	// Op is the operation that failed.
+	Op string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *Error) Error() string { return "scc: " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap returns the underlying error for errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// OptionError describes a single invalid Options field. It wraps
+// ErrInvalidOption.
+type OptionError struct {
+	// Field is the Options field name, e.g. "GiantThreshold".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason states the constraint that was violated.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("%v %s: %s = %v", ErrInvalidOption, e.Reason, e.Field, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidOption) hold.
+func (e *OptionError) Unwrap() error { return ErrInvalidOption }
+
+// detectErr wraps err in the package's typed error envelope.
+func detectErr(op string, err error) error {
+	return &Error{Op: op, Err: err}
+}
+
+// canceledErr wraps a context error so that both
+// errors.Is(err, ErrCanceled) and errors.Is(err, ctxErr) hold.
+func canceledErr(op string, ctxErr error) error {
+	return &Error{Op: op, Err: fmt.Errorf("%w: %w", ErrCanceled, ctxErr)}
+}

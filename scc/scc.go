@@ -6,9 +6,18 @@
 // Quick start:
 //
 //	g := gen.RMAT(gen.DefaultRMAT(20, 16, 42))
-//	res, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2})
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	res, err := scc.DetectContext(ctx, g, scc.Options{Algorithm: scc.Method2})
 //	if err != nil { ... }
 //	fmt.Println(res.NumSCCs, res.LargestSCC())
+//
+// DetectContext is the primary entry point: it honors cancellation
+// and deadlines, and streams progress to an optional Observer. Detect
+// is a convenience wrapper over context.Background(). Errors are
+// typed — match ErrNilGraph, ErrInvalidOption, ErrCanceled with
+// errors.Is, and extract the offending field from an *OptionError
+// with errors.As.
 //
 // Five algorithms are available: the sequential baselines Tarjan and
 // Kosaraju, and the three parallel algorithms from the paper —
@@ -20,6 +29,7 @@
 package scc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -177,6 +187,11 @@ type Options struct {
 	// Validate re-checks the decomposition against the graph before
 	// returning (adds O(n+m) verification time).
 	Validate bool
+	// Observer, if non-nil, receives structured progress events (phase
+	// boundaries, kernel rounds, task completions) during the parallel
+	// algorithms' runs; see the Observer type. Sequential algorithms
+	// emit no events. A nil Observer costs nothing.
+	Observer Observer
 }
 
 // PhaseStats is one phase's share of a parallel run.
@@ -259,22 +274,57 @@ type Result struct {
 
 // Detect decomposes g into strongly connected components. Detect is
 // safe to call concurrently on the same graph: graphs are immutable
-// and every run allocates its own working state.
+// and every run allocates its own working state. It is DetectContext
+// with a background context: it cannot be canceled.
 func Detect(g *graph.Graph, opts Options) (*Result, error) {
+	return DetectContext(context.Background(), g, opts)
+}
+
+// validateOptions rejects out-of-range Options fields with an
+// *OptionError (wrapping ErrInvalidOption) naming the field.
+func validateOptions(opts Options) error {
+	switch {
+	case opts.K < 0:
+		return &OptionError{Field: "K", Value: opts.K, Reason: "work-queue batch size must be >= 0"}
+	case opts.GiantThreshold < 0 || opts.GiantThreshold > 1:
+		return &OptionError{Field: "GiantThreshold", Value: opts.GiantThreshold, Reason: "must be in [0,1]"}
+	case opts.MaxPhase1Trials < 0:
+		return &OptionError{Field: "MaxPhase1Trials", Value: opts.MaxPhase1Trials, Reason: "must be >= 0"}
+	case opts.TraceTasks < 0:
+		return &OptionError{Field: "TraceTasks", Value: opts.TraceTasks, Reason: "must be >= 0"}
+	case opts.PivotSample < 0:
+		return &OptionError{Field: "PivotSample", Value: opts.PivotSample, Reason: "must be >= 0"}
+	case opts.Trim2Iterations < 0:
+		return &OptionError{Field: "Trim2Iterations", Value: opts.Trim2Iterations, Reason: "must be >= 0"}
+	}
+	return nil
+}
+
+// DetectContext decomposes g into strongly connected components under
+// ctx. It is the primary entry point; Detect wraps it with a
+// background context.
+//
+// Cancellation is cooperative. The parallel algorithms (Baseline,
+// Method1, Method2, FWBW) poll ctx at every barrier-synchronized
+// round — trim iterations, BFS levels, WCC propagation rounds and
+// work-queue dequeues — so a canceled run returns within one parallel
+// round, after all worker goroutines have joined; partial results are
+// discarded and the error wraps both ErrCanceled and ctx.Err(). The
+// sequential and extension algorithms (Tarjan, Kosaraju, Gabow, OBF,
+// Coloring, MultiStep) check ctx only on entry and then run to
+// completion.
+//
+// Progress events stream to opts.Observer as the run executes; a nil
+// observer adds no overhead.
+func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if g == nil {
-		return nil, fmt.Errorf("scc: nil graph")
+		return nil, detectErr("detect", ErrNilGraph)
 	}
-	if opts.K < 0 {
-		return nil, fmt.Errorf("scc: negative work-queue batch size K=%d", opts.K)
+	if err := validateOptions(opts); err != nil {
+		return nil, detectErr("detect", err)
 	}
-	if opts.GiantThreshold < 0 || opts.GiantThreshold > 1 {
-		return nil, fmt.Errorf("scc: GiantThreshold %f outside [0,1]", opts.GiantThreshold)
-	}
-	if opts.MaxPhase1Trials < 0 {
-		return nil, fmt.Errorf("scc: negative MaxPhase1Trials %d", opts.MaxPhase1Trials)
-	}
-	if opts.TraceTasks < 0 || opts.PivotSample < 0 || opts.Trim2Iterations < 0 {
-		return nil, fmt.Errorf("scc: negative trace/sample/iteration option")
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr("detect", err)
 	}
 	var res *Result
 	switch opts.Algorithm {
@@ -320,7 +370,7 @@ func Detect(g *graph.Graph, opts Options) (*Result, error) {
 			GiantSCC:  r.GiantSCC,
 		}
 	case Baseline, Method1, Method2, FWBW:
-		res = fromCore(opts.Algorithm, core.Run(g, coreAlgorithm(opts.Algorithm), core.Options{
+		r, err := core.RunContext(ctx, g, coreAlgorithm(opts.Algorithm), core.Options{
 			Workers:         opts.Workers,
 			K:               opts.K,
 			GiantThreshold:  opts.GiantThreshold,
@@ -335,13 +385,19 @@ func Detect(g *graph.Graph, opts Options) (*Result, error) {
 			Trim2Iterations: opts.Trim2Iterations,
 			EnableTrim3:     opts.EnableTrim3,
 			UseStealing:     opts.UseStealing,
-		}))
+			Observer:        opts.Observer,
+		})
+		if err != nil {
+			return nil, canceledErr("detect", err)
+		}
+		res = fromCore(opts.Algorithm, r)
 	default:
-		return nil, fmt.Errorf("scc: unknown algorithm %v", opts.Algorithm)
+		return nil, detectErr("detect",
+			&OptionError{Field: "Algorithm", Value: opts.Algorithm, Reason: "unknown algorithm"})
 	}
 	if opts.Validate {
 		if err := verify.CheckDecomposition(g, res.Comp); err != nil {
-			return nil, fmt.Errorf("scc: self-validation failed: %w", err)
+			return nil, detectErr("validate", fmt.Errorf("%w: %w", ErrValidation, err))
 		}
 	}
 	return res, nil
