@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"repro/graph"
+	"repro/internal/events"
+)
+
+// Checkpoint/recovery exploits the paper's BSP structure: every
+// superstep barrier is a consistent global cut, so a snapshot of
+// per-worker state (colors, component marks, alive lists, ghost
+// caches, plus a small amount of kernel-local state) taken at a
+// barrier fully determines the remainder of the run. All the
+// distributed kernels are confluent from any such snapshot — Trim and
+// WCC are monotone fixpoints, FW-BW trials and Gather are
+// deterministic functions of the snapshot — so rolling back to a
+// checkpoint and replaying produces byte-identical component
+// assignments to a fault-free run (the guarantee the recovery tests
+// pin).
+//
+// The recovery lines are: the start of every driver segment, every
+// Trim fixpoint round, every WCC propagation round, and every FW-BW
+// trial boundary. A checkpoint is captured at the first recovery line
+// at or after Options.CheckpointEvery supersteps since the last one.
+
+// checkpoint is one in-memory snapshot of cluster state at a
+// superstep boundary.
+type checkpoint struct {
+	// seg is the driver segment to re-enter on rollback.
+	seg int
+	// superstep is the global superstep count at capture.
+	superstep int
+	rng       uint64
+	color     []int32
+	comp      []int32
+	alive     [][]graph.NodeID
+	ghost     []map[graph.NodeID]int32
+	// aux carries run-level and kernel-local state keyed by owner
+	// ("run.giant", "run.label", "wcc.label", "fwbw.state", ...).
+	aux map[string][]int64
+}
+
+// recovery is the cluster's checkpoint/rollback bookkeeping; nil when
+// Options.CheckpointEvery is 0.
+type recovery struct {
+	every int
+	max   int
+	dial  func() (Transport, error)
+
+	ckpt *checkpoint
+	// seg is the driver segment currently executing.
+	seg int
+	// base contributes the driver's run-level aux entries to every
+	// checkpoint; set by the driver before the segment loop.
+	base func() map[string][]int64
+	// restored holds the aux map of the checkpoint just rolled back
+	// to; kernels pop their keys on re-entry.
+	restored map[string][]int64
+}
+
+// maybeCheckpoint captures a snapshot if the checkpoint cadence is
+// due. extra, if non-nil, adds kernel-local state to the snapshot's
+// aux map. Safe to call only at superstep boundaries from the
+// coordinator goroutine.
+func (c *cluster) maybeCheckpoint(alive [][]graph.NodeID, extra func(map[string][]int64)) {
+	r := c.recov
+	if r == nil {
+		return
+	}
+	if r.ckpt != nil && c.supersteps-r.ckpt.superstep < r.every {
+		return
+	}
+	c.takeCheckpoint(alive, extra)
+}
+
+// takeCheckpoint unconditionally captures a snapshot at the current
+// superstep boundary.
+func (c *cluster) takeCheckpoint(alive [][]graph.NodeID, extra func(map[string][]int64)) {
+	r := c.recov
+	if r == nil {
+		return
+	}
+	aux := map[string][]int64{}
+	if r.base != nil {
+		aux = r.base()
+	}
+	if extra != nil {
+		extra(aux)
+	}
+	ck := &checkpoint{
+		seg:       r.seg,
+		superstep: c.supersteps,
+		rng:       c.rng,
+		color:     append([]int32(nil), c.color...),
+		comp:      append([]int32(nil), c.comp...),
+		alive:     make([][]graph.NodeID, len(alive)),
+		ghost:     make([]map[graph.NodeID]int32, len(c.ghost)),
+		aux:       aux,
+	}
+	for wk := range alive {
+		ck.alive[wk] = append([]graph.NodeID(nil), alive[wk]...)
+	}
+	for wk := range c.ghost {
+		m := make(map[graph.NodeID]int32, len(c.ghost[wk]))
+		for k, v := range c.ghost[wk] {
+			m[k] = v
+		}
+		ck.ghost[wk] = m
+	}
+	r.ckpt = ck
+	c.stats.Checkpoints++
+	c.sink.Emit(events.Event{Type: events.CheckpointTaken, Round: c.supersteps})
+}
+
+// rollback restores the cluster and the alive lists from the last
+// checkpoint and returns the segment to re-enter. It must only be
+// called when a checkpoint exists.
+func (c *cluster) rollback(alive [][]graph.NodeID) int {
+	r := c.recov
+	ck := r.ckpt
+	c.stats.Rollbacks++
+	replayed := c.supersteps - ck.superstep
+	c.stats.RecoveredSupersteps += replayed
+	c.supersteps = ck.superstep
+	c.rng = ck.rng
+	copy(c.color, ck.color)
+	copy(c.comp, ck.comp)
+	for wk := range alive {
+		alive[wk] = append(alive[wk][:0], ck.alive[wk]...)
+	}
+	for wk := range c.ghost {
+		m := make(map[graph.NodeID]int32, len(ck.ghost[wk]))
+		for k, v := range ck.ghost[wk] {
+			m[k] = v
+		}
+		c.ghost[wk] = m
+	}
+	r.restored = make(map[string][]int64, len(ck.aux))
+	for k, v := range ck.aux {
+		r.restored[k] = append([]int64(nil), v...)
+	}
+	c.sink.Emit(events.Event{Type: events.Rollback, Round: c.stats.Rollbacks, Nodes: int64(replayed)})
+	return ck.seg
+}
+
+// takeRestored pops kernel-local restored state by key, or nil when
+// the current (re-)entry is not resuming from a checkpoint that
+// carried it.
+func (c *cluster) takeRestored(key string) []int64 {
+	r := c.recov
+	if r == nil || r.restored == nil {
+		return nil
+	}
+	v, ok := r.restored[key]
+	if !ok {
+		return nil
+	}
+	delete(r.restored, key)
+	return v
+}
+
+// packInt32s widens an int32 slice for checkpoint aux storage.
+func packInt32s(v []int32) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+// unpackInt32s narrows checkpoint aux storage back to int32.
+func unpackInt32s(v []int64) []int32 {
+	out := make([]int32, len(v))
+	for i, x := range v {
+		out[i] = int32(x)
+	}
+	return out
+}

@@ -63,6 +63,29 @@ type Options struct {
 	// (phase boundaries, superstep rounds) during the run. A nil
 	// Observer costs nothing.
 	Observer Observer
+	// Retry configures per-Exchange retrying of transient transport
+	// failures. The zero value keeps the historical single-attempt
+	// behavior.
+	Retry RetryOptions
+	// CheckpointEvery enables checkpoint/rollback recovery: a snapshot
+	// of per-worker state is captured at the first recovery line at or
+	// after every CheckpointEvery supersteps, and a fatal transport
+	// failure rolls back to the latest snapshot and replays. 0 disables
+	// recovery (fatal failures surface as errors).
+	CheckpointEvery int
+	// MaxRollbacks bounds how many rollbacks a run may perform before
+	// giving up and surfacing the failure (0 → 3 when recovery is
+	// enabled). Bounding matters: a deterministic fault would otherwise
+	// loop forever.
+	MaxRollbacks int
+	// Dial, if non-nil, rebuilds the transport after a fatal failure
+	// (the old transport is closed first). It is also used for the
+	// initial transport when Transport is nil, and transports it
+	// produces are owned — and closed — by the run. Without Dial,
+	// recovery reuses the existing transport, which is sound only for
+	// transports that remain usable after an error (the in-memory
+	// transport, fault injectors over it).
+	Dial func() (Transport, error)
 }
 
 // Partition is a node-to-worker assignment strategy.
@@ -96,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxPhase1Trials == 0 {
 		o.MaxPhase1Trials = 3
+	}
+	if o.CheckpointEvery > 0 && o.MaxRollbacks <= 0 {
+		o.MaxRollbacks = 3
 	}
 	return o
 }
@@ -151,8 +177,12 @@ type Result struct {
 	NumSCCs int64
 	// GiantSCC is the size of the giant SCC peeled by Dist-FWBW.
 	GiantSCC int64
-	// Phases holds per-phase communication statistics.
+	// Phases holds per-phase communication statistics. Supersteps
+	// replayed during recovery are counted again — the stats report
+	// work performed, not useful work.
 	Phases [NumDistPhases]PhaseStats
+	// Stats reports retry/checkpoint/rollback activity.
+	Stats RunStats
 	// Total is the end-to-end wall time.
 	Total time.Duration
 }
@@ -188,6 +218,18 @@ type cluster struct {
 	// sink carries the run's cancellation context and observer; nil
 	// when neither is in use.
 	sink *events.Sink
+
+	// retry is the normalized per-Exchange retry policy.
+	retry RetryOptions
+	// stats accumulates fault-tolerance counters, copied into
+	// Result.Stats by the driver.
+	stats RunStats
+	// supersteps counts global barriers across the whole run; the
+	// checkpoint cadence and rollback accounting key off it.
+	supersteps int
+	// recov holds checkpoint/rollback state; nil when recovery is
+	// disabled.
+	recov *recovery
 }
 
 // newCluster partitions g across w workers and builds boundary maps.
@@ -215,6 +257,7 @@ func newCluster(g *graph.Graph, opt Options) *cluster {
 		rng:      uint64(opt.Seed)*0x9e3779b97f4a7c15 + 1,
 		ownerArr: make([]int32, n),
 		owned:    make([][]graph.NodeID, w),
+		retry:    opt.Retry.withDefaults(),
 	}
 	for i := range c.comp {
 		c.comp[i] = -1
@@ -312,13 +355,15 @@ func exchange(outbox [][][]message, inbox [][]message) int64 {
 }
 
 // exchangeVia routes one superstep's messages through the cluster's
-// transport, panicking on transport failure (recovered and converted
-// to an error by RunTransport).
+// transport under the retry policy, panicking on unrecovered failure
+// (recovered by the driver, which either rolls back to a checkpoint or
+// converts the failure to an error). Every call is one global barrier.
 func (c *cluster) exchangeVia(outbox [][][]message, inbox [][]message) int64 {
-	n, err := c.tr.Exchange(outbox, inbox)
+	n, err := c.exchangeRetry(outbox, inbox)
 	if err != nil {
 		panic(transportError{err})
 	}
+	c.supersteps++
 	return n
 }
 

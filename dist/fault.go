@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// FaultConfig parameterizes a FaultInjector. All probabilities are in
+// [0, 1] and are evaluated against a seeded deterministic RNG, so a
+// given (config, run) pair injects the identical fault schedule every
+// time.
+//
+// The injector models the failure surface of a real message-passing
+// deployment with a sequenced, checksummed link layer (what TCP plus
+// an application-level batch protocol gives you):
+//
+//   - Dropped messages are detected by the receiver (sequence gap) and
+//     surface as a *TransientError before anything is delivered — the
+//     retry layer re-runs the exchange from the sender's intact
+//     outboxes.
+//   - Duplicated batches are discarded at the receiver (sequence
+//     replay); the injection is observable only in FaultStats, exactly
+//     like TCP retransmissions.
+//   - Latency spikes delay the exchange; when a deadline is configured
+//     (Options.Retry.ExchangeTimeout) a spike that would overrun it
+//     surfaces as a transient timeout instead.
+//   - Transient errors model connection resets that the mesh survives.
+//   - A crash models a worker process dying mid-superstep: the current
+//     transport incarnation is permanently broken (every subsequent
+//     Exchange fails with *CrashError) until the recovery layer
+//     re-dials the mesh through Options.Dial.
+type FaultConfig struct {
+	// Seed drives the injector's deterministic RNG.
+	Seed int64
+	// DropProb is the per-message probability of a detected loss.
+	DropProb float64
+	// DupProb is the per-batch probability of a duplicated delivery.
+	DupProb float64
+	// LatencyProb is the per-Exchange probability of a latency spike
+	// of duration Latency.
+	LatencyProb float64
+	// Latency is the spike duration (0 → 1ms).
+	Latency time.Duration
+	// TransientProb is the per-Exchange probability of a transient
+	// failure (connection reset) before any delivery.
+	TransientProb float64
+	// CrashAtExchange, when > 0, hard-crashes the worker mesh at the
+	// CrashAtExchange-th Exchange (1-based, counted across transport
+	// incarnations, so a rebuilt mesh does not crash again).
+	CrashAtExchange int
+}
+
+// FaultStats counts the faults an injector has delivered.
+type FaultStats struct {
+	// Exchanges is the number of Exchange calls observed.
+	Exchanges int
+	// DroppedMessages counts messages lost (and detected) on the wire.
+	DroppedMessages int64
+	// DuplicatedBatches counts batches delivered twice and deduplicated.
+	DuplicatedBatches int64
+	// LatencySpikes counts injected delays.
+	LatencySpikes int
+	// TransientErrors counts injected connection resets.
+	TransientErrors int
+	// Crashes counts injected hard worker crashes.
+	Crashes int
+}
+
+// FaultInjector deterministically injects faults into any Transport.
+// One injector can span several transport incarnations (via Dial), so
+// its global exchange counter — and therefore the fault schedule —
+// survives the mesh being rebuilt during recovery.
+//
+// All methods are safe for concurrent use, though the pipeline drives
+// Exchange from a single coordinator goroutine.
+type FaultInjector struct {
+	cfg FaultConfig
+
+	mu    sync.Mutex
+	rng   uint64
+	stats FaultStats
+}
+
+// NewFaultInjector builds an injector for the given config.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = time.Millisecond
+	}
+	return &FaultInjector{cfg: cfg, rng: uint64(cfg.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (fi *FaultInjector) Stats() FaultStats {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.stats
+}
+
+// Wrap decorates tr with this injector's fault schedule.
+func (fi *FaultInjector) Wrap(tr Transport) Transport {
+	return &faultyTransport{fi: fi, inner: tr}
+}
+
+// Dial decorates a transport factory so that every incarnation it
+// produces shares this injector. Use it as Options.Dial:
+//
+//	inj := dist.NewFaultInjector(cfg)
+//	opt.Dial = inj.Dial(func() (dist.Transport, error) { return dist.NewTCPTransport(w) })
+func (fi *FaultInjector) Dial(dial func() (Transport, error)) func() (Transport, error) {
+	return func() (Transport, error) {
+		tr, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return fi.Wrap(tr), nil
+	}
+}
+
+// rand01 draws a float64 in [0, 1) from the injector's splitmix64
+// stream. Caller holds fi.mu.
+func (fi *FaultInjector) rand01() float64 {
+	fi.rng += 0x9e3779b97f4a7c15
+	z := fi.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// TransientError marks a fault the retry layer may safely retry in
+// place: the failing exchange consumed nothing, so re-running it from
+// the same outboxes is sound. IsTransient matches it.
+type TransientError struct {
+	// Err describes the underlying fault.
+	Err error
+}
+
+func (e *TransientError) Error() string { return "dist: transient: " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// CrashError reports a hard worker crash injected by a FaultInjector.
+// It is fatal: only checkpoint rollback plus a transport rebuild
+// (Options.Dial) recovers from it.
+type CrashError struct {
+	// Exchange is the 1-based global exchange index of the crash.
+	Exchange int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("dist: worker crashed at exchange %d", e.Exchange)
+}
+
+// IsTransient reports whether err is safe to retry in place (without
+// rolling back to a checkpoint or rebuilding the transport). Only
+// errors explicitly marked *TransientError qualify: a failure of a
+// real stream transport may leave partially written batches behind,
+// so it must escalate to rollback + re-dial instead.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// faultyTransport is one incarnation of the injector's decorated
+// transport. A crash breaks the incarnation permanently; the shared
+// FaultInjector survives into the next incarnation.
+type faultyTransport struct {
+	fi    *FaultInjector
+	inner Transport
+
+	mu       sync.Mutex
+	crashed  bool
+	deadline time.Time
+}
+
+// Exchange applies the fault schedule, then delegates to the inner
+// transport. Faults injected before delegation leave the outboxes
+// untouched, so transient failures are retryable in place.
+func (t *faultyTransport) Exchange(outbox [][][]message, inbox [][]message) (int64, error) {
+	t.mu.Lock()
+	crashed, deadline := t.crashed, t.deadline
+	t.mu.Unlock()
+
+	fi := t.fi
+	fi.mu.Lock()
+	fi.stats.Exchanges++
+	ex := fi.stats.Exchanges
+	if crashed {
+		fi.mu.Unlock()
+		return 0, &CrashError{Exchange: ex}
+	}
+	if fi.cfg.CrashAtExchange > 0 && ex == fi.cfg.CrashAtExchange {
+		fi.stats.Crashes++
+		fi.mu.Unlock()
+		t.mu.Lock()
+		t.crashed = true
+		t.mu.Unlock()
+		t.inner.Close() // the "process" died; release its sockets
+		return 0, &CrashError{Exchange: ex}
+	}
+	if fi.cfg.TransientProb > 0 && fi.rand01() < fi.cfg.TransientProb {
+		fi.stats.TransientErrors++
+		fi.mu.Unlock()
+		return 0, &TransientError{Err: fmt.Errorf("injected connection reset at exchange %d", ex)}
+	}
+	spike := time.Duration(0)
+	if fi.cfg.LatencyProb > 0 && fi.rand01() < fi.cfg.LatencyProb {
+		fi.stats.LatencySpikes++
+		spike = fi.cfg.Latency
+	}
+	var dropped int64
+	if fi.cfg.DropProb > 0 {
+		for src := range outbox {
+			for dst := range outbox[src] {
+				if src == dst {
+					continue // local delivery cannot be lost
+				}
+				for range outbox[src][dst] {
+					if fi.rand01() < fi.cfg.DropProb {
+						dropped++
+					}
+				}
+			}
+		}
+		fi.stats.DroppedMessages += dropped
+	}
+	if fi.cfg.DupProb > 0 {
+		for src := range outbox {
+			for dst := range outbox[src] {
+				if src != dst && len(outbox[src][dst]) > 0 && fi.rand01() < fi.cfg.DupProb {
+					fi.stats.DuplicatedBatches++
+				}
+			}
+		}
+	}
+	fi.mu.Unlock()
+
+	if spike > 0 {
+		if !deadline.IsZero() && time.Now().Add(spike).After(deadline) {
+			// The spike overruns the exchange deadline: surface it as a
+			// transient timeout without delivering anything.
+			time.Sleep(time.Until(deadline))
+			return 0, &TransientError{Err: fmt.Errorf("exchange %d timed out under latency spike", ex)}
+		}
+		time.Sleep(spike)
+	}
+	if dropped > 0 {
+		// Sequence-gap detection: the loss is noticed before any batch
+		// is committed, so the outboxes stay intact for the retry.
+		return 0, &TransientError{Err: fmt.Errorf("detected loss of %d messages at exchange %d", dropped, ex)}
+	}
+	return t.inner.Exchange(outbox, inbox)
+}
+
+// setDeadline records the per-Exchange deadline and forwards it to
+// deadline-capable inner transports.
+func (t *faultyTransport) setDeadline(d time.Time) {
+	t.mu.Lock()
+	t.deadline = d
+	t.mu.Unlock()
+	if dt, ok := t.inner.(deadlineTransport); ok {
+		dt.setDeadline(d)
+	}
+}
+
+// Close closes the inner transport.
+func (t *faultyTransport) Close() error { return t.inner.Close() }

@@ -1,0 +1,319 @@
+package dist
+
+import (
+	"errors"
+	"runtime"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/events"
+	"repro/internal/seq"
+	"repro/internal/verify"
+	"repro/scc"
+)
+
+// settleGoroutines waits for the goroutine count to return to base,
+// dumping stacks on timeout — the leak regression check for transport
+// reader/writer goroutines and worker pools.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutines did not settle: %d > %d\n%s",
+		runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+// faultGraph is the shared workload: a Method-2-shaped small-world
+// graph with a giant SCC, trimmable fringe, and residual components.
+func faultGraph() *graph.Graph {
+	return gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+}
+
+// TestFaultInjectedRunMatchesFaultFree drives the full pipeline through
+// an injector that drops messages, duplicates batches, spikes latency,
+// and resets connections, and requires byte-identical component
+// assignments to the fault-free run — the package's central recovery
+// guarantee.
+func TestFaultInjectedRunMatchesFaultFree(t *testing.T) {
+	g := faultGraph()
+	clean := Run(g, Options{Workers: 4, Seed: 7})
+
+	// DropProb is per message and busy supersteps carry thousands, so
+	// keep the expected drops per exchange well under one attempt's
+	// budget — the point is recovery, not a fault storm no real link
+	// would survive either.
+	inj := NewFaultInjector(FaultConfig{
+		Seed:          42,
+		DropProb:      0.0001,
+		DupProb:       0.05,
+		LatencyProb:   0.05,
+		Latency:       100 * time.Microsecond,
+		TransientProb: 0.05,
+	})
+	res, err := RunTransport(g, Options{
+		Workers:   4,
+		Seed:      7,
+		Transport: inj.Wrap(NewMemTransport()),
+		Retry:     RetryOptions{MaxAttempts: 12, BaseDelay: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatalf("faulty run failed: %v", err)
+	}
+	if !slices.Equal(res.Comp, clean.Comp) {
+		t.Fatal("fault-injected run is not byte-identical to the fault-free run")
+	}
+	tc, _ := seq.Tarjan(g)
+	if !verify.SamePartition(res.Comp, tc) {
+		t.Fatal("fault-injected run disagrees with Tarjan")
+	}
+	st := inj.Stats()
+	if st.TransientErrors == 0 && st.DroppedMessages == 0 {
+		t.Fatalf("injector was a no-op: %+v", st)
+	}
+	if res.Stats.Retries == 0 {
+		t.Fatal("no retries recorded despite injected transient faults")
+	}
+	if res.NumSCCs != clean.NumSCCs || res.GiantSCC != clean.GiantSCC {
+		t.Fatalf("summary stats diverged: %d/%d vs %d/%d",
+			res.NumSCCs, res.GiantSCC, clean.NumSCCs, clean.GiantSCC)
+	}
+}
+
+// TestCrashRollbackRecovers injects a hard worker crash and requires
+// the run to roll back to a checkpoint, rebuild the transport, replay,
+// and still produce the fault-free assignment.
+func TestCrashRollbackRecovers(t *testing.T) {
+	g := faultGraph()
+	clean := Run(g, Options{Workers: 4, Seed: 7})
+
+	// Probe the fault-free exchange count so the late crash points land
+	// inside the run regardless of graph shape.
+	probe := NewFaultInjector(FaultConfig{Seed: 1})
+	if _, err := RunTransport(g, Options{Workers: 4, Seed: 7, Transport: probe.Wrap(NewMemTransport())}); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Stats().Exchanges
+	if total < 8 {
+		t.Fatalf("probe run too short: %d exchanges", total)
+	}
+
+	// Crash at several points to exercise re-entry into different
+	// segments (early trim, mid FW-BW, late WCC/gather supersteps).
+	for _, crashAt := range []int{1, 3, total / 2, total - 1} {
+		inj := NewFaultInjector(FaultConfig{Seed: 11, CrashAtExchange: crashAt})
+		res, err := RunTransport(g, Options{
+			Workers:         4,
+			Seed:            7,
+			Dial:            inj.Dial(func() (Transport, error) { return NewMemTransport(), nil }),
+			CheckpointEvery: 2,
+		})
+		if err != nil {
+			t.Fatalf("crashAt=%d: recovery failed: %v", crashAt, err)
+		}
+		if !slices.Equal(res.Comp, clean.Comp) {
+			t.Fatalf("crashAt=%d: recovered run not byte-identical to fault-free run", crashAt)
+		}
+		if res.Stats.Rollbacks < 1 {
+			t.Fatalf("crashAt=%d: expected at least one rollback, got %+v", crashAt, res.Stats)
+		}
+		if res.Stats.Checkpoints < 1 {
+			t.Fatalf("crashAt=%d: no checkpoints captured: %+v", crashAt, res.Stats)
+		}
+		if st := inj.Stats(); st.Crashes != 1 {
+			t.Fatalf("crashAt=%d: crash fired %d times, want once", crashAt, st.Crashes)
+		}
+	}
+}
+
+// TestCrashRecoveryOverTCP repeats the crash/rollback scenario over a
+// real loopback TCP mesh: the crash poisons the socket mesh and the
+// recovery layer must re-dial a fresh one.
+func TestCrashRecoveryOverTCP(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 3))
+	clean := Run(g, Options{Workers: 3, Seed: 5})
+
+	inj := NewFaultInjector(FaultConfig{Seed: 3, CrashAtExchange: 6, TransientProb: 0.1})
+	res, err := RunTransport(g, Options{
+		Workers:         3,
+		Seed:            5,
+		Dial:            inj.Dial(func() (Transport, error) { return NewTCPTransport(3) }),
+		CheckpointEvery: 2,
+		Retry:           RetryOptions{MaxAttempts: 4, ExchangeTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatalf("tcp recovery failed: %v", err)
+	}
+	if !slices.Equal(res.Comp, clean.Comp) {
+		t.Fatal("tcp-recovered run not byte-identical to fault-free run")
+	}
+	if res.Stats.Rollbacks < 1 {
+		t.Fatalf("expected a rollback, got %+v", res.Stats)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestRecoveryExhausted pins the bounded-recovery contract: a
+// persistent fatal fault must surface as an error after MaxRollbacks
+// attempts, not loop forever.
+func TestRecoveryExhausted(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 4, 3))
+	_, err := RunTransport(g, Options{
+		Workers:         2,
+		Seed:            1,
+		Dial:            func() (Transport, error) { return failingTransport{}, nil },
+		CheckpointEvery: 1,
+		MaxRollbacks:    2,
+	})
+	if err == nil {
+		t.Fatal("persistent fault did not surface")
+	}
+	var se *scc.Error
+	if !errors.As(err, &se) || se.Op != "dist" {
+		t.Fatalf("want *scc.Error with Op dist, got %v", err)
+	}
+	if !errors.Is(err, errFail) {
+		t.Fatalf("error chain lost the transport cause: %v", err)
+	}
+}
+
+// TestRetryExhaustionSurfaces pins the retry bound: transient faults
+// beyond MaxAttempts surface the transient error (no recovery
+// configured), with all worker goroutines joined.
+func TestRetryExhaustionSurfaces(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := gen.RMAT(gen.DefaultRMAT(7, 4, 3))
+	inj := NewFaultInjector(FaultConfig{Seed: 1, TransientProb: 1})
+	_, err := RunTransport(g, Options{
+		Workers:   2,
+		Seed:      1,
+		Transport: inj.Wrap(NewMemTransport()),
+		Retry:     RetryOptions{MaxAttempts: 3, BaseDelay: time.Microsecond},
+	})
+	if err == nil {
+		t.Fatal("exhausted retries did not surface")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("surfaced error lost its transient marker: %v", err)
+	}
+	if st := inj.Stats(); st.TransientErrors != 3 {
+		t.Fatalf("want exactly MaxAttempts=3 transient faults, got %d", st.TransientErrors)
+	}
+	settleGoroutines(t, base)
+}
+
+// TestFatalErrorNotRetried: non-transient transport failures must
+// bypass the retry loop entirely — retrying a broken stream exchange
+// would replay into a corrupt framing state.
+func TestFatalErrorNotRetried(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 4, 3))
+	retries := 0
+	_, err := RunContextObserved(g, Options{
+		Workers:   2,
+		Seed:      1,
+		Transport: failingTransport{},
+		Retry:     RetryOptions{MaxAttempts: 5, BaseDelay: time.Microsecond},
+	}, func(ev Event) {
+		if ev.Type == events.RetryAttempt {
+			retries++
+		}
+	})
+	if err == nil {
+		t.Fatal("fatal failure did not surface")
+	}
+	if retries != 0 {
+		t.Fatalf("fatal error was retried %d times", retries)
+	}
+}
+
+// TestRetryAttemptEvents checks the observer stream carries retry,
+// checkpoint, and rollback events.
+func TestRetryAttemptEvents(t *testing.T) {
+	g := faultGraph()
+	inj := NewFaultInjector(FaultConfig{Seed: 9, TransientProb: 0.2, CrashAtExchange: 7})
+	var retries, ckpts, rollbacks int
+	res, err := RunContextObserved(g, Options{
+		Workers:         4,
+		Seed:            7,
+		Dial:            inj.Dial(func() (Transport, error) { return NewMemTransport(), nil }),
+		CheckpointEvery: 2,
+		Retry:           RetryOptions{MaxAttempts: 6, BaseDelay: time.Microsecond},
+	}, func(ev Event) {
+		switch ev.Type {
+		case events.RetryAttempt:
+			retries++
+		case events.CheckpointTaken:
+			ckpts++
+		case events.Rollback:
+			rollbacks++
+		}
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if retries == 0 || retries != res.Stats.Retries {
+		t.Fatalf("retry events %d vs stats %d", retries, res.Stats.Retries)
+	}
+	if ckpts != res.Stats.Checkpoints || ckpts < 2 {
+		t.Fatalf("checkpoint events %d vs stats %d", ckpts, res.Stats.Checkpoints)
+	}
+	if rollbacks != res.Stats.Rollbacks || rollbacks < 1 {
+		t.Fatalf("rollback events %d vs stats %d", rollbacks, res.Stats.Rollbacks)
+	}
+}
+
+// TestCheckpointCadenceFaultFree: checkpointing alone (no faults) must
+// capture snapshots on cadence and change nothing about the result.
+func TestCheckpointCadenceFaultFree(t *testing.T) {
+	g := faultGraph()
+	clean := Run(g, Options{Workers: 4, Seed: 7})
+	res := Run(g, Options{Workers: 4, Seed: 7, CheckpointEvery: 1})
+	if !slices.Equal(res.Comp, clean.Comp) {
+		t.Fatal("checkpointing changed the result")
+	}
+	if res.Stats.Checkpoints < 3 {
+		t.Fatalf("cadence 1 should checkpoint every recovery line, got %d", res.Stats.Checkpoints)
+	}
+	if res.Stats.Rollbacks != 0 || res.Stats.Retries != 0 {
+		t.Fatalf("fault-free run recorded recovery work: %+v", res.Stats)
+	}
+}
+
+// TestFaultScheduleDeterministic: identical (seed, run) pairs must
+// inject the identical fault schedule.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 6, 3))
+	run := func() FaultStats {
+		inj := NewFaultInjector(FaultConfig{Seed: 5, DropProb: 0.00005, DupProb: 0.1, TransientProb: 0.08})
+		_, err := RunTransport(g, Options{
+			Workers:   3,
+			Seed:      2,
+			Transport: inj.Wrap(NewMemTransport()),
+			Retry:     RetryOptions{MaxAttempts: 12, BaseDelay: time.Microsecond},
+		})
+		if err != nil {
+			t.Fatalf("run failed: %v", err)
+		}
+		return inj.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault schedule not deterministic:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// RunContextObserved is a test helper: RunTransport with an observer
+// function.
+func RunContextObserved(g *graph.Graph, opt Options, f func(Event)) (*Result, error) {
+	opt.Observer = obsFunc(f)
+	return RunTransport(g, opt)
+}

@@ -39,6 +39,9 @@ func (c *cluster) distTrim(alive [][]graph.NodeID, st *PhaseStats) {
 		if c.sink.Err() != nil {
 			return
 		}
+		// Every fixpoint round top is a recovery line: colors, comps
+		// and alive lists fully determine the rest of the trim.
+		c.maybeCheckpoint(alive, nil)
 		st.Messages += c.refreshGhostsCounted(st)
 		parallel.Run(c.w, func(wk int) {
 			kept := alive[wk][:0]
@@ -218,10 +221,21 @@ func (c *cluster) distFWBW(alive [][]graph.NodeID, st *PhaseStats) int64 {
 	}
 	var giant int64
 	nextColor := int32(1)
-	for trial := 0; trial < c.opt.MaxPhase1Trials; trial++ {
+	trial0 := 0
+	// A rollback that restored a mid-FWBW checkpoint resumes at the
+	// recorded trial with the color counter and giant size it had.
+	if s := c.takeRestored("fwbw.state"); s != nil {
+		trial0, nextColor, giant = int(s[0]), int32(s[1]), s[2]
+	}
+	for trial := trial0; trial < c.opt.MaxPhase1Trials; trial++ {
 		if c.sink.Err() != nil {
 			break
 		}
+		// Trial boundaries are recovery lines; the aux state pins the
+		// loop position so replay re-runs only the interrupted trial.
+		c.maybeCheckpoint(alive, func(aux map[string][]int64) {
+			aux["fwbw.state"] = []int64{int64(trial), int64(nextColor), giant}
+		})
 		target := c.largestColor(alive)
 		pivot := c.pickPivot(alive, target)
 		if pivot < 0 {
@@ -290,11 +304,20 @@ func (c *cluster) largestColor(alive [][]graph.NodeID) int32 {
 func (c *cluster) distWCC(alive [][]graph.NodeID, st *PhaseStats) []int32 {
 	n := c.g.NumNodes()
 	label := make([]int32, n)
+	// A rollback that restored a mid-WCC checkpoint resumes label
+	// propagation from the snapshot; the ghost-label caches rebuild
+	// in the first round's broadcast (labels only ever decrease, so
+	// the id fallback in labelOf is safe in the interim).
+	restored := c.takeRestored("wcc.label")
 	ghostLabel := make([]map[graph.NodeID]int32, c.w)
 	parallel.Run(c.w, func(wk int) {
 		ghostLabel[wk] = make(map[graph.NodeID]int32, len(c.ghost[wk]))
 		for _, v := range alive[wk] {
-			label[v] = int32(v)
+			if restored != nil {
+				label[v] = int32(restored[v])
+			} else {
+				label[v] = int32(v)
+			}
 		}
 	})
 	labelOf := func(wk int, v graph.NodeID) int32 {
@@ -313,6 +336,11 @@ func (c *cluster) distWCC(alive [][]graph.NodeID, st *PhaseStats) []int32 {
 		if c.sink.Err() != nil {
 			return label
 		}
+		// Propagation round tops are recovery lines; the aux labels
+		// let replay continue the min-label fixpoint mid-flight.
+		c.maybeCheckpoint(alive, func(aux map[string][]int64) {
+			aux["wcc.label"] = packInt32s(label)
+		})
 		round++
 		c.sink.Emit(events.Event{Type: events.WCCRound, Round: round})
 		// Broadcast labels of boundary nodes, then pull the minimum

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"time"
+
+	"repro/internal/events"
+)
+
+// RetryOptions configures the per-Exchange retry policy of a
+// distributed run. The zero value disables retrying (one attempt, no
+// deadline), preserving the historical behavior.
+//
+// Retrying in place is sound only for failures marked transient (see
+// IsTransient): the retry layer snapshots the superstep's outboxes
+// before the first attempt and restores them before each retry, so a
+// transient failure — which by contract consumed nothing — replays the
+// identical exchange. Non-transient failures (a broken TCP stream, a
+// crashed worker) bypass the retry loop and escalate to checkpoint
+// rollback.
+type RetryOptions struct {
+	// MaxAttempts is the total number of attempts per Exchange
+	// (0 or 1 → a single attempt, no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0 → 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 → 100ms).
+	MaxDelay time.Duration
+	// ExchangeTimeout bounds each attempt for deadline-capable
+	// transports (the TCP mesh and FaultInjector decorators); 0 means
+	// no deadline. A timed-out TCP exchange is fatal (the stream may
+	// hold a partial batch) and recovers via rollback, not retry.
+	ExchangeTimeout time.Duration
+}
+
+func (r RetryOptions) withDefaults() RetryOptions {
+	if r.MaxAttempts < 1 {
+		r.MaxAttempts = 1
+	}
+	if r.BaseDelay <= 0 {
+		r.BaseDelay = time.Millisecond
+	}
+	if r.MaxDelay <= 0 {
+		r.MaxDelay = 100 * time.Millisecond
+	}
+	return r
+}
+
+// deadlineTransport is implemented by transports that can bound one
+// Exchange with an absolute deadline (the TCP mesh sets per-connection
+// I/O deadlines; fault injectors cut latency spikes short).
+type deadlineTransport interface {
+	setDeadline(time.Time)
+}
+
+// exchangeRetry drives one superstep exchange through the cluster's
+// transport under the retry policy. It returns the cross-worker
+// message count, or the last error once transient retries are
+// exhausted or a non-transient failure occurs.
+func (c *cluster) exchangeRetry(outbox [][][]message, inbox [][]message) (int64, error) {
+	pol := c.retry
+	var snap [][][]message
+	if pol.MaxAttempts > 1 {
+		snap = snapshotOutbox(outbox)
+	}
+	delay := pol.BaseDelay
+	for attempt := 1; ; attempt++ {
+		if pol.ExchangeTimeout > 0 {
+			if dt, ok := c.tr.(deadlineTransport); ok {
+				dt.setDeadline(time.Now().Add(pol.ExchangeTimeout))
+			}
+		}
+		n, err := c.tr.Exchange(outbox, inbox)
+		if err == nil {
+			return n, nil
+		}
+		if !IsTransient(err) || attempt >= pol.MaxAttempts {
+			return 0, err
+		}
+		if cerr := c.sink.Err(); cerr != nil {
+			// The run was canceled while the exchange was failing;
+			// surface the transport error, the driver's cancellation
+			// check takes precedence over recovery.
+			return 0, err
+		}
+		c.stats.Retries++
+		c.sink.Emit(events.Event{Type: events.RetryAttempt, Round: attempt})
+		c.sleep(delay)
+		delay *= 2
+		if delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+		restoreOutbox(outbox, snap)
+	}
+}
+
+// sleep waits for d, returning early if the run's context is canceled.
+func (c *cluster) sleep(d time.Duration) {
+	ctx := c.sink.Context()
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// snapshotOutbox deep-copies the per-destination outboxes so a failed
+// exchange can be replayed byte-identically.
+func snapshotOutbox(outbox [][][]message) [][][]message {
+	snap := make([][][]message, len(outbox))
+	for s := range outbox {
+		snap[s] = make([][]message, len(outbox[s]))
+		for d := range outbox[s] {
+			if len(outbox[s][d]) > 0 {
+				snap[s][d] = append([]message(nil), outbox[s][d]...)
+			}
+		}
+	}
+	return snap
+}
+
+// restoreOutbox refills outbox from a snapshot, reusing the existing
+// buffers.
+func restoreOutbox(outbox, snap [][][]message) {
+	for s := range snap {
+		for d := range snap[s] {
+			outbox[s][d] = append(outbox[s][d][:0], snap[s][d]...)
+		}
+	}
+}

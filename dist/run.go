@@ -11,6 +11,44 @@ import (
 	"repro/scc"
 )
 
+// RunStats reports the fault-tolerance work a run performed. All
+// counters are zero on a fault-free run with recovery disabled.
+type RunStats struct {
+	// Retries counts in-place Exchange retries of transient failures.
+	Retries int
+	// Checkpoints counts snapshots captured.
+	Checkpoints int
+	// Rollbacks counts recoveries from fatal transport failures.
+	Rollbacks int
+	// RecoveredSupersteps is the total number of supersteps discarded
+	// and replayed across all rollbacks.
+	RecoveredSupersteps int
+}
+
+// runState is the driver-level state threaded through the segment
+// sequence (and checkpointed alongside the cluster arrays).
+type runState struct {
+	alive [][]graph.NodeID
+	// label is Dist-WCC's output, consumed by Gather; nil before the
+	// WCC segment completes.
+	label []int32
+	giant int64
+}
+
+// Driver segments. Each is a recovery unit: a rollback re-enters the
+// checkpoint's segment, and every kernel is confluent from any of its
+// checkpointed states, so replay converges to the same fixpoint. The
+// segment split mirrors the phase-event sequence (Trim, FWBW, Trim,
+// WCC, Gather) the observer API documents.
+const (
+	segTrim1 = iota
+	segFWBW
+	segTrim2
+	segWCC
+	segGather
+	numSegments
+)
+
 // Run executes the distributed SCC decomposition of g on a simulated
 // cluster. It is RunContext with a background context; a transport
 // failure (impossible with the in-memory transport) panics — use
@@ -34,19 +72,22 @@ func RunTransport(g *graph.Graph, opt Options) (*Result, error) {
 // ctx. Cancellation is cooperative at superstep granularity: every
 // BSP phase polls ctx between barriers, so a canceled run returns
 // within one superstep with an error wrapping both scc.ErrCanceled
-// and ctx.Err(); partial results are discarded. Transport failures
-// are returned as errors. Progress events stream to opt.Observer
-// with Event.Phase carrying the PhaseID.
+// and ctx.Err(); partial results are discarded. Progress events
+// stream to opt.Observer with Event.Phase carrying the PhaseID.
+//
+// Fault tolerance: transient transport failures are retried in place
+// per opt.Retry; fatal failures (broken TCP mesh, crashed worker) are
+// recovered — when opt.CheckpointEvery enables checkpointing — by
+// rolling back to the latest snapshot, rebuilding the transport via
+// opt.Dial, and replaying. Because every kernel is confluent from a
+// checkpoint (Trim and WCC are monotone fixpoints; FW-BW trials and
+// Gather are deterministic functions of the snapshot), a recovered run
+// produces byte-identical component assignments to a fault-free run.
+// Replayed work is counted twice in Phases (it really happened twice);
+// Result.Stats reports how much was replayed. When recovery is
+// exhausted (opt.MaxRollbacks) or disabled, the failure surfaces as a
+// *scc.Error with Op "dist".
 func RunContext(ctx context.Context, g *graph.Graph, opt Options) (res *Result, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if te, ok := r.(transportError); ok {
-				res, err = nil, &scc.Error{Op: "dist", Err: te.err}
-				return
-			}
-			panic(r)
-		}
-	}()
 	opt = opt.withDefaults()
 	c := newCluster(g, opt)
 	c.sink = events.NewSink(ctx, opt.Observer)
@@ -56,53 +97,82 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (res *Result, 
 	}
 	start := time.Now()
 
-	// Each worker's alive list starts as its owned node set.
-	alive := make([][]graph.NodeID, c.w)
+	// When the caller provides a factory but no transport, the run
+	// dials — and then owns — its transports. A caller-provided
+	// Transport stays caller-owned, except that a replacement dialed
+	// during recovery transfers ownership to the run.
+	ownTransport := false
+	if opt.Transport == nil && opt.Dial != nil {
+		tr, derr := opt.Dial()
+		if derr != nil {
+			return nil, &scc.Error{Op: "dist", Err: fmt.Errorf("dial transport: %w", derr)}
+		}
+		c.tr = tr
+		ownTransport = true
+	}
+	defer func() {
+		if ownTransport {
+			c.tr.Close()
+		}
+	}()
+
+	st := &runState{alive: make([][]graph.NodeID, c.w)}
 	parallel.Run(c.w, func(wk int) {
-		alive[wk] = append([]graph.NodeID(nil), c.owned[wk]...)
+		st.alive[wk] = append([]graph.NodeID(nil), c.owned[wk]...)
 	})
 
-	c.phaseStart(PhaseTrim)
-	timePhase(&res.Phases[PhaseTrim], func() { c.distTrim(alive, &res.Phases[PhaseTrim]) })
-	c.phaseEnd(PhaseTrim, &res.Phases[PhaseTrim])
-	if cerr := c.sink.Err(); cerr != nil {
-		return nil, canceled(cerr)
+	if opt.CheckpointEvery > 0 {
+		c.recov = &recovery{every: opt.CheckpointEvery, max: opt.MaxRollbacks}
+		c.recov.base = func() map[string][]int64 {
+			aux := map[string][]int64{"run.giant": {st.giant}}
+			if st.label != nil {
+				aux["run.label"] = packInt32s(st.label)
+			}
+			return aux
+		}
+		// Anchor recovery before the first exchange so even an
+		// immediately-fatal transport can roll back.
+		c.takeCheckpoint(st.alive, nil)
 	}
 
-	c.phaseStart(PhaseFWBW)
-	timePhase(&res.Phases[PhaseFWBW], func() { res.GiantSCC = c.distFWBW(alive, &res.Phases[PhaseFWBW]) })
-	c.phaseEnd(PhaseFWBW, &res.Phases[PhaseFWBW])
-	if cerr := c.sink.Err(); cerr != nil {
-		return nil, canceled(cerr)
+	seg := segTrim1
+	for seg < numSegments {
+		segErr := c.runSegment(seg, st, res)
+		if cerr := c.sink.Err(); cerr != nil {
+			return nil, canceled(cerr)
+		}
+		if segErr == nil {
+			seg++
+			continue
+		}
+		r := c.recov
+		if r == nil || r.ckpt == nil || c.stats.Rollbacks >= r.max {
+			res = nil
+			if c.stats.Rollbacks > 0 {
+				return nil, &scc.Error{Op: "dist", Err: fmt.Errorf("recovery exhausted after %d rollbacks: %w", c.stats.Rollbacks, segErr)}
+			}
+			return nil, &scc.Error{Op: "dist", Err: segErr}
+		}
+		if opt.Dial != nil {
+			// The failed mesh cannot be trusted; replace it.
+			c.tr.Close()
+			ntr, derr := opt.Dial()
+			if derr != nil {
+				res = nil
+				return nil, &scc.Error{Op: "dist", Err: fmt.Errorf("rebuild transport: %w", derr)}
+			}
+			c.tr = ntr
+			ownTransport = true
+		}
+		seg = c.rollback(st.alive)
+		if v := c.takeRestored("run.giant"); v != nil {
+			st.giant = v[0]
+		}
+		if v := c.takeRestored("run.label"); v != nil {
+			st.label = unpackInt32s(v)
+		}
 	}
-
-	// Par-Trim′'s Trim, Trim2, Trim sequence, distributed (§3.4 order).
-	c.phaseStart(PhaseTrim)
-	timePhase(&res.Phases[PhaseTrim], func() {
-		c.distTrim(alive, &res.Phases[PhaseTrim])
-		c.distTrim2(alive, &res.Phases[PhaseTrim])
-		c.distTrim(alive, &res.Phases[PhaseTrim])
-	})
-	c.phaseEnd(PhaseTrim, &res.Phases[PhaseTrim])
-	if cerr := c.sink.Err(); cerr != nil {
-		return nil, canceled(cerr)
-	}
-
-	var label []int32
-	c.phaseStart(PhaseWCC)
-	timePhase(&res.Phases[PhaseWCC], func() { label = c.distWCC(alive, &res.Phases[PhaseWCC]) })
-	c.phaseEnd(PhaseWCC, &res.Phases[PhaseWCC])
-
-	if cerr := c.sink.Err(); cerr != nil {
-		return nil, canceled(cerr)
-	}
-	c.phaseStart(PhaseGather)
-	timePhase(&res.Phases[PhaseGather], func() { c.gather(alive, label, &res.Phases[PhaseGather]) })
-	c.phaseEnd(PhaseGather, &res.Phases[PhaseGather])
-
-	if cerr := c.sink.Err(); cerr != nil {
-		return nil, canceled(cerr)
-	}
+	res.GiantSCC = st.giant
 
 	// Count SCCs: every representative is a member of its own SCC.
 	counts := make([]int64, c.w)
@@ -118,8 +188,55 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (res *Result, 
 	for _, n := range counts {
 		res.NumSCCs += n
 	}
+	res.Stats = c.stats
 	res.Total = time.Since(start)
 	return res, nil
+}
+
+// runSegment executes one driver segment, converting the kernels'
+// transport-failure panic into an error so the driver's recovery loop
+// can decide between rollback and surfacing it.
+func (c *cluster) runSegment(seg int, st *runState, res *Result) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(transportError); ok {
+				err = te.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	if c.recov != nil {
+		c.recov.seg = seg
+	}
+	switch seg {
+	case segTrim1:
+		c.phaseStart(PhaseTrim)
+		timePhase(&res.Phases[PhaseTrim], func() { c.distTrim(st.alive, &res.Phases[PhaseTrim]) })
+		c.phaseEnd(PhaseTrim, &res.Phases[PhaseTrim])
+	case segFWBW:
+		c.phaseStart(PhaseFWBW)
+		timePhase(&res.Phases[PhaseFWBW], func() { st.giant = c.distFWBW(st.alive, &res.Phases[PhaseFWBW]) })
+		c.phaseEnd(PhaseFWBW, &res.Phases[PhaseFWBW])
+	case segTrim2:
+		// Par-Trim′'s Trim, Trim2, Trim sequence, distributed (§3.4 order).
+		c.phaseStart(PhaseTrim)
+		timePhase(&res.Phases[PhaseTrim], func() {
+			c.distTrim(st.alive, &res.Phases[PhaseTrim])
+			c.distTrim2(st.alive, &res.Phases[PhaseTrim])
+			c.distTrim(st.alive, &res.Phases[PhaseTrim])
+		})
+		c.phaseEnd(PhaseTrim, &res.Phases[PhaseTrim])
+	case segWCC:
+		c.phaseStart(PhaseWCC)
+		timePhase(&res.Phases[PhaseWCC], func() { st.label = c.distWCC(st.alive, &res.Phases[PhaseWCC]) })
+		c.phaseEnd(PhaseWCC, &res.Phases[PhaseWCC])
+	case segGather:
+		c.phaseStart(PhaseGather)
+		timePhase(&res.Phases[PhaseGather], func() { c.gather(st.alive, st.label, &res.Phases[PhaseGather]) })
+		c.phaseEnd(PhaseGather, &res.Phases[PhaseGather])
+	}
+	return nil
 }
 
 // canceled wraps a context error so that errors.Is matches both

@@ -2,10 +2,13 @@ package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/graph"
 )
@@ -20,9 +23,12 @@ type Transport interface {
 	// Exchange consumes outbox[src][dst] (resetting each to length 0)
 	// and appends into inbox[dst] (each reset first). It returns the
 	// number of cross-worker messages moved; self-addressed messages
-	// are delivered without being counted.
+	// are delivered without being counted. On error the inbox contents
+	// are unspecified; errors marked transient (see IsTransient)
+	// guarantee the outboxes were not consumed.
 	Exchange(outbox [][][]message, inbox [][]message) (int64, error)
-	// Close releases transport resources.
+	// Close releases transport resources. It is idempotent and safe to
+	// call concurrently with a blocked Exchange, which it unblocks.
 	Close() error
 }
 
@@ -35,18 +41,52 @@ func (memTransport) Exchange(outbox [][][]message, inbox [][]message) (int64, er
 
 func (memTransport) Close() error { return nil }
 
+// NewMemTransport returns the in-process transport — the same exchange
+// a nil Options.Transport selects. Exported so transport factories
+// (Options.Dial, FaultInjector.Dial) can name it.
+func NewMemTransport() Transport { return memTransport{} }
+
+// ErrTransportClosed is returned by Exchange after Close, or after a
+// previous Exchange error broke the mesh (a failed stream exchange may
+// leave partially written batches behind, so the mesh cannot be
+// trusted again — recovery must re-dial it via Options.Dial).
+var ErrTransportClosed = errors.New("dist: transport closed or broken")
+
+// tcpDialTimeout bounds each listen/dial/accept step of mesh
+// construction and is the default when no per-Exchange deadline is
+// configured.
+const tcpDialTimeout = 10 * time.Second
+
 // tcpTransport runs the same exchange over a full mesh of loopback TCP
 // connections, one per unordered worker pair. Each Exchange writes
 // exactly one length-prefixed batch per ordered pair and reads one
 // batch from every peer; concurrent reader/writer goroutines per
 // connection keep the mesh deadlock-free even when batches exceed
 // kernel socket buffers.
+//
+// Fault model: per-connection read/write deadlines bound every
+// Exchange when the retry policy sets one (Options.Retry
+// .ExchangeTimeout); any exchange error marks the mesh broken, because
+// a half-written frame would desynchronize the batch protocol. Close
+// is idempotent and unblocks in-flight readers and writers.
 type tcpTransport struct {
 	w     int
 	conns [][]net.Conn // conns[a][b] for a≠b; shared conn per pair
+
+	// deadline is the absolute I/O deadline applied to every
+	// connection at the start of each Exchange (zero = none). Written
+	// by setDeadline on the coordinator goroutine that also calls
+	// Exchange.
+	deadline time.Time
+
+	closed    atomic.Bool // set by Close and by Exchange on error
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// NewTCPTransport builds a loopback TCP mesh for w workers.
+// NewTCPTransport builds a loopback TCP mesh for w workers. On any
+// mid-mesh failure every connection and listener opened so far is
+// closed before returning an error that names the failing worker pair.
 func NewTCPTransport(w int) (Transport, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("dist: need at least one worker")
@@ -58,59 +98,99 @@ func NewTCPTransport(w int) (Transport, error) {
 	// Pair (a, b), a < b: b listens, a dials.
 	for a := 0; a < w; a++ {
 		for b := a + 1; b < w; b++ {
-			ln, err := net.Listen("tcp", "127.0.0.1:0")
-			if err != nil {
+			if err := t.dialPair(a, b); err != nil {
 				t.Close()
-				return nil, err
+				return nil, fmt.Errorf("dist: tcp mesh pair (%d,%d): %w", a, b, err)
 			}
-			type acceptResult struct {
-				conn net.Conn
-				err  error
-			}
-			ch := make(chan acceptResult, 1)
-			go func() {
-				conn, err := ln.Accept()
-				ch <- acceptResult{conn, err}
-			}()
-			dialed, err := net.Dial("tcp", ln.Addr().String())
-			if err != nil {
-				ln.Close()
-				t.Close()
-				return nil, err
-			}
-			acc := <-ch
-			ln.Close()
-			if acc.err != nil {
-				dialed.Close()
-				t.Close()
-				return nil, acc.err
-			}
-			t.conns[a][b] = dialed
-			t.conns[b][a] = acc.conn
 		}
 	}
 	return t, nil
 }
 
+// dialPair establishes the shared connection for workers a < b,
+// closing everything it opened itself on failure.
+func (t *tcpTransport) dialPair(a, b int) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(tcpDialTimeout))
+	}
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan acceptResult, 1)
+	go func() {
+		conn, err := ln.Accept()
+		ch <- acceptResult{conn, err}
+	}()
+	dialed, err := net.DialTimeout("tcp", ln.Addr().String(), tcpDialTimeout)
+	if err != nil {
+		// Unblock and drain the accept goroutine, closing any
+		// connection it may have raced to accept.
+		ln.Close()
+		if acc := <-ch; acc.conn != nil {
+			acc.conn.Close()
+		}
+		return err
+	}
+	acc := <-ch
+	ln.Close()
+	if acc.err != nil {
+		dialed.Close()
+		return acc.err
+	}
+	t.conns[a][b] = dialed
+	t.conns[b][a] = acc.conn
+	return nil
+}
+
+// Close tears the mesh down. It is idempotent (later calls return the
+// first call's error) and safe to call concurrently with a blocked
+// Exchange: closing the connections unblocks every in-flight reader
+// and writer goroutine, so nothing leaks.
 func (t *tcpTransport) Close() error {
-	var first error
-	for a := range t.conns {
-		for b := range t.conns[a] {
-			if a < b && t.conns[a][b] != nil {
-				if err := t.conns[a][b].Close(); err != nil && first == nil {
-					first = err
-				}
-				if err := t.conns[b][a].Close(); err != nil && first == nil {
-					first = err
+	t.closeOnce.Do(func() {
+		t.closed.Store(true)
+		for a := range t.conns {
+			for b := range t.conns[a] {
+				if a < b && t.conns[a][b] != nil {
+					if err := t.conns[a][b].Close(); err != nil && t.closeErr == nil {
+						t.closeErr = err
+					}
+					if err := t.conns[b][a].Close(); err != nil && t.closeErr == nil {
+						t.closeErr = err
+					}
 				}
 			}
 		}
-	}
-	return first
+	})
+	return t.closeErr
 }
 
-// Exchange sends every outbox over the mesh and gathers inboxes.
+// setDeadline sets the absolute I/O deadline for subsequent Exchanges
+// (zero clears it). Called from the same goroutine as Exchange.
+func (t *tcpTransport) setDeadline(d time.Time) { t.deadline = d }
+
+// Exchange sends every outbox over the mesh and gathers inboxes. Any
+// failure (including a deadline expiry) breaks the mesh: the framing
+// protocol cannot resynchronize a partially transferred batch, so
+// subsequent Exchanges fail fast with ErrTransportClosed and recovery
+// must re-dial.
 func (t *tcpTransport) Exchange(outbox [][][]message, inbox [][]message) (int64, error) {
+	if t.closed.Load() {
+		return 0, ErrTransportClosed
+	}
+	dl := t.deadline
+	for a := range t.conns {
+		for b := range t.conns[a] {
+			if a != b && t.conns[a][b] != nil {
+				t.conns[a][b].SetDeadline(dl)
+			}
+		}
+	}
 	for d := range inbox {
 		inbox[d] = inbox[d][:0]
 	}
@@ -163,7 +243,12 @@ func (t *tcpTransport) Exchange(outbox [][][]message, inbox [][]message) (int64,
 		}
 	}
 	wg.Wait()
-	return count, first
+	if first != nil {
+		// The stream may hold a partial frame; poison the mesh.
+		t.closed.Store(true)
+		return 0, first
+	}
+	return count, nil
 }
 
 // writeBatch frames a message slice as count + count×8 bytes.

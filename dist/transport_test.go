@@ -1,12 +1,17 @@
 package dist
 
 import (
+	"errors"
+	"net"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/gen"
 	"repro/graph"
 	"repro/internal/seq"
 	"repro/internal/verify"
+	"repro/scc"
 )
 
 func TestTCPTransportExchange(t *testing.T) {
@@ -146,3 +151,123 @@ var errFail = &transportFailure{}
 type transportFailure struct{}
 
 func (*transportFailure) Error() string { return "injected transport failure" }
+
+// TestTCPTransportCloseIdempotent pins the Close contract: repeated
+// and concurrent Close calls all succeed with the first call's result.
+func TestTCPTransportCloseIdempotent(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tr.Close()
+	for i := 0; i < 3; i++ {
+		if got := tr.Close(); got != first {
+			t.Fatalf("Close #%d = %v, want %v", i+2, got, first)
+		}
+	}
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { done <- tr.Close() }()
+	}
+	for i := 0; i < 4; i++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent Close = %v, want %v", got, first)
+		}
+	}
+}
+
+// TestTCPTransportExchangeAfterClose: a closed mesh fails fast.
+func TestTCPTransportExchangeAfterClose(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	outbox := [][][]message{make([]message2D, 2), make([]message2D, 2)}
+	inbox := make([][]message, 2)
+	if _, err := tr.Exchange(outbox, inbox); !errors.Is(err, ErrTransportClosed) {
+		t.Fatalf("Exchange after Close = %v, want ErrTransportClosed", err)
+	}
+}
+
+// TestTCPTransportCloseUnblocksExchange builds a mesh whose peers never
+// answer (two pipe ends whose far sides are abandoned), starts an
+// Exchange that must block in the reader goroutines, and checks that a
+// concurrent Close unblocks it and that no goroutine survives — the
+// regression test for leaked reader/writer goroutines on shutdown.
+func TestTCPTransportCloseUnblocksExchange(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a, _ := net.Pipe() // far ends deliberately abandoned: reads and
+	b, _ := net.Pipe() // writes on a and b block forever
+	tr := &tcpTransport{w: 2, conns: [][]net.Conn{{nil, a}, {b, nil}}}
+	outbox := [][][]message{make([]message2D, 2), make([]message2D, 2)}
+	inbox := make([][]message, 2)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := tr.Exchange(outbox, inbox)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Exchange reach the blocking reads
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blocked Exchange returned nil after Close")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not unblock Exchange")
+	}
+	settleGoroutines(t, base)
+}
+
+// TestTCPTransportDeadlineBreaksStall: with an exchange deadline set, a
+// stalled peer surfaces as a timeout error instead of hanging forever.
+func TestTCPTransportDeadlineBreaksStall(t *testing.T) {
+	base := runtime.NumGoroutine()
+	a, _ := net.Pipe()
+	b, _ := net.Pipe()
+	tr := &tcpTransport{w: 2, conns: [][]net.Conn{{nil, a}, {b, nil}}}
+	defer tr.Close()
+	tr.setDeadline(time.Now().Add(50 * time.Millisecond))
+	outbox := [][][]message{make([]message2D, 2), make([]message2D, 2)}
+	inbox := make([][]message, 2)
+	start := time.Now()
+	if _, err := tr.Exchange(outbox, inbox); err == nil {
+		t.Fatal("stalled exchange with deadline returned nil")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline did not bound the stalled exchange")
+	}
+	tr.Close()
+	settleGoroutines(t, base)
+}
+
+// TestNewTCPTransportRejectsBadWorkerCount covers the construction
+// guard of the unwind path.
+func TestNewTCPTransportRejectsBadWorkerCount(t *testing.T) {
+	if _, err := NewTCPTransport(0); err == nil {
+		t.Fatal("w=0 accepted")
+	}
+}
+
+// TestRunTransportFailureJoinsWorkers extends the mid-phase failure
+// test with the settle check of the error path: the run must return
+// with every worker and transport goroutine joined.
+func TestRunTransportFailureJoinsWorkers(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := gen.RMAT(gen.DefaultRMAT(8, 4, 3))
+	_, err := RunTransport(g, Options{Workers: 3, Seed: 1, Transport: failingTransport{}})
+	if err == nil {
+		t.Fatal("transport failure not surfaced")
+	}
+	var se *scc.Error
+	if !errors.As(err, &se) || se.Op != "dist" {
+		t.Fatalf("want *scc.Error{Op: dist}, got %v", err)
+	}
+	settleGoroutines(t, base)
+}
+
+// message2D shortens outbox row construction in tests.
+type message2D = []message

@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMalformed is the sentinel wrapped by every error the loaders
+// (Load, ReadEdgeList, ReadMatrixMarket, ReadMETIS) return for
+// structurally invalid input: bad magic, out-of-range endpoints,
+// negative counts, truncated files, non-monotone CSR indices. Match it
+// with errors.Is to distinguish "the file is broken" from genuine I/O
+// failures, which are returned unwrapped.
+var ErrMalformed = errors.New("malformed graph input")
+
+// ParseError is the concrete error type for malformed input. It wraps
+// ErrMalformed and, when the corruption was detected through an
+// underlying read error (e.g. an unexpected EOF on a truncated file),
+// that cause too. Retrieve it with errors.As for the format and
+// position.
+type ParseError struct {
+	// Format names the input format: "sccg", "edgelist",
+	// "matrixmarket", or "metis".
+	Format string
+	// Line is the 1-based input line of the defect, or 0 when the
+	// format is not line-oriented (binary) or the position is unknown.
+	Line int
+	// Msg describes the defect.
+	Msg string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	s := "graph: " + e.Format
+	if e.Line > 0 {
+		s += fmt.Sprintf(" line %d", e.Line)
+	}
+	s += ": " + e.Msg
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes both ErrMalformed and the underlying cause to
+// errors.Is / errors.As.
+func (e *ParseError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrMalformed, e.Err}
+	}
+	return []error{ErrMalformed}
+}
+
+// malformed builds a *ParseError with a formatted message.
+func malformed(format string, line int, cause error, msg string, args ...any) error {
+	return &ParseError{Format: format, Line: line, Msg: fmt.Sprintf(msg, args...), Err: cause}
+}

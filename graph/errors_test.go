@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMalformedInputsTyped drives every loader with malformed input
+// and requires a typed *ParseError matching ErrMalformed — corrupt
+// files must be distinguishable from I/O failures, and must never
+// panic or silently truncate.
+func TestMalformedInputsTyped(t *testing.T) {
+	// A valid binary blob to corrupt.
+	var bin bytes.Buffer
+	if err := FromEdges(3, []Edge{{0, 1}, {1, 2}, {2, 0}}).Save(&bin); err != nil {
+		t.Fatal(err)
+	}
+	valid := bin.Bytes()
+	corruptAt := func(off int, val byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[off] = val
+		return b
+	}
+
+	cases := []struct {
+		name string
+		load func() (*Graph, error)
+	}{
+		{"edgelist/endpoint-overflow", func() (*Graph, error) {
+			return ReadEdgeList(strings.NewReader("0 4294967295\n"))
+		}},
+		{"edgelist/negative-endpoint", func() (*Graph, error) {
+			return ReadEdgeList(strings.NewReader("-4 2\n"))
+		}},
+		{"edgelist/not-a-number", func() (*Graph, error) {
+			return ReadEdgeList(strings.NewReader("zero one\n"))
+		}},
+		{"edgelist/missing-endpoint", func() (*Graph, error) {
+			return ReadEdgeList(strings.NewReader("7\n"))
+		}},
+		{"edgelist/implausibly-sparse-ids", func() (*Graph, error) {
+			// One edge implying a two-billion-node CSR is a resource
+			// attack, not a graph.
+			return ReadEdgeList(strings.NewReader("0 2147483645\n"))
+		}},
+		{"mm/implausible-dimension", func() (*Graph, error) {
+			return ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n2000000000 2000000000 1\n1 2\n"))
+		}},
+		{"binary/bad-magic", func() (*Graph, error) {
+			return Load(bytes.NewReader(corruptAt(0, 'X')))
+		}},
+		{"binary/truncated-header", func() (*Graph, error) {
+			return Load(bytes.NewReader(valid[:6]))
+		}},
+		{"binary/truncated-payload", func() (*Graph, error) {
+			return Load(bytes.NewReader(valid[:len(valid)-3]))
+		}},
+		{"mm/no-header", func() (*Graph, error) {
+			return ReadMatrixMarket(strings.NewReader("1 1\n"))
+		}},
+		{"mm/negative-entries", func() (*Graph, error) {
+			return ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n2 2 -5\n"))
+		}},
+		{"mm/endpoint-out-of-range", func() (*Graph, error) {
+			return ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n"))
+		}},
+		{"mm/truncated-entries", func() (*Graph, error) {
+			return ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n"))
+		}},
+		{"mm/non-square", func() (*Graph, error) {
+			return ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n"))
+		}},
+		{"metis/negative-edge-count", func() (*Graph, error) {
+			return ReadMETIS(strings.NewReader("2 -1\n2\n1\n"))
+		}},
+		{"metis/neighbor-out-of-range", func() (*Graph, error) {
+			return ReadMETIS(strings.NewReader("2 1\n3\n1\n"))
+		}},
+		{"metis/truncated-node-lines", func() (*Graph, error) {
+			return ReadMETIS(strings.NewReader("3 2\n2\n"))
+		}},
+		{"metis/empty", func() (*Graph, error) {
+			return ReadMETIS(strings.NewReader(""))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.load()
+			if err == nil {
+				t.Fatalf("malformed input accepted: %v", g)
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("error does not match ErrMalformed: %v", err)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a *ParseError: %v", err)
+			}
+			if pe.Format == "" {
+				t.Fatalf("ParseError lost its format: %+v", pe)
+			}
+		})
+	}
+}
+
+// TestParseErrorWrapsCause checks the multi-error unwrap exposes both
+// the sentinel and the underlying cause.
+func TestParseErrorWrapsCause(t *testing.T) {
+	_, err := ReadEdgeList(strings.NewReader("x y\n"))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("want ErrMalformed in chain, got %v", err)
+	}
+	var ne interface{ Unwrap() []error }
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("no ParseError: %v", err)
+	}
+	if !errors.As(err, &ne) {
+		t.Fatalf("ParseError must multi-unwrap: %v", err)
+	}
+	if pe.Err == nil {
+		t.Fatal("numeric parse failure must carry its cause")
+	}
+}

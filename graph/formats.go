@@ -22,11 +22,11 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
-		return nil, fmt.Errorf("graph: empty MatrixMarket input")
+		return nil, malformed("matrixmarket", 0, nil, "empty input")
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
-		return nil, fmt.Errorf("graph: not a MatrixMarket coordinate file: %q", sc.Text())
+		return nil, malformed("matrixmarket", 1, nil, "not a coordinate file: %q", sc.Text())
 	}
 	symmetric := false
 	for _, f := range header[3:] {
@@ -42,15 +42,22 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 			continue
 		}
 		if _, err := fmt.Sscan(line, &rows, &cols, &entries); err != nil {
-			return nil, fmt.Errorf("graph: bad MatrixMarket size line %q: %v", line, err)
+			return nil, malformed("matrixmarket", 0, err, "bad size line %q", line)
 		}
 		break
 	}
 	if rows <= 0 || rows != cols {
-		return nil, fmt.Errorf("graph: MatrixMarket matrix %dx%d is not a square adjacency matrix", rows, cols)
+		return nil, malformed("matrixmarket", 0, nil, "matrix %dx%d is not a square adjacency matrix", rows, cols)
 	}
 	if rows >= 1<<31 {
-		return nil, fmt.Errorf("graph: %d nodes exceeds 32-bit id space", rows)
+		return nil, malformed("matrixmarket", 0, nil, "%d nodes exceeds 32-bit id space", rows)
+	}
+	if entries < 0 {
+		return nil, malformed("matrixmarket", 0, nil, "negative entry count %d", entries)
+	}
+	if limit := idSpaceLimit(entries); rows > limit {
+		return nil, malformed("matrixmarket", 0, nil,
+			"dimension %d implausibly large for %d entries (limit %d)", rows, entries, limit)
 	}
 	b := NewBuilder(int(rows))
 	var seen int64
@@ -61,18 +68,18 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: bad MatrixMarket entry %q", line)
+			return nil, malformed("matrixmarket", 0, nil, "bad entry %q", line)
 		}
 		i, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad MatrixMarket entry %q: %v", line, err)
+			return nil, malformed("matrixmarket", 0, err, "bad entry %q", line)
 		}
 		j, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad MatrixMarket entry %q: %v", line, err)
+			return nil, malformed("matrixmarket", 0, err, "bad entry %q", line)
 		}
 		if i < 1 || i > rows || j < 1 || j > rows {
-			return nil, fmt.Errorf("graph: MatrixMarket entry (%d,%d) out of range", i, j)
+			return nil, malformed("matrixmarket", 0, nil, "entry (%d,%d) out of range [1,%d]", i, j, rows)
 		}
 		seen++
 		b.AddEdge(NodeID(i-1), NodeID(j-1))
@@ -84,7 +91,7 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	if seen != entries {
-		return nil, fmt.Errorf("graph: MatrixMarket declared %d entries, found %d", entries, seen)
+		return nil, malformed("matrixmarket", 0, nil, "declared %d entries, found %d", entries, seen)
 	}
 	return b.Build(), nil
 }
@@ -125,26 +132,29 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: bad METIS header %q", line)
+			return nil, malformed("metis", 0, nil, "bad header %q", line)
 		}
 		var err error
 		if n, err = strconv.ParseInt(fields[0], 10, 64); err != nil {
-			return nil, fmt.Errorf("graph: bad METIS header %q: %v", line, err)
+			return nil, malformed("metis", 0, err, "bad header %q", line)
 		}
 		if m, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return nil, fmt.Errorf("graph: bad METIS header %q: %v", line, err)
+			return nil, malformed("metis", 0, err, "bad header %q", line)
 		}
 		if len(fields) >= 3 && fields[2] != "0" && fields[2] != "000" {
-			return nil, fmt.Errorf("graph: weighted METIS format %q not supported", fields[2])
+			return nil, malformed("metis", 0, nil, "weighted format %q not supported", fields[2])
 		}
 		headerSeen = true
 		break
 	}
 	if !headerSeen {
-		return nil, fmt.Errorf("graph: METIS input has no header line")
+		return nil, malformed("metis", 0, nil, "input has no header line")
 	}
 	if n < 0 || n >= 1<<31 {
-		return nil, fmt.Errorf("graph: METIS node count %d invalid", n)
+		return nil, malformed("metis", 0, nil, "node count %d invalid", n)
+	}
+	if m < 0 {
+		return nil, malformed("metis", 0, nil, "negative edge count %d", m)
 	}
 	b := NewBuilder(int(n))
 	var node NodeID
@@ -156,22 +166,22 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 		for _, f := range strings.Fields(line) {
 			t, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("graph: METIS node %d: bad neighbor %q", node+1, f)
+				return nil, malformed("metis", 0, err, "node %d: bad neighbor %q", node+1, f)
 			}
 			if t < 1 || t > n {
-				return nil, fmt.Errorf("graph: METIS node %d: neighbor %d out of range", node+1, t)
+				return nil, malformed("metis", 0, nil, "node %d: neighbor %d out of range [1,%d]", node+1, t, n)
 			}
 			b.AddEdge(node, NodeID(t-1))
 		}
 		node++
 	}
 	if int64(node) != n {
-		return nil, fmt.Errorf("graph: METIS file has %d of %d node lines", node, n)
+		return nil, malformed("metis", 0, nil, "truncated: %d of %d node lines", node, n)
 	}
 	if got := b.NumEdges(); int64(got) != 2*m && int64(got) != m {
 		// METIS m counts undirected edges (each listed twice); tolerate
 		// files that list arcs once but reject wild mismatches.
-		return nil, fmt.Errorf("graph: METIS header declares %d edges, adjacency lists %d arcs", m, got)
+		return nil, malformed("metis", 0, nil, "header declares %d edges, adjacency lists %d arcs", m, got)
 	}
 	return b.Build(), nil
 }

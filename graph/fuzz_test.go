@@ -17,6 +17,9 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("1\n")
 	f.Add("-1 2\n")
 	f.Add("0 1 extra fields ignored\n")
+	f.Add("0 4294967295\n")           // endpoint beyond 32-bit id space
+	f.Add("0 2147483646\n")           // endpoint at the id-space boundary
+	f.Add("18446744073709551616 1\n") // beyond int64
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadEdgeList(strings.NewReader(input))
 		if err != nil {
@@ -89,4 +92,63 @@ func FuzzLoadBinary(f *testing.F) {
 			t.Fatal("round trip changed sizes")
 		}
 	})
+}
+
+// FuzzReadMatrixMarket checks the Matrix Market parser never panics
+// and that everything it accepts is structurally valid.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n2 3\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 0.5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 -5\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n9999999999 9999999999 1\n1 2\n")
+	f.Add("not a header\n1 1 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		checkStructure(t, g)
+	})
+}
+
+// FuzzReadMETIS checks the METIS parser never panics and that
+// everything it accepts is structurally valid.
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("3 2\n2\n1 3\n2\n")
+	f.Add("% comment\n2 1\n2\n1\n")
+	f.Add("2 -1\n2\n1\n")
+	f.Add("3 2\n2\n")    // truncated node lines
+	f.Add("2 1\n3\n1\n") // neighbor out of range
+	f.Add("2 1 011\n2\n1\n")
+	f.Add("9999999999 1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadMETIS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		checkStructure(t, g)
+	})
+}
+
+// checkStructure verifies CSR invariants of a parsed graph: in-range
+// targets and a consistent edge count.
+func checkStructure(t *testing.T, g *Graph) {
+	t.Helper()
+	n := g.NumNodes()
+	var m int64
+	for v := 0; v < n; v++ {
+		for _, tgt := range g.Out(NodeID(v)) {
+			if tgt < 0 || int(tgt) >= n {
+				t.Fatalf("edge target %d out of range [0,%d)", tgt, n)
+			}
+			m++
+		}
+	}
+	if m != g.NumEdges() {
+		t.Fatalf("edge count mismatch: %d vs %d", m, g.NumEdges())
+	}
 }

@@ -55,32 +55,35 @@ func (g *Graph) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a graph in the SCCG binary format.
+// Load reads a graph in the SCCG binary format. Corrupt or truncated
+// input is rejected with an error wrapping ErrMalformed; the loaded
+// CSR arrays are validated before the graph is returned, so a
+// successful Load never yields out-of-range adjacency entries.
 func Load(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
+		return nil, malformed("sccg", 0, err, "reading magic")
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic)
+		return nil, malformed("sccg", 0, nil, "bad magic %q", magic)
 	}
 	hdr := make([]byte, 4+8+8)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
+		return nil, malformed("sccg", 0, err, "reading header")
 	}
 	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d", v)
+		return nil, malformed("sccg", 0, nil, "unsupported version %d", v)
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:])
 	m := binary.LittleEndian.Uint64(hdr[12:])
 	const maxNodes = 1 << 31
 	if n >= maxNodes {
-		return nil, fmt.Errorf("graph: node count %d exceeds 32-bit id space", n)
+		return nil, malformed("sccg", 0, nil, "node count %d exceeds 32-bit id space", n)
 	}
 	const maxEdges = 1 << 40 // 4 TiB of adjacency — far beyond any valid file
 	if m > maxEdges {
-		return nil, fmt.Errorf("graph: implausible edge count %d", m)
+		return nil, malformed("sccg", 0, nil, "implausible edge count %d", m)
 	}
 	g := &Graph{}
 	var err error
@@ -126,6 +129,7 @@ func LoadFile(path string) (*Graph, error) {
 }
 
 // validate checks CSR structural invariants after an untrusted load.
+// Every violation wraps ErrMalformed.
 func (g *Graph) validate() error {
 	n := g.NumNodes()
 	for _, dir := range []struct {
@@ -134,25 +138,25 @@ func (g *Graph) validate() error {
 		adj  []NodeID
 	}{{"out", g.outIdx, g.outAdj}, {"in", g.inIdx, g.inAdj}} {
 		if dir.idx[0] != 0 {
-			return fmt.Errorf("graph: %s index does not start at 0", dir.name)
+			return malformed("sccg", 0, nil, "%s index does not start at 0", dir.name)
 		}
 		for v := 0; v < n; v++ {
 			if dir.idx[v] > dir.idx[v+1] {
-				return fmt.Errorf("graph: %s index not monotone at node %d", dir.name, v)
+				return malformed("sccg", 0, nil, "%s index not monotone at node %d", dir.name, v)
 			}
 		}
 		if dir.idx[n] != int64(len(dir.adj)) {
-			return fmt.Errorf("graph: %s index end %d != adjacency length %d",
+			return malformed("sccg", 0, nil, "%s index end %d != adjacency length %d",
 				dir.name, dir.idx[n], len(dir.adj))
 		}
 		for _, t := range dir.adj {
 			if t < 0 || int(t) >= n {
-				return fmt.Errorf("graph: %s adjacency target %d out of range", dir.name, t)
+				return malformed("sccg", 0, nil, "%s adjacency target %d out of range [0,%d)", dir.name, t, n)
 			}
 		}
 	}
 	if len(g.outAdj) != len(g.inAdj) {
-		return fmt.Errorf("graph: out edges %d != in edges %d", len(g.outAdj), len(g.inAdj))
+		return malformed("sccg", 0, nil, "out edges %d != in edges %d", len(g.outAdj), len(g.inAdj))
 	}
 	return nil
 }
@@ -199,6 +203,22 @@ func writeNodeIDs(w io.Writer, v []NodeID) error {
 // of being sized from the untrusted count.
 const maxEagerAlloc = 1 << 20
 
+// idSpaceLimit bounds the node-id space a text-format file may imply
+// relative to the edges it actually contains. Building CSR arrays
+// costs memory per id whether or not the id is used, so a kilobyte of
+// text declaring a multi-gigabyte id space is a malformed (or hostile)
+// file, not a big graph; the slack factor comfortably admits every
+// real dataset in SNAP/KONECT style (sparse ids there are sparse by a
+// small constant factor, not by orders of magnitude).
+func idSpaceLimit(edges int64) int64 {
+	const base, perEdge = 1 << 16, 256
+	limit := base + perEdge*edges
+	if limit > 1<<31-1 {
+		return 1<<31 - 1
+	}
+	return limit
+}
+
 func readInt64s(r io.Reader, n int) ([]int64, error) {
 	out := make([]int64, 0, min(n, maxEagerAlloc))
 	buf := make([]byte, 8192)
@@ -208,7 +228,7 @@ func readInt64s(r io.Reader, n int) ([]int64, error) {
 			chunk = n - len(out)
 		}
 		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
-			return nil, fmt.Errorf("graph: reading int64 block: %w", err)
+			return nil, malformed("sccg", 0, err, "truncated int64 block")
 		}
 		for j := 0; j < chunk; j++ {
 			out = append(out, int64(binary.LittleEndian.Uint64(buf[j*8:])))
@@ -226,7 +246,7 @@ func readNodeIDs(r io.Reader, n int) ([]NodeID, error) {
 			chunk = n - len(out)
 		}
 		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
-			return nil, fmt.Errorf("graph: reading node block: %w", err)
+			return nil, malformed("sccg", 0, err, "truncated node block")
 		}
 		for j := 0; j < chunk; j++ {
 			out = append(out, NodeID(binary.LittleEndian.Uint32(buf[j*4:])))
@@ -238,7 +258,9 @@ func readNodeIDs(r io.Reader, n int) ([]NodeID, error) {
 // ReadEdgeList parses a whitespace-separated text edge list ("u v" per
 // line; '#' and '%' comment lines are skipped, matching SNAP / KONECT
 // conventions). Node IDs may be sparse; they are used verbatim, so the
-// resulting graph has max(id)+1 nodes.
+// resulting graph has max(id)+1 nodes. Malformed lines (missing
+// fields, non-numeric or negative ids, ids overflowing the 32-bit node
+// space) return an error wrapping ErrMalformed.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -253,18 +275,18 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %d", lineNo, len(fields))
+			return nil, malformed("edgelist", lineNo, nil, "want at least 2 fields, got %d", len(fields))
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			return nil, malformed("edgelist", lineNo, err, "bad source id %q", fields[0])
 		}
 		v, err := strconv.ParseInt(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			return nil, malformed("edgelist", lineNo, err, "bad target id %q", fields[1])
 		}
 		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative node id", lineNo)
+			return nil, malformed("edgelist", lineNo, nil, "negative node id")
 		}
 		if u > maxID {
 			maxID = u
@@ -276,6 +298,15 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	// maxID is capped at MaxInt32-1 so that the node count maxID+1
+	// still fits the 32-bit id space (and cannot silently wrap).
+	if maxID >= 1<<31-1 {
+		return nil, malformed("edgelist", 0, nil, "node id %d exceeds 32-bit id space", maxID)
+	}
+	if limit := idSpaceLimit(int64(len(edges))); maxID >= limit {
+		return nil, malformed("edgelist", 0, nil,
+			"id space implausibly sparse: max id %d with only %d edges (limit %d); relabel the ids densely", maxID, len(edges), limit)
 	}
 	return FromEdges(int(maxID+1), edges), nil
 }

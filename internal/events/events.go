@@ -40,6 +40,19 @@ const (
 	// TaskDone reports one completed recursive FW-BW task; Nodes is the
 	// size of the SCC the task identified.
 	TaskDone
+	// RetryAttempt reports a transient superstep-exchange failure being
+	// retried by the distributed pipeline; Round is the 1-based attempt
+	// number that failed.
+	RetryAttempt
+	// CheckpointTaken reports a superstep-boundary state snapshot by
+	// the distributed pipeline's recovery layer; Round is the global
+	// superstep at capture.
+	CheckpointTaken
+	// Rollback reports the distributed pipeline rolling all workers
+	// back to the last checkpoint after a fatal transport failure;
+	// Round is the 1-based rollback count and Nodes the number of
+	// supersteps being discarded and replayed.
+	Rollback
 )
 
 // String names the event type.
@@ -59,6 +72,12 @@ func (t Type) String() string {
 		return "QueueSample"
 	case TaskDone:
 		return "TaskDone"
+	case RetryAttempt:
+		return "RetryAttempt"
+	case CheckpointTaken:
+		return "CheckpointTaken"
+	case Rollback:
+		return "Rollback"
 	default:
 		return "Unknown"
 	}

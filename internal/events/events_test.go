@@ -70,13 +70,16 @@ func TestSinkCancelOnly(t *testing.T) {
 // TestTypeString pins the event-type names.
 func TestTypeString(t *testing.T) {
 	names := map[Type]string{
-		PhaseStart:  "PhaseStart",
-		PhaseEnd:    "PhaseEnd",
-		TrimRound:   "TrimRound",
-		BFSLevel:    "BFSLevel",
-		WCCRound:    "WCCRound",
-		QueueSample: "QueueSample",
-		TaskDone:    "TaskDone",
+		PhaseStart:      "PhaseStart",
+		PhaseEnd:        "PhaseEnd",
+		TrimRound:       "TrimRound",
+		BFSLevel:        "BFSLevel",
+		WCCRound:        "WCCRound",
+		QueueSample:     "QueueSample",
+		TaskDone:        "TaskDone",
+		RetryAttempt:    "RetryAttempt",
+		CheckpointTaken: "CheckpointTaken",
+		Rollback:        "Rollback",
 	}
 	for typ, want := range names {
 		if typ.String() != want {

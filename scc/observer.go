@@ -37,6 +37,15 @@ const (
 	// EventTaskDone reports one completed recursive-phase task; Nodes
 	// is the size of the SCC it identified.
 	EventTaskDone = events.TaskDone
+	// EventRetryAttempt reports the distributed pipeline retrying a
+	// transient exchange failure; Round is the failed attempt number.
+	EventRetryAttempt = events.RetryAttempt
+	// EventCheckpointTaken reports a distributed recovery checkpoint;
+	// Round is the global superstep at capture.
+	EventCheckpointTaken = events.CheckpointTaken
+	// EventRollback reports distributed recovery rolling back to the
+	// last checkpoint; Nodes is the number of supersteps replayed.
+	EventRollback = events.Rollback
 )
 
 // Observer receives progress events from a run. Implementations must
