@@ -1,0 +1,136 @@
+// Command benchgate compares two `go test -bench -benchmem` output
+// files and fails when a benchmark's allocs/op regresses beyond a
+// threshold against the checked-in baseline. It is the CI gate behind
+// BENCH_baseline.txt: benchstat gives the human-readable comparison,
+// benchgate gives the red/green verdict.
+//
+// Usage:
+//
+//	benchgate [-threshold 0.10] [-metric allocs/op] baseline.txt current.txt
+//
+// Benchmarks present in only one file are reported but do not fail the
+// gate (datasets and benchmarks may be added or removed); a run with
+// zero common benchmarks fails, since that means the gate matched
+// nothing at all.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// parseBench extracts metric values (e.g. allocs/op) per benchmark
+// name from `go test -bench` output. The counter name is matched
+// against the unit column following each value.
+func parseBench(path, metric string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Layout: Name iterations value unit [value unit]...
+		name := trimProcSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != metric {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad %s value %q for %s", path, metric, fields[i], name)
+			}
+			out[name] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix so runs from machines
+// with different core counts compare.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "max allowed relative regression (0.10 = +10%)")
+	metric := flag.String("metric", "allocs/op", "benchmark counter to gate on")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold 0.10] [-metric allocs/op] baseline.txt current.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0), *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(flag.Arg(1), *metric)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	compared := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("SKIP %-50s only in baseline\n", name)
+			continue
+		}
+		compared++
+		var rel float64
+		switch {
+		case b == 0 && c == 0:
+			rel = 0
+		case b == 0:
+			rel = 1.0 // from zero to anything is a full regression
+		default:
+			rel = (c - b) / b
+		}
+		status := "ok  "
+		if rel > *threshold {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-50s %14.1f -> %14.1f  (%+.1f%%)\n", status, name, b, c, rel*100)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("NEW  %-50s %14.1f\n", name, cur[name])
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between the two files")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: %s regressed more than %.0f%% against baseline\n", *metric, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline on %s\n", compared, *threshold*100, *metric)
+}

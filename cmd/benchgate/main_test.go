@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFigure6Method2/livej-8    3  38669442 ns/op  96.42 MB/s  2661290 B/op  497 allocs/op
+BenchmarkFigure6Method2/flickr-8   3  21274612 ns/op  90.54 MB/s  1757946 B/op  754 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	got, err := parseBench(writeTemp(t, sample), "allocs/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFigure6Method2/livej":  497,
+		"BenchmarkFigure6Method2/flickr": 754,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestParseBenchOtherMetrics(t *testing.T) {
+	p := writeTemp(t, sample)
+	ns, err := parseBench(p, "ns/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns["BenchmarkFigure6Method2/livej"] != 38669442 {
+		t.Fatalf("ns/op = %v", ns["BenchmarkFigure6Method2/livej"])
+	}
+	bytes, err := parseBench(p, "B/op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes["BenchmarkFigure6Method2/flickr"] != 1757946 {
+		t.Fatalf("B/op = %v", bytes["BenchmarkFigure6Method2/flickr"])
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":        "BenchmarkX",
+		"BenchmarkX/sub-16":   "BenchmarkX/sub",
+		"BenchmarkX/ca-road":  "BenchmarkX/ca-road",
+		"BenchmarkPlain":      "BenchmarkPlain",
+		"BenchmarkX/scale-25": "BenchmarkX/scale",
+	}
+	for in, want := range cases {
+		if got := trimProcSuffix(in); got != want {
+			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -12,7 +12,8 @@
 //	sccbench -exp tasklog                        # §3.3 execution log
 //	sccbench -exp ablations [-data flickr]       # §3.4/§4.1/§4.3 claims
 //	sccbench -exp dist [-data flickr]            # §6 distributed extension
-//	sccbench -exp all                            # everything
+//	sccbench -exp bench [-warmup 1] [-reps 5]    # JSON perf report (BENCH_scc.json)
+//	sccbench -exp all                            # everything except bench
 //
 // -scale shrinks the datasets (1.0 ≈ 40-250k nodes per graph; use
 // 0.25 for quick runs). -mode modeled (default) projects thread sweeps
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure2|figure6|figure7|figure8|figure9|tasklog|ablations|dist|related|smallworld|all")
+		exp      = flag.String("exp", "all", "experiment: table1|figure2|figure6|figure7|figure8|figure9|tasklog|ablations|dist|related|smallworld|bench|all")
 		data     = flag.String("data", "", "restrict figure6/figure7/tasklog/ablations to one dataset (default: all for figure6, flickr otherwise)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (halving repeatedly shrinks node counts)")
 		mode     = flag.String("mode", "modeled", "thread-sweep mode: modeled|measured")
@@ -44,6 +45,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "pivot-selection seed")
 		csvDir   = flag.String("csv", "", "also write machine-readable CSV files into this directory")
 		machSpec = flag.String("machine", "", "machine model for modeled sweeps, e.g. 8x1.0,8x0.7,16x0.35@1us (default: the paper's 2x8-core SMT Xeon)")
+
+		jsonPath = flag.String("json", "BENCH_scc.json", "bench experiment: write the JSON report to this file (empty = stdout only)")
+		warmup   = flag.Int("warmup", 1, "bench experiment: discarded warmup runs per dataset")
+		reps     = flag.Int("reps", 5, "bench experiment: measured repetitions per dataset")
+		workers  = flag.Int("workers", 0, "bench experiment: Detect workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -161,6 +167,36 @@ func main() {
 		fmt.Print(experiments.FormatRelated(rc))
 		writeCSV("related.csv", func(f *os.File) error { return experiments.RelatedCSV(f, rc) })
 	})
+	// bench is deliberately not part of -exp all: it is the CI perf
+	// artifact, not a paper figure.
+	if *exp == "bench" {
+		cfg := experiments.BenchConfig{
+			Scale: *scale, Workers: *workers, Warmup: *warmup, Reps: *reps, Seed: *seed,
+		}
+		if *data != "" {
+			cfg.Datasets = strings.Split(*data, ",")
+		}
+		rep, err := experiments.BenchSweep(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatBench(rep))
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteBenchJSON(f, rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+
 	run("ablations", func() {
 		d := mustFind(defaultTo(*data, "flickr"))
 		h := experiments.AblationHybrid(d, *scale, *seed)

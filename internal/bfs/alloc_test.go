@@ -1,0 +1,38 @@
+package bfs
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/internal/scratch"
+)
+
+// TestRunSteadyStateAllocs pins the zero-allocation contract of the
+// single-worker level-synchronous BFS: with a warmed arena a full
+// traversal — frontier swaps included — performs no heap allocations.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	// A binary tree gives several levels with growing frontiers.
+	const n = 255
+	edges := make([]graph.Edge, 0, n)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{From: graph.NodeID((v - 1) / 2), To: graph.NodeID(v)})
+	}
+	g := graph.FromEdges(n, edges)
+	ar := scratch.New(1, nil)
+	defer ar.Close()
+	color := make([]int32, n)
+	seeds := []graph.NodeID{0}
+	transitions := []Transition{{From: 0, To: 1}}
+	run := func() {
+		for i := range color {
+			color[i] = 0
+		}
+		color[0] = 1
+		Run(nil, g, 1, false, seeds, color, transitions, ar)
+	}
+	run() // warm both alternating result rows and the frontier pools
+	run()
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("Run allocates %.2f objects/run in steady state, want 0", avg)
+	}
+}

@@ -9,6 +9,12 @@
 // its color from the partition color being traversed to the new color
 // (FW, BW, or SCC), which both marks it visited and records the
 // partition assignment in one step.
+//
+// All entry points accept a *scratch.Arena (nil is valid): with an
+// arena, frontiers, per-worker next buffers and claim counters are
+// drawn from the run's reusable pool, making steady-state BFS levels
+// allocation-free; the arena's metrics counters record level barriers
+// and frontier sizes.
 package bfs
 
 import (
@@ -17,6 +23,7 @@ import (
 	"repro/graph"
 	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // Transition is one admissible color rewrite during traversal: a
@@ -27,7 +34,9 @@ type Transition struct {
 
 // Result reports the nodes claimed by each transition.
 type Result struct {
-	// Claimed[i] counts nodes claimed via Transitions[i].
+	// Claimed[i] counts nodes claimed via Transitions[i]. With an
+	// arena, the slice is arena-owned and stays valid for one further
+	// kernel call on the same arena.
 	Claimed []int64
 	// Levels is the number of BFS levels processed (frontier swaps).
 	Levels int
@@ -48,130 +57,67 @@ type Result struct {
 // The color slice is shared with concurrent readers/writers and is
 // accessed only with atomic operations.
 func Run(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
-	color []int32, transitions []Transition) Result {
-
-	res := Result{Claimed: make([]int64, len(transitions))}
-	if len(seeds) == 0 {
-		return res
-	}
-	if workers < 1 {
-		workers = parallel.DefaultWorkers()
-	}
-
-	frontier := append([]graph.NodeID(nil), seeds...)
-	// Per-worker next-frontier buffers and claim counters, padded into
-	// separate structs to limit false sharing on the counters.
-	next := make([][]graph.NodeID, workers)
-	claims := make([][]int64, workers)
-	for w := range claims {
-		claims[w] = make([]int64, len(transitions))
-	}
-
-	for len(frontier) > 0 {
-		if sink.Err() != nil {
-			break
-		}
-		res.Levels++
-		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: len(frontier)})
-		// Chunk size tuned small: frontier nodes have wildly varying
-		// degree on scale-free graphs (§4.3 dynamic scheduling).
-		parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
-			buf := next[w]
-			cnt := claims[w]
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				var nbrs []graph.NodeID
-				if reverse {
-					nbrs = g.In(v)
-				} else {
-					nbrs = g.Out(v)
-				}
-				for _, t := range nbrs {
-					c := atomic.LoadInt32(&color[t])
-					for ti := range transitions {
-						if c == transitions[ti].From {
-							if atomic.CompareAndSwapInt32(&color[t], c, transitions[ti].To) {
-								buf = append(buf, t)
-								cnt[ti]++
-							}
-							break
-						}
-					}
-				}
-			}
-			next[w] = buf
-		})
-		// Level barrier: merge per-worker buffers into the new frontier.
-		frontier = frontier[:0]
-		for w := range next {
-			frontier = append(frontier, next[w]...)
-			next[w] = next[w][:0]
-		}
-	}
-	for w := range claims {
-		for ti := range transitions {
-			res.Claimed[ti] += claims[w][ti]
-		}
-	}
+	color []int32, transitions []Transition, ar *scratch.Arena) Result {
+	res, _ := run(sink, g, workers, reverse, seeds, color, transitions, ar, false)
 	return res
 }
 
 // RunCollect is Run but additionally returns every node claimed during
 // the traversal (excluding seeds), for callers that need the visited
-// set as an explicit list.
+// set as an explicit list. With an arena the list is pool-drawn and
+// owned by the caller (release with Arena.PutNodes).
 func RunCollect(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
-	color []int32, transitions []Transition) (Result, []graph.NodeID) {
+	color []int32, transitions []Transition, ar *scratch.Arena) (Result, []graph.NodeID) {
+	return run(sink, g, workers, reverse, seeds, color, transitions, ar, true)
+}
 
-	res := Result{Claimed: make([]int64, len(transitions))}
+func run(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
+	color []int32, transitions []Transition, ar *scratch.Arena, collect bool) (Result, []graph.NodeID) {
+
+	res := Result{Claimed: ar.ResultRow(len(transitions))}
 	if len(seeds) == 0 {
 		return res, nil
 	}
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
 	}
+	ctr := ar.Counters()
+
+	frontier := append(ar.GetNodes(len(seeds)), seeds...)
+	next := ar.GetLists(workers)
+	claims := ar.ClaimMatrix(workers, len(transitions))
 	var all []graph.NodeID
-	frontier := append([]graph.NodeID(nil), seeds...)
-	next := make([][]graph.NodeID, workers)
-	claims := make([][]int64, workers)
-	for w := range claims {
-		claims[w] = make([]int64, len(transitions))
+	if collect {
+		all = ar.GetNodes(len(seeds) * 4)
 	}
+	single := workers == 1
+
 	for len(frontier) > 0 {
 		if sink.Err() != nil {
 			break
 		}
 		res.Levels++
+		ctr.AddBFSLevel(int64(len(frontier)), false)
 		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: len(frontier)})
-		parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
-			buf := next[w]
-			cnt := claims[w]
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				var nbrs []graph.NodeID
-				if reverse {
-					nbrs = g.In(v)
-				} else {
-					nbrs = g.Out(v)
-				}
-				for _, t := range nbrs {
-					c := atomic.LoadInt32(&color[t])
-					for ti := range transitions {
-						if c == transitions[ti].From {
-							if atomic.CompareAndSwapInt32(&color[t], c, transitions[ti].To) {
-								buf = append(buf, t)
-								cnt[ti]++
-							}
-							break
-						}
-					}
-				}
-			}
-			next[w] = buf
-		})
+		if single {
+			// Direct call: no closure, no goroutines — the steady-state
+			// zero-allocation path.
+			expandRange(g, reverse, frontier, 0, len(frontier), color, transitions, &next[0], claims[0])
+		} else {
+			fr := frontier
+			// Chunk size tuned small: frontier nodes have wildly varying
+			// degree on scale-free graphs (§4.3 dynamic scheduling).
+			ar.ForDynamic(workers, len(fr), 64, func(w, lo, hi int) {
+				expandRange(g, reverse, fr, lo, hi, color, transitions, &next[w], claims[w])
+			})
+		}
+		// Level barrier: merge per-worker buffers into the new frontier.
 		frontier = frontier[:0]
 		for w := range next {
 			frontier = append(frontier, next[w]...)
-			all = append(all, next[w]...)
+			if collect {
+				all = append(all, next[w]...)
+			}
 			next[w] = next[w][:0]
 		}
 	}
@@ -180,5 +126,36 @@ func RunCollect(sink *events.Sink, g *graph.Graph, workers int, reverse bool, se
 			res.Claimed[ti] += claims[w][ti]
 		}
 	}
+	ar.PutLists(next)
+	ar.PutNodes(frontier)
 	return res, all
+}
+
+// expandRange expands frontier[lo:hi], claiming admissible neighbors
+// by CAS, appending wins to *buf and counting them into cnt. It is a
+// plain function (not a closure) so the single-worker path can call
+// it without any per-level allocation.
+func expandRange(g *graph.Graph, reverse bool, frontier []graph.NodeID, lo, hi int,
+	color []int32, transitions []Transition, buf *[]graph.NodeID, cnt []int64) {
+	for i := lo; i < hi; i++ {
+		v := frontier[i]
+		var nbrs []graph.NodeID
+		if reverse {
+			nbrs = g.In(v)
+		} else {
+			nbrs = g.Out(v)
+		}
+		for _, t := range nbrs {
+			c := atomic.LoadInt32(&color[t])
+			for ti := range transitions {
+				if c == transitions[ti].From {
+					if atomic.CompareAndSwapInt32(&color[t], c, transitions[ti].To) {
+						*buf = append(*buf, t)
+						cnt[ti]++
+					}
+					break
+				}
+			}
+		}
+	}
 }

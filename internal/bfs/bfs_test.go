@@ -49,7 +49,7 @@ func TestRunMatchesSerialForward(t *testing.T) {
 			color := make([]int32, n)
 			color[src] = 5
 			res := Run(nil, g, workers, false, []graph.NodeID{src}, color,
-				[]Transition{{From: 0, To: 5}})
+				[]Transition{{From: 0, To: 5}}, nil)
 			claimed := res.Claimed[0]
 			if claimed != int64(len(want)-1) {
 				t.Fatalf("trial %d workers %d: claimed %d, want %d", trial, workers, claimed, len(want)-1)
@@ -68,7 +68,7 @@ func TestRunBackward(t *testing.T) {
 	// 0→1→2: backward from 2 reaches {2,1,0}.
 	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
 	color := []int32{0, 0, 9}
-	res := Run(nil, g, 2, true, []graph.NodeID{2}, color, []Transition{{From: 0, To: 9}})
+	res := Run(nil, g, 2, true, []graph.NodeID{2}, color, []Transition{{From: 0, To: 9}}, nil)
 	if res.Claimed[0] != 2 {
 		t.Fatalf("claimed %d, want 2", res.Claimed[0])
 	}
@@ -84,7 +84,7 @@ func TestRunRespectsColorBoundary(t *testing.T) {
 	// stop at the boundary and not claim 2 or 3.
 	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
 	color := []int32{7, 0, 1, 0}
-	res := Run(nil, g, 2, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 7}})
+	res := Run(nil, g, 2, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 7}}, nil)
 	if res.Claimed[0] != 1 {
 		t.Fatalf("claimed %d, want 1", res.Claimed[0])
 	}
@@ -100,7 +100,7 @@ func TestRunTwoTransitions(t *testing.T) {
 	color := []int32{1, 1, 0} // fwd pass already colored 0,1 as cfw=1
 	color[0] = 3              // pivot claimed as cscc before backward sweep
 	res := Run(nil, g, 2, true, []graph.NodeID{0}, color,
-		[]Transition{{From: 0, To: 2}, {From: 1, To: 3}})
+		[]Transition{{From: 0, To: 2}, {From: 1, To: 3}}, nil)
 	if res.Claimed[0] != 1 { // node 2 → cbw
 		t.Fatalf("cbw claims = %d, want 1", res.Claimed[0])
 	}
@@ -114,7 +114,7 @@ func TestRunTwoTransitions(t *testing.T) {
 
 func TestRunEmptySeeds(t *testing.T) {
 	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
-	res := Run(nil, g, 2, false, nil, make([]int32, 2), []Transition{{From: 0, To: 1}})
+	res := Run(nil, g, 2, false, nil, make([]int32, 2), []Transition{{From: 0, To: 1}}, nil)
 	if res.Levels != 0 {
 		t.Fatalf("levels = %d, want 0", res.Levels)
 	}
@@ -130,7 +130,7 @@ func TestRunLevelsOnPath(t *testing.T) {
 	g := graph.FromEdges(6, edges)
 	color := make([]int32, 6)
 	color[0] = 1
-	res := Run(nil, g, 1, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}})
+	res := Run(nil, g, 1, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}}, nil)
 	if res.Claimed[0] != 5 {
 		t.Fatalf("claimed %d, want 5", res.Claimed[0])
 	}
@@ -145,7 +145,7 @@ func TestRunCollectReturnsClaimed(t *testing.T) {
 	color := make([]int32, n)
 	src := graph.NodeID(0)
 	color[src] = 1
-	res, nodes := RunCollect(nil, g, 4, false, []graph.NodeID{src}, color, []Transition{{From: 0, To: 1}})
+	res, nodes := RunCollect(nil, g, 4, false, []graph.NodeID{src}, color, []Transition{{From: 0, To: 1}}, nil)
 	if int64(len(nodes)) != res.Claimed[0] {
 		t.Fatalf("collected %d nodes, claimed %d", len(nodes), res.Claimed[0])
 	}
@@ -170,7 +170,7 @@ func TestRunParallelDeterministicClaims(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		color := make([]int32, n)
 		color[3] = 1
-		res := Run(nil, g, workers, false, []graph.NodeID{3}, color, []Transition{{From: 0, To: 1}})
+		res := Run(nil, g, workers, false, []graph.NodeID{3}, color, []Transition{{From: 0, To: 1}}, nil)
 		if base == -1 {
 			base = int(res.Claimed[0])
 		} else if int(res.Claimed[0]) != base {
@@ -189,6 +189,6 @@ func BenchmarkBFSRMAT(b *testing.B) {
 			color[j] = 0
 		}
 		color[0] = 1
-		Run(nil, g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}})
+		Run(nil, g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}}, nil)
 	}
 }

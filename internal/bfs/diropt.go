@@ -6,6 +6,7 @@ import (
 	"repro/graph"
 	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // Direction-optimizing traversal after Beamer, Asanović & Patterson
@@ -16,6 +17,13 @@ import (
 // to bottom-up sweeps — every unvisited candidate probes whether any
 // traversal-parent is already visited — than to expand the frontier
 // edge by edge.
+//
+// The frontier representation adapts with the direction: top-down
+// levels keep an explicit queue (sparse frontiers), while bottom-up
+// levels drop the queue entirely and record claims in a shared bitmap
+// (dense frontiers — §4.1-style hybrid representation). The bitmap is
+// only materialized back into a queue if the sweep flips top-down
+// again, by a single O(n/64)-word sweep.
 
 // DirOptConfig tunes the switch heuristics.
 type DirOptConfig struct {
@@ -38,15 +46,18 @@ func (c DirOptConfig) withDefaults() DirOptConfig {
 }
 
 // RunDirOpt performs the same traversal as Run but with direction
-// optimization. candidates must contain every node the traversal
-// could possibly claim (e.g. the current partition's member list);
-// nil means all nodes of g. The result is the same claimed set as
-// Run's — only the visit schedule differs. Like Run, each level
-// emits a BFSLevel event on sink and polls cancellation.
+// optimization and the adaptive queue/bitmap frontier. candidates
+// must contain every node the traversal could possibly claim (e.g.
+// the current partition's member list); nil means all nodes of g. The
+// result is the same claimed set as Run's — only the visit schedule
+// differs. Like Run, each level emits a BFSLevel event on sink and
+// polls cancellation. ar may be nil (buffers are then allocated
+// fresh).
 func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []graph.NodeID,
-	color []int32, transitions []Transition, candidates []graph.NodeID, cfg DirOptConfig) Result {
+	color []int32, transitions []Transition, candidates []graph.NodeID, cfg DirOptConfig,
+	ar *scratch.Arena) Result {
 
-	res := Result{Claimed: make([]int64, len(transitions))}
+	res := Result{Claimed: ar.ResultRow(len(transitions))}
 	if len(seeds) == 0 {
 		return res
 	}
@@ -54,11 +65,14 @@ func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, see
 		workers = parallel.DefaultWorkers()
 	}
 	cfg = cfg.withDefaults()
+	ctr := ar.Counters()
+	ownCandidates := false
 	if candidates == nil {
-		candidates = make([]graph.NodeID, g.NumNodes())
-		for i := range candidates {
-			candidates[i] = graph.NodeID(i)
+		candidates = ar.GetNodes(g.NumNodes())
+		for i := 0; i < g.NumNodes(); i++ {
+			candidates = append(candidates, graph.NodeID(i))
 		}
+		ownCandidates = true
 	}
 
 	// The transition tables are tiny (one or two entries), so linear
@@ -82,42 +96,49 @@ func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, see
 	// remaining: candidates not yet claimed (rebuilt during bottom-up
 	// sweeps; between top-down levels it is only an upper bound, which
 	// the switch heuristic tolerates).
-	remaining := make([]graph.NodeID, 0, len(candidates))
+	remaining := ar.GetNodes(len(candidates))
 	for _, v := range candidates {
 		if transIdx(atomic.LoadInt32(&color[v])) >= 0 {
 			remaining = append(remaining, v)
 		}
 	}
 
-	frontier := append([]graph.NodeID(nil), seeds...)
-	next := make([][]graph.NodeID, workers)
-	claims := make([][]int64, workers)
-	for w := range claims {
-		claims[w] = make([]int64, len(transitions))
-	}
+	frontier := append(ar.GetNodes(len(seeds)), seeds...)
+	frontierSize := len(frontier)
+	next := ar.GetLists(workers)
+	var survivors [][]graph.NodeID // lazily drawn: bottom-up only
+	claims := ar.ClaimMatrix(workers, len(transitions))
+	bits := ar.Bitmap(g.NumNodes())
 	bottomUp := false
 
-	for len(frontier) > 0 && len(remaining) > 0 {
+	for frontierSize > 0 && len(remaining) > 0 {
 		if sink.Err() != nil {
 			break
 		}
 		res.Levels++
-		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: len(frontier)})
-		if !bottomUp && len(frontier)*cfg.Alpha > len(remaining) {
+		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: frontierSize})
+		if !bottomUp && frontierSize*cfg.Alpha > len(remaining) {
 			bottomUp = true
 		}
-		var levelClaims int
+		ctr.AddBFSLevel(int64(frontierSize), bottomUp)
 		if bottomUp {
-			// Bottom-up sweep: each unclaimed candidate probes its
-			// traversal-parents (out-neighbors for a reverse traversal,
-			// in-neighbors for a forward one) for a visited node.
-			survivors := make([][]graph.NodeID, workers)
-			parallel.ForDynamicWorker(workers, len(remaining), 256, func(w, lo, hi int) {
-				buf := next[w]
+			// Bottom-up sweep with the bitmap frontier: each unclaimed
+			// candidate probes its traversal-parents (out-neighbors for
+			// a reverse traversal, in-neighbors for a forward one) for a
+			// visited node; wins are recorded as bits, not queue
+			// entries.
+			if survivors == nil {
+				survivors = ar.GetLists(workers)
+			}
+			bits.Reset()
+			levelCnt := ar.Counts(workers)
+			rem := remaining
+			ar.ForDynamic(workers, len(rem), 256, func(w, lo, hi int) {
 				keep := survivors[w]
 				cnt := claims[w]
+				var claimed int64
 				for i := lo; i < hi; i++ {
-					u := remaining[i]
+					u := rem[i]
 					c := atomic.LoadInt32(&color[u])
 					ti := transIdx(c)
 					if ti < 0 {
@@ -129,42 +150,50 @@ func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, see
 					} else {
 						parents = g.In(u)
 					}
-					claimed := false
+					won := false
 					for _, p := range parents {
 						if isVisited(atomic.LoadInt32(&color[p])) {
 							if atomic.CompareAndSwapInt32(&color[u], c, transitions[ti].To) {
-								buf = append(buf, u)
+								bits.Set(int(u))
 								cnt[ti]++
-								claimed = true
+								claimed++
+								won = true
 							}
 							break
 						}
 					}
-					if !claimed && atomic.LoadInt32(&color[u]) == c {
+					if !won && atomic.LoadInt32(&color[u]) == c {
 						keep = append(keep, u)
 					}
 				}
-				next[w] = buf
 				survivors[w] = keep
+				levelCnt[w] += claimed
 			})
-			frontier = frontier[:0]
+			var levelClaims int64
 			remaining = remaining[:0]
-			for w := range next {
-				levelClaims += len(next[w])
-				frontier = append(frontier, next[w]...)
-				next[w] = next[w][:0]
+			for w := range survivors {
 				remaining = append(remaining, survivors[w]...)
+				survivors[w] = survivors[w][:0]
+				levelClaims += levelCnt[w]
 			}
-			if levelClaims*cfg.Beta < len(remaining) {
-				bottomUp = false // frontier is sparse again
+			frontierSize = int(levelClaims)
+			if frontierSize*cfg.Beta < len(remaining) {
+				// Frontier is sparse again: materialize the bitmap back
+				// into the explicit queue and flip top-down.
+				frontier = frontier[:0]
+				bits.ForEach(func(i int) {
+					frontier = append(frontier, graph.NodeID(i))
+				})
+				bottomUp = false
 			}
 		} else {
 			// Top-down level, as in Run.
-			parallel.ForDynamicWorker(workers, len(frontier), 64, func(w, lo, hi int) {
+			fr := frontier
+			ar.ForDynamic(workers, len(fr), 64, func(w, lo, hi int) {
 				buf := next[w]
 				cnt := claims[w]
 				for i := lo; i < hi; i++ {
-					v := frontier[i]
+					v := fr[i]
 					var nbrs []graph.NodeID
 					if reverse {
 						nbrs = g.In(v)
@@ -185,17 +214,25 @@ func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, see
 			})
 			frontier = frontier[:0]
 			for w := range next {
-				levelClaims += len(next[w])
 				frontier = append(frontier, next[w]...)
 				next[w] = next[w][:0]
 			}
+			frontierSize = len(frontier)
 		}
-		_ = levelClaims
 	}
 	for w := range claims {
 		for ti := range transitions {
 			res.Claimed[ti] += claims[w][ti]
 		}
+	}
+	ar.PutLists(next)
+	if survivors != nil {
+		ar.PutLists(survivors)
+	}
+	ar.PutNodes(frontier)
+	ar.PutNodes(remaining)
+	if ownCandidates {
+		ar.PutNodes(candidates)
 	}
 	return res
 }

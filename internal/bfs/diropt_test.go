@@ -15,11 +15,11 @@ func runBoth(t *testing.T, g *graph.Graph, reverse bool, seed graph.NodeID,
 	t.Helper()
 	c1 := append([]int32(nil), baseColor...)
 	c1[seed] = seedColor
-	r1 := Run(nil, g, 4, reverse, []graph.NodeID{seed}, c1, transitions)
+	r1 := Run(nil, g, 4, reverse, []graph.NodeID{seed}, c1, transitions, nil)
 
 	c2 := append([]int32(nil), baseColor...)
 	c2[seed] = seedColor
-	r2 := RunDirOpt(nil, g, 4, reverse, []graph.NodeID{seed}, c2, transitions, nil, cfg)
+	r2 := RunDirOpt(nil, g, 4, reverse, []graph.NodeID{seed}, c2, transitions, nil, cfg, nil)
 
 	for ti := range transitions {
 		if r1.Claimed[ti] != r2.Claimed[ti] {
@@ -96,7 +96,7 @@ func TestDirOptRespectsCandidates(t *testing.T) {
 	g := graph.FromEdges(4, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 3}})
 	color := []int32{9, 0, 0, 0}
 	res := RunDirOpt(nil, g, 2, false, []graph.NodeID{0}, color,
-		[]Transition{{From: 0, To: 9}}, []graph.NodeID{1, 2, 3}, DirOptConfig{Alpha: 1})
+		[]Transition{{From: 0, To: 9}}, []graph.NodeID{1, 2, 3}, DirOptConfig{Alpha: 1}, nil)
 	if res.Claimed[0] != 3 {
 		t.Fatalf("claimed %d, want 3", res.Claimed[0])
 	}
@@ -105,7 +105,7 @@ func TestDirOptRespectsCandidates(t *testing.T) {
 func TestDirOptEmptySeeds(t *testing.T) {
 	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
 	res := RunDirOpt(nil, g, 2, false, nil, make([]int32, 2),
-		[]Transition{{From: 0, To: 1}}, nil, DirOptConfig{})
+		[]Transition{{From: 0, To: 1}}, nil, DirOptConfig{}, nil)
 	if res.Levels != 0 {
 		t.Fatalf("levels = %d", res.Levels)
 	}
@@ -149,7 +149,7 @@ func BenchmarkBFSTopDownGiant(b *testing.B) {
 			color[j] = 0
 		}
 		color[0] = 1
-		Run(nil, g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}})
+		Run(nil, g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}}, nil)
 	}
 }
 
@@ -163,6 +163,6 @@ func BenchmarkBFSDirOptGiant(b *testing.B) {
 			color[j] = 0
 		}
 		color[0] = 1
-		RunDirOpt(nil, g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}}, nil, DirOptConfig{})
+		RunDirOpt(nil, g, 4, false, []graph.NodeID{0}, color, []Transition{{From: 0, To: 1}}, nil, DirOptConfig{}, nil)
 	}
 }

@@ -134,3 +134,17 @@ func (a *Atomic) Reset() {
 		a.words[i].Store(0)
 	}
 }
+
+// ForEach calls fn for every set bit in ascending order. Bits set
+// concurrently with the sweep may or may not be observed; run it after
+// the mutating phase for an exact answer.
+func (a *Atomic) ForEach(fn func(i int)) {
+	for wi := range a.words {
+		w := a.words[wi].Load()
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(wi*wordBits + tz)
+			w &= w - 1
+		}
+	}
+}

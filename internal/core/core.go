@@ -23,7 +23,9 @@ import (
 
 	"repro/graph"
 	"repro/internal/events"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 	"repro/internal/worklist"
 )
 
@@ -248,6 +250,10 @@ type Result struct {
 	// Options.TraceSchedule): TaskTrace[i] executed after its parent
 	// finished, taking Duration. Parent -1 marks seed tasks.
 	TaskTrace []TaskTrace
+	// Metrics is the run's performance-counter snapshot: kernel
+	// barrier rounds, frontier sizes, phase-2 scheduler activity and
+	// scratch-arena reuse (see internal/metrics).
+	Metrics metrics.Snapshot
 }
 
 // TaskTrace is one recorded phase-2 task execution for the scheduling
@@ -310,6 +316,14 @@ type engine struct {
 	// sink carries the run's cancellation context and observer; nil
 	// when neither is in use (the common, zero-overhead case).
 	sink *events.Sink
+	// ar is the run's scratch arena; every kernel draws its working
+	// buffers from it. ctr is the run's performance-counter set (also
+	// reachable through ar).
+	ar  *scratch.Arena
+	ctr *metrics.Counters
+	// partCounts is the reused color-histogram map behind
+	// largestPartition (cleared, not reallocated, per trial).
+	partCounts map[int32]int
 
 	taskCount atomic.Int64 // phase-2 tasks executed (for TraceTasks)
 	obsTasks  atomic.Int64 // phase-2 tasks observed (QueueSample pacing)

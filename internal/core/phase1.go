@@ -27,6 +27,7 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 		e.res.Phase1Trials++
 		c, members := e.largestPartition(alive)
 		if len(members) == 0 {
+			e.ar.PutNodes(members)
 			break
 		}
 		pivot := e.choosePivot(members)
@@ -34,15 +35,16 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 		cfw, cbw, cscc := e.newColor(), e.newColor(), e.newColor()
 		// Claim the pivot into the FW set, then run the forward sweep.
 		if !atomic.CompareAndSwapInt32(&e.color[pivot], c, cfw) {
+			e.ar.PutNodes(members)
 			continue // pivot raced away (cannot happen single-threaded here; defensive)
 		}
 		fwTrans := []bfs.Transition{{From: c, To: cfw}}
 		var fwRes bfs.Result
 		if e.opt.DirOptBFS {
 			fwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color,
-				fwTrans, members, bfs.DirOptConfig{})
+				fwTrans, members, bfs.DirOptConfig{}, e.ar)
 		} else {
-			fwRes = bfs.Run(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color, fwTrans)
+			fwRes = bfs.Run(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color, fwTrans, e.ar)
 		}
 		// Backward sweep: unvisited partition nodes become BW; nodes
 		// already in FW are the SCC (Lemma 1: FW ∩ BW).
@@ -51,10 +53,11 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 		var bwRes bfs.Result
 		if e.opt.DirOptBFS {
 			bwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color,
-				bwTrans, members, bfs.DirOptConfig{})
+				bwTrans, members, bfs.DirOptConfig{}, e.ar)
 		} else {
-			bwRes = bfs.Run(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color, bwTrans)
+			bwRes = bfs.Run(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color, bwTrans, e.ar)
 		}
+		e.ar.PutNodes(members)
 		if e.stopped() {
 			// The backward sweep may have been cut short; the partial
 			// coloring is unusable for SCC publication, so unwind
@@ -92,9 +95,16 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 
 // largestPartition returns the most populous color among alive nodes
 // together with its members — the partition most likely to contain the
-// giant SCC for the next trial.
+// giant SCC for the next trial. The histogram map is retained on the
+// engine (cleared per call) and the member list is arena-owned; the
+// caller releases it with PutNodes after the trial.
 func (e *engine) largestPartition(alive []graph.NodeID) (int32, []graph.NodeID) {
-	counts := make(map[int32]int, 8)
+	if e.partCounts == nil {
+		e.partCounts = make(map[int32]int, 8)
+	} else {
+		clear(e.partCounts)
+	}
+	counts := e.partCounts
 	for _, v := range alive {
 		counts[e.color[v]]++
 	}
@@ -104,7 +114,7 @@ func (e *engine) largestPartition(alive []graph.NodeID) (int32, []graph.NodeID) 
 			best, bestN = c, n
 		}
 	}
-	members := make([]graph.NodeID, 0, bestN)
+	members := e.ar.GetNodes(bestN)
 	for _, v := range alive {
 		if e.color[v] == best {
 			members = append(members, v)

@@ -8,6 +8,7 @@ import (
 
 	"repro/graph"
 	"repro/internal/events"
+	"repro/internal/scratch"
 	"repro/internal/worklist"
 )
 
@@ -32,17 +33,20 @@ type taskQueue interface {
 	Run(fn func(worker int, t task))
 	Cancel()
 	stats() worklist.Stats
+	steals() int64
 }
 
 // twoLevelQueue adapts the paper's queue to taskQueue.
 type twoLevelQueue struct{ *worklist.Queue[task] }
 
 func (q twoLevelQueue) stats() worklist.Stats { return q.Queue.Stats() }
+func (q twoLevelQueue) steals() int64         { return 0 }
 
 // stealingQueue adapts the work-stealing scheduler.
 type stealingQueue struct{ *worklist.StealingQueue[task] }
 
 func (q stealingQueue) stats() worklist.Stats { s, _ := q.StealingQueue.Stats(); return s }
+func (q stealingQueue) steals() int64         { _, s := q.StealingQueue.Stats(); return s }
 
 // phase2 runs the task-parallel recursive FW-BW phase over the seeded
 // work queue (the "until work queue is empty do in parallel" loop of
@@ -63,7 +67,6 @@ func (e *engine) phase2(tasks []task) {
 		stop := context.AfterFunc(ctx, q.Cancel)
 		defer stop()
 	}
-	scratch := make([]recurScratch, e.opt.Workers)
 	var (
 		nodes atomic.Int64
 		sccs  atomic.Int64
@@ -71,6 +74,7 @@ func (e *engine) phase2(tasks []task) {
 	)
 	trace := e.opt.TraceSchedule
 	q.Run(func(w int, t task) {
+		e.ctr.AddTask()
 		var id int32
 		var t0 time.Time
 		if trace {
@@ -81,7 +85,7 @@ func (e *engine) phase2(tasks []task) {
 			t.parent = id // children hang off this execution
 			t0 = time.Now()
 		}
-		rec, ok := e.recurFWBW(&scratch[w], t, q, w)
+		rec, ok := e.recurFWBW(e.ar.Worker(w), t, q, w)
 		if trace {
 			d := time.Since(t0)
 			logMu.Lock()
@@ -112,11 +116,7 @@ func (e *engine) phase2(tasks []task) {
 	e.res.Phases[PhaseRecurFWBW].Nodes += nodes.Load()
 	e.res.Phases[PhaseRecurFWBW].SCCs += sccs.Load()
 	e.res.Queue = q.stats()
-}
-
-// recurScratch is per-worker reusable DFS state.
-type recurScratch struct {
-	stack []graph.NodeID
+	e.ctr.AddSteals(q.steals())
 }
 
 // recurFWBW executes one task: Algorithm 5. It finds the SCC of a
@@ -124,11 +124,22 @@ type recurScratch struct {
 // parallel BFS on the small partitions of phase 2), publishes it, and
 // pushes the three residual partitions. Returns the task record and
 // whether a pivot existed.
-func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (TaskRecord, bool) {
+//
+// ws is the executing worker's scratch: the DFS stack is reused across
+// tasks, the FW/BW child lists are drawn from the worker's buffer
+// pool, and every node list a task consumes without forwarding to a
+// child is recycled into that pool — in steady state a task allocates
+// nothing. A list may be recycled by a different worker than the one
+// that drew it (it travels with the task), which is safe because each
+// pool is only touched by its own worker.
+func (e *engine) recurFWBW(ws *scratch.Worker, t task, q taskQueue, worker int) (TaskRecord, bool) {
 	nodes := t.nodes
+	scanned := false
 	if nodes == nil {
 		// Ablation path: recover the partition by scanning the whole
 		// Color array (§4.1's "very expensive operation").
+		nodes = ws.GetNodes(64)
+		scanned = true
 		for v := 0; v < e.g.NumNodes(); v++ {
 			if atomic.LoadInt32(&e.color[v]) == t.c {
 				nodes = append(nodes, graph.NodeID(v))
@@ -136,6 +147,9 @@ func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (Ta
 		}
 	}
 	if len(nodes) == 0 {
+		if scanned {
+			ws.PutNodes(nodes)
+		}
 		return TaskRecord{}, false
 	}
 	c := t.c
@@ -146,8 +160,8 @@ func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (Ta
 	// into cfw. Only this task writes color-c nodes, so plain stores
 	// behind atomic loads suffice; stores are atomic so concurrent
 	// tasks scanning neighbors read consistent values.
-	fwList := make([]graph.NodeID, 0, 16)
-	stack := append(s.stack[:0], pivot)
+	fwList := ws.GetNodes(16)
+	stack := append(ws.Stack[:0], pivot)
 	atomic.StoreInt32(&e.color[pivot], cfw)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -165,7 +179,7 @@ func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (Ta
 	// the pivot's SCC (Lemma 1) — and are marked removed immediately.
 	// Traversal continues through SCC members (Algorithm 5 does not
 	// prune at cscc nodes it just claimed).
-	bwList := make([]graph.NodeID, 0, 16)
+	bwList := ws.GetNodes(16)
 	sccSize := 1
 	e.comp[pivot] = int32(pivot)
 	atomic.StoreInt32(&e.color[pivot], Removed)
@@ -187,7 +201,7 @@ func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (Ta
 			}
 		}
 	}
-	s.stack = stack[:0]
+	ws.Stack = stack[:0]
 
 	// Assemble the three residual partitions and push them. Under the
 	// hybrid representation each child task inherits an exact node
@@ -220,15 +234,26 @@ func (e *engine) recurFWBW(s *recurScratch, t task, q taskQueue, worker int) (Ta
 		if rec.Remain > 0 {
 			q.Push(worker, task{c: c, parent: t.parent})
 		}
+		ws.PutNodes(fwList)
+		ws.PutNodes(bwList)
+		if scanned {
+			ws.PutNodes(nodes)
+		}
 	} else {
 		if len(fwRemain) > 0 {
 			q.Push(worker, task{c: cfw, nodes: fwRemain, parent: t.parent})
+		} else {
+			ws.PutNodes(fwList)
 		}
 		if len(bwList) > 0 {
 			q.Push(worker, task{c: cbw, nodes: bwList, parent: t.parent})
+		} else {
+			ws.PutNodes(bwList)
 		}
 		if len(remain) > 0 {
 			q.Push(worker, task{c: c, nodes: remain, parent: t.parent})
+		} else if t.nodes != nil {
+			ws.PutNodes(t.nodes)
 		}
 	}
 	return rec, true

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"cmp"
 	"context"
+	"slices"
 	"time"
 
 	"repro/graph"
 	"repro/internal/events"
+	"repro/internal/metrics"
+	"repro/internal/scratch"
 	"repro/internal/trim"
 	"repro/internal/wcc"
 )
@@ -45,6 +49,12 @@ func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options)
 	}
 	e.rngState.Store(uint64(opt.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
 	e.res.Comp = e.comp
+	// One arena per run: every kernel's scratch memory comes from it
+	// and is recycled across rounds and phases; Close releases its
+	// persistent worker gang when the run ends.
+	e.ctr = &metrics.Counters{}
+	e.ar = scratch.New(opt.Workers, e.ctr)
+	defer e.ar.Close()
 
 	start := time.Now()
 	switch alg {
@@ -65,6 +75,12 @@ func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options)
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		e.res.NumSCCs += e.res.Phases[p].SCCs
+	}
+	e.res.Metrics = e.ctr.Snapshot()
+	if e.sink.Active() {
+		m := e.res.Metrics
+		e.sink.Emit(events.Event{Type: events.RunMetrics, Steals: m.Steals,
+			BuffersReused: m.BuffersReused, BytesReused: m.BytesReused})
 	}
 	return e.res, nil
 }
@@ -95,16 +111,19 @@ func (e *engine) timePhase(p Phase, fn func()) {
 }
 
 // parTrim runs Par-Trim over the candidates, attributing results to
-// phase p, and returns the survivors.
+// phase p, and returns the survivors. The candidates buffer is
+// recycled into the arena (trim never pools it itself); the returned
+// survivors are a distinct arena-owned buffer.
 func (e *engine) parTrim(p Phase, candidates []graph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
 	e.timePhase(p, func() {
-		res, alive := trim.Par(e.sink, e.g, e.opt.Workers, e.color, e.comp, candidates)
+		res, alive := trim.Par(e.sink, e.g, e.opt.Workers, e.color, e.comp, candidates, e.ar)
 		e.res.Phases[p].Nodes += res.Removed
 		e.res.Phases[p].SCCs += res.SCCs
 		e.res.Phases[p].Rounds += res.Rounds
 		out = alive
 	})
+	e.ar.PutNodes(candidates)
 	return out
 }
 
@@ -119,7 +138,9 @@ func (e *engine) runBaseline() {
 	}
 	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
-		e.phase2(e.buildTasks(alive))
+		tasks := e.buildTasks(alive)
+		e.ar.PutNodes(alive)
+		e.phase2(tasks)
 	})
 	e.phaseEnd(PhaseRecurFWBW)
 }
@@ -129,13 +150,14 @@ func (e *engine) runBaseline() {
 // poor behavior on real graphs (every size-1 SCC costs a full task
 // with two traversals) is what motivated the Trim step.
 func (e *engine) runFWBW() {
-	all := make([]graph.NodeID, e.g.NumNodes())
+	n := e.g.NumNodes()
+	all := e.ar.TaskBacking(n)
 	for i := range all {
 		all[i] = graph.NodeID(i)
 	}
 	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
-		e.phase2([]task{{c: 0, nodes: all, parent: -1}})
+		e.phase2([]task{{c: 0, nodes: all[0:n:n], parent: -1}})
 	})
 	e.phaseEnd(PhaseRecurFWBW)
 }
@@ -165,7 +187,9 @@ func (e *engine) runMethod1() {
 	}
 	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
-		e.phase2(e.buildTasks(alive))
+		tasks := e.buildTasks(alive)
+		e.ar.PutNodes(alive)
+		e.phase2(tasks)
 	})
 	e.phaseEnd(PhaseRecurFWBW)
 }
@@ -195,11 +219,12 @@ func (e *engine) runMethod2() {
 		for iter := 0; iter < e.opt.Trim2Iterations && !e.stopped(); iter++ {
 			var removed int64
 			e.timePhase(PhaseParTrimPost, func() {
-				res, survivors := trim.Par2(e.sink, e.g, e.opt.Workers, e.color, e.comp, alive)
+				res, survivors := trim.Par2(e.sink, e.g, e.opt.Workers, e.color, e.comp, alive, e.ar)
 				e.res.Phases[PhaseParTrimPost].Nodes += res.Removed
 				e.res.Phases[PhaseParTrimPost].SCCs += res.SCCs
 				e.res.Phases[PhaseParTrimPost].Rounds += res.Rounds
 				removed = res.Removed
+				e.ar.PutNodes(alive)
 				alive = survivors
 			})
 			alive = e.parTrim(PhaseParTrimPost, alive)
@@ -209,10 +234,11 @@ func (e *engine) runMethod2() {
 		}
 		if e.opt.EnableTrim3 && !e.stopped() {
 			e.timePhase(PhaseParTrimPost, func() {
-				res, survivors := trim.Par3(e.sink, e.g, e.opt.Workers, e.color, e.comp, alive)
+				res, survivors := trim.Par3(e.sink, e.g, e.opt.Workers, e.color, e.comp, alive, e.ar)
 				e.res.Phases[PhaseParTrimPost].Nodes += res.Removed
 				e.res.Phases[PhaseParTrimPost].SCCs += res.SCCs
 				e.res.Phases[PhaseParTrimPost].Rounds += res.Rounds
+				e.ar.PutNodes(alive)
 				alive = survivors
 			})
 			alive = e.parTrim(PhaseParTrimPost, alive)
@@ -227,6 +253,7 @@ func (e *engine) runMethod2() {
 	var tasks []task
 	e.timePhase(PhaseParWCC, func() {
 		tasks = e.wccTasks(alive)
+		e.ar.PutNodes(alive)
 	})
 	e.phaseEnd(PhaseParWCC)
 	if e.stopped() {
@@ -241,52 +268,72 @@ func (e *engine) runMethod2() {
 
 // buildTasks groups the alive nodes by their current color into
 // phase-2 tasks — the §4.1 "scan of non-marked nodes to construct the
-// initial work items". Under DisableHybrid the node lists are dropped.
+// initial work items". The nodes are copied into the arena's task
+// backing array and sorted by color, so each task's node list is a
+// contiguous capped subslice of one shared array (no per-group
+// allocations, and a task appending past its list reallocates instead
+// of clobbering its neighbor). Under DisableHybrid the node lists are
+// dropped.
 func (e *engine) buildTasks(alive []graph.NodeID) []task {
-	groups := make(map[int32][]graph.NodeID, 8)
-	for _, v := range alive {
-		c := e.color[v]
-		groups[c] = append(groups[c], v)
-	}
-	tasks := make([]task, 0, len(groups))
-	for c, nodes := range groups {
+	backing := e.ar.TaskBacking(len(alive))
+	copy(backing, alive)
+	color := e.color
+	slices.SortFunc(backing, func(a, b graph.NodeID) int {
+		return cmp.Compare(color[a], color[b])
+	})
+	tasks := make([]task, 0, 16)
+	for i := 0; i < len(backing); {
+		c := color[backing[i]]
+		j := i + 1
+		for j < len(backing) && color[backing[j]] == c {
+			j++
+		}
 		if e.opt.DisableHybrid {
 			tasks = append(tasks, task{c: c, parent: -1})
 		} else {
-			tasks = append(tasks, task{c: c, nodes: nodes, parent: -1})
+			tasks = append(tasks, task{c: c, nodes: backing[i:j:j], parent: -1})
 		}
+		i = j
 	}
 	return tasks
 }
 
 // wccTasks labels weakly connected components among the alive nodes
 // (Algorithm 7), recolors each component with a fresh color, and
-// returns one task per component.
+// returns one task per component. Like buildTasks, the component node
+// lists are capped subslices of the arena's task backing array, here
+// sorted by WCC label.
 func (e *engine) wccTasks(alive []graph.NodeID) []task {
-	label := make([]int32, e.g.NumNodes())
-	res := wcc.Run(e.sink, e.g, e.opt.Workers, e.color, alive, label)
+	label := e.ar.Label(e.g.NumNodes())
+	res := wcc.Run(e.sink, e.g, e.opt.Workers, e.color, alive, label, e.ar)
 	e.res.WCCComponents = res.Components
 	e.res.WCCRounds = res.Rounds
 	e.res.Phases[PhaseParWCC].Rounds += res.Rounds
 	if e.stopped() {
 		return nil
 	}
-	groups := make(map[int32][]graph.NodeID, res.Components)
-	for _, v := range alive {
-		root := label[v]
-		groups[root] = append(groups[root], v)
-	}
-	tasks := make([]task, 0, len(groups))
-	for _, nodes := range groups {
+	backing := e.ar.TaskBacking(len(alive))
+	copy(backing, alive)
+	slices.SortFunc(backing, func(a, b graph.NodeID) int {
+		return cmp.Compare(label[a], label[b])
+	})
+	tasks := make([]task, 0, res.Components)
+	for i := 0; i < len(backing); {
+		root := label[backing[i]]
+		j := i + 1
+		for j < len(backing) && label[backing[j]] == root {
+			j++
+		}
 		c := e.newColor()
-		for _, v := range nodes {
+		for _, v := range backing[i:j] {
 			e.color[v] = c
 		}
 		if e.opt.DisableHybrid {
 			tasks = append(tasks, task{c: c, parent: -1})
 		} else {
-			tasks = append(tasks, task{c: c, nodes: nodes, parent: -1})
+			tasks = append(tasks, task{c: c, nodes: backing[i:j:j], parent: -1})
 		}
+		i = j
 	}
 	return tasks
 }

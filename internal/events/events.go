@@ -53,6 +53,11 @@ const (
 	// Round is the 1-based rollback count and Nodes the number of
 	// supersteps being discarded and replayed.
 	Rollback
+	// RunMetrics is emitted once at the end of a successful run with
+	// the run's performance-counter totals: Steals, BuffersReused and
+	// BytesReused carry the scheduler and scratch-arena counters (the
+	// full snapshot is on the Result).
+	RunMetrics
 )
 
 // String names the event type.
@@ -78,6 +83,8 @@ func (t Type) String() string {
 		return "CheckpointTaken"
 	case Rollback:
 		return "Rollback"
+	case RunMetrics:
+		return "RunMetrics"
 	default:
 		return "Unknown"
 	}
@@ -104,6 +111,13 @@ type Event struct {
 	Frontier int
 	// Queued and Executed are work-queue counters (QueueSample).
 	Queued, Executed int64
+	// Steals is the number of successful work steals (RunMetrics,
+	// stealing-scheduler ablation only).
+	Steals int64
+	// BuffersReused and BytesReused are the scratch-arena reuse
+	// totals: buffers recycled instead of freshly allocated, and the
+	// capacity in bytes those reuses recycled (RunMetrics).
+	BuffersReused, BytesReused int64
 }
 
 // Observer receives engine events. Implementations must be safe for

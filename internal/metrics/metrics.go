@@ -1,0 +1,173 @@
+// Package metrics is the engine's lightweight per-run performance
+// counter set. One Counters value is allocated per Detect call; the
+// parallel kernels bump it at round granularity (never per node or per
+// edge), so the counters cost a handful of atomic adds per barrier
+// round — noise next to the barrier itself.
+//
+// The counters exist to make the paper's fixed-cost story observable:
+// how many barrier rounds each kernel ran, how large the BFS frontiers
+// were (and how often the sweep flipped to the bitmap representation),
+// how much scratch memory was recycled instead of reallocated, and how
+// much the phase-2 scheduler moved. A Snapshot of the final values is
+// attached to every Result and dumped by cmd/sccbench into
+// BENCH_scc.json, which is what CI trends.
+//
+// All methods are nil-safe: kernels running without an arena (tests,
+// external callers) pass a nil *Counters and pay two instructions.
+package metrics
+
+import "sync/atomic"
+
+// Counters accumulates one run's performance counters. Safe for
+// concurrent use; all fields are updated atomically.
+type Counters struct {
+	// Trim kernel: fixpoint iterations, nodes removed, size-2 pairs.
+	TrimRounds   atomic.Int64
+	TrimmedNodes atomic.Int64
+	Trim2Pairs   atomic.Int64
+
+	// BFS kernel: level barriers, sum of frontier sizes over all
+	// levels, peak single-level frontier, and how many levels ran in
+	// the dense bitmap (bottom-up) representation.
+	BFSLevels     atomic.Int64
+	FrontierNodes atomic.Int64
+	FrontierPeak  atomic.Int64
+	BitmapLevels  atomic.Int64
+
+	// WCC kernel: label-propagation rounds.
+	WCCRounds atomic.Int64
+
+	// Phase-2 scheduler: tasks executed and (stealing ablation only)
+	// successful steals.
+	Tasks  atomic.Int64
+	Steals atomic.Int64
+
+	// Scratch arena: buffer reuses that would otherwise have been
+	// fresh allocations, and the capacity (in bytes) those reuses
+	// recycled.
+	BuffersReused atomic.Int64
+	BytesReused   atomic.Int64
+}
+
+// AddTrimRound records one trim fixpoint iteration that removed n
+// nodes.
+func (c *Counters) AddTrimRound(n int64) {
+	if c == nil {
+		return
+	}
+	c.TrimRounds.Add(1)
+	c.TrimmedNodes.Add(n)
+}
+
+// AddTrim2Pairs records pairs size-2 SCCs detected by a Trim2 pass.
+func (c *Counters) AddTrim2Pairs(pairs int64) {
+	if c == nil {
+		return
+	}
+	c.Trim2Pairs.Add(pairs)
+}
+
+// AddBFSLevel records one BFS level barrier with the given frontier
+// size; bitmap marks a bottom-up (dense-representation) level.
+func (c *Counters) AddBFSLevel(frontier int64, bitmap bool) {
+	if c == nil {
+		return
+	}
+	c.BFSLevels.Add(1)
+	c.FrontierNodes.Add(frontier)
+	if bitmap {
+		c.BitmapLevels.Add(1)
+	}
+	for {
+		peak := c.FrontierPeak.Load()
+		if frontier <= peak || c.FrontierPeak.CompareAndSwap(peak, frontier) {
+			return
+		}
+	}
+}
+
+// AddWCCRound records one WCC label-propagation round.
+func (c *Counters) AddWCCRound() {
+	if c == nil {
+		return
+	}
+	c.WCCRounds.Add(1)
+}
+
+// AddTask records one executed phase-2 task.
+func (c *Counters) AddTask() {
+	if c == nil {
+		return
+	}
+	c.Tasks.Add(1)
+}
+
+// AddSteals records successful work steals (stealing-scheduler
+// ablation).
+func (c *Counters) AddSteals(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.Steals.Add(n)
+}
+
+// AddReuse records one scratch-buffer reuse recycling capBytes of
+// previously allocated capacity.
+func (c *Counters) AddReuse(capBytes int64) {
+	if c == nil {
+		return
+	}
+	c.BuffersReused.Add(1)
+	c.BytesReused.Add(capBytes)
+}
+
+// Snapshot is a plain-value copy of the counters, safe to embed in
+// results after the run's workers have joined.
+type Snapshot struct {
+	// TrimRounds is the total number of trim fixpoint iterations
+	// across all trim phases; TrimmedNodes the nodes they removed;
+	// Trim2Pairs the size-2 SCCs found by Trim2 passes.
+	TrimRounds   int64
+	TrimmedNodes int64
+	Trim2Pairs   int64
+	// BFSLevels is the total number of BFS level barriers;
+	// FrontierNodes the sum of frontier sizes over all levels;
+	// FrontierPeak the largest single-level frontier; BitmapLevels how
+	// many levels ran in the dense bitmap representation.
+	BFSLevels     int64
+	FrontierNodes int64
+	FrontierPeak  int64
+	BitmapLevels  int64
+	// WCCRounds is the number of WCC label-propagation rounds.
+	WCCRounds int64
+	// Tasks is the number of phase-2 tasks executed; Steals the
+	// successful steals under the work-stealing ablation.
+	Tasks  int64
+	Steals int64
+	// BuffersReused counts scratch-buffer reuses that replaced fresh
+	// allocations; BytesReused is the capacity they recycled.
+	BuffersReused int64
+	BytesReused   int64
+}
+
+// Snapshot returns a plain copy of the current counter values. A nil
+// receiver yields a zero Snapshot.
+func (c *Counters) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		TrimRounds:    c.TrimRounds.Load(),
+		TrimmedNodes:  c.TrimmedNodes.Load(),
+		Trim2Pairs:    c.Trim2Pairs.Load(),
+		BFSLevels:     c.BFSLevels.Load(),
+		FrontierNodes: c.FrontierNodes.Load(),
+		FrontierPeak:  c.FrontierPeak.Load(),
+		BitmapLevels:  c.BitmapLevels.Load(),
+		WCCRounds:     c.WCCRounds.Load(),
+		Tasks:         c.Tasks.Load(),
+		Steals:        c.Steals.Load(),
+		BuffersReused: c.BuffersReused.Load(),
+		BytesReused:   c.BytesReused.Load(),
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/bfs"
 	"repro/internal/coloring"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 	"repro/internal/seq"
 	"repro/internal/trim"
 )
@@ -70,9 +71,13 @@ func Run(g *graph.Graph, opt Options) *Result {
 		return res
 	}
 	color := make([]int32, n)
+	// One scratch arena for the pipeline's trim and BFS kernels (no
+	// counters: MultiStep reports its own stage attribution).
+	ar := scratch.New(opt.Workers, nil)
+	defer ar.Close()
 
 	// 1. Trim.
-	tres, alive := trim.Par(nil, g, opt.Workers, color, res.Comp, nil)
+	tres, alive := trim.Par(nil, g, opt.Workers, color, res.Comp, nil, ar)
 	res.TrimmedNodes += tres.Removed
 	res.NumSCCs += tres.SCCs
 
@@ -93,10 +98,10 @@ func Run(g *graph.Graph, opt Options) *Result {
 		const cfw, cbw, cscc = 1, 2, 3
 		atomic.StoreInt32(&color[pivot], cfw)
 		bfs.Run(nil, g, opt.Workers, false, []graph.NodeID{pivot}, color,
-			[]bfs.Transition{{From: 0, To: cfw}})
+			[]bfs.Transition{{From: 0, To: cfw}}, ar)
 		atomic.StoreInt32(&color[pivot], cscc)
 		bw := bfs.Run(nil, g, opt.Workers, true, []graph.NodeID{pivot}, color,
-			[]bfs.Transition{{From: 0, To: cbw}, {From: cfw, To: cscc}})
+			[]bfs.Transition{{From: 0, To: cbw}, {From: cfw, To: cscc}}, ar)
 		res.GiantSCC = bw.Claimed[1] + 1
 		res.NumSCCs++
 		parallel.ForRange(opt.Workers, len(alive), func(lo, hi int) {
@@ -115,7 +120,9 @@ func Run(g *graph.Graph, opt Options) *Result {
 	// Note the FW-BW step left mixed colors (0/cfw/cbw) behind, which
 	// is fine for Trim — color boundaries merely count as detached —
 	// but Coloring and Tarjan below ignore colors entirely.
-	tres, alive = trim.Par(nil, g, opt.Workers, color, res.Comp, alive)
+	prev := alive
+	tres, alive = trim.Par(nil, g, opt.Workers, color, res.Comp, prev, ar)
+	ar.PutNodes(prev)
 	res.TrimmedNodes += tres.Removed
 	res.NumSCCs += tres.SCCs
 

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Gang is a persistent pool of worker goroutines for repeated
+// barrier-synchronized parallel regions. The ForDynamic/ForRange
+// helpers above spawn fresh goroutines per call, which is fine for a
+// handful of invocations but becomes the dominant fixed cost of a
+// kernel that runs dozens of barrier rounds on small inputs (§4.3's
+// warning about fixed costs on small partitions). A Gang spawns its
+// goroutines once; each dispatch is a condvar broadcast plus a
+// WaitGroup join, and allocates only the dispatched closure.
+//
+// Dispatches must come from a single goroutine at a time (the engines'
+// coordinating goroutine). Close releases the workers; a closed Gang
+// must not be dispatched again.
+type Gang struct {
+	n      int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	seq    uint64
+	body   func(worker int)
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewGang starts workers goroutines and returns the gang. workers
+// must be >= 1; a 1-worker gang still runs bodies on its single
+// worker goroutine, so callers that want inline execution should
+// special-case workers == 1 themselves (Gang.ForDynamic does).
+func NewGang(workers int) *Gang {
+	if workers < 1 {
+		panic("parallel: gang workers must be >= 1")
+	}
+	g := &Gang{n: workers}
+	g.cond = sync.NewCond(&g.mu)
+	for w := 0; w < workers; w++ {
+		go g.loop(w)
+	}
+	return g
+}
+
+// Workers returns the gang's worker count.
+func (g *Gang) Workers() int { return g.n }
+
+func (g *Gang) loop(w int) {
+	var seen uint64
+	g.mu.Lock()
+	for {
+		for g.seq == seen && !g.closed {
+			g.cond.Wait()
+		}
+		if g.closed {
+			g.mu.Unlock()
+			return
+		}
+		seen = g.seq
+		body := g.body
+		g.mu.Unlock()
+		body(w)
+		g.wg.Done()
+		g.mu.Lock()
+	}
+}
+
+// Run executes body(worker) once on every worker and returns when all
+// have finished. It must not be called concurrently with itself or
+// after Close.
+func (g *Gang) Run(body func(worker int)) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		panic("parallel: Run on closed gang")
+	}
+	g.wg.Add(g.n)
+	g.body = body
+	g.seq++
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	g.wg.Wait()
+}
+
+// ForDynamic is ForDynamicWorker scheduled onto the gang's persistent
+// workers: chunks of `chunk` iterations are claimed from a shared
+// counter until [0, n) is exhausted. Small inputs (n <= chunk) run
+// inline on the caller as worker 0, costing nothing.
+func (g *Gang) ForDynamic(n, chunk int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 256
+	}
+	if g == nil || g.n == 1 || n <= chunk {
+		body(0, 0, n)
+		return
+	}
+	var next atomic.Int64
+	g.Run(func(w int) {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			body(w, lo, hi)
+		}
+	})
+}
+
+// Close releases the gang's goroutines. Idempotent; pending Run calls
+// must have completed.
+func (g *Gang) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}

@@ -1,0 +1,342 @@
+// Package scratch provides the per-run scratch arena the SCC engine's
+// hot paths draw their working memory from. The parallel kernels
+// (trim fixpoints, level-synchronous BFS, Par-WCC) and the recursive
+// phase's tasks all need short-lived buffers — frontiers, survivor
+// lists, per-worker counters, task node-lists — every barrier round;
+// allocating them fresh each round is exactly the per-round fixed cost
+// the paper warns dominates small partitions. An Arena owns those
+// buffers for the lifetime of one Detect call and hands them back out
+// on the next round, driving steady-state allocations on the kernel
+// hot paths to zero.
+//
+// # Lifetime and ownership rules
+//
+// The arena is created by the engine at the start of a run and closed
+// (releasing its worker gang) when the run ends; nothing inside it
+// survives the run. Within a run:
+//
+//   - Node buffers obtained with GetNodes are caller-owned until
+//     returned with PutNodes. Kernels return their survivor lists as
+//     arena-owned buffers: the caller (the engine) owns the returned
+//     slice and must PutNodes it once it stops using it.
+//   - Per-worker list sets (GetLists/PutLists), counter matrices
+//     (ClaimMatrix), counts, flags, the label array and the bitmap are
+//     retained singletons: each Get hands out the same storage, so a
+//     kernel must release/stop using them before the next kernel
+//     invocation on the same arena. Kernels run one at a time within a
+//     run, which makes this safe by construction.
+//   - ResultRow alternates between two retained rows, so one kernel
+//     result's Claimed counts stay valid across the next kernel call
+//     (phase 1 reads the backward sweep's counts after both sweeps).
+//   - Worker(w) state — DFS stack and the node-buffer pool behind
+//     phase-2 task recycling — must only be touched by worker w while
+//     a parallel section runs. Buffers may be freed into a different
+//     worker's pool than they were taken from (a task's list travels
+//     with the task), which is safe because each pool is only ever
+//     accessed by its own worker.
+//   - Nothing is zeroed on reuse except what the arena's accessors
+//     document: list sets and counter rows come back length-reset or
+//     zeroed; Label and Bitmap come back dirty and the caller
+//     reinitializes exactly the entries it reads.
+//
+// Every accessor is nil-safe: a nil *Arena allocates fresh memory, so
+// kernels keep working (and tests stay simple) without an arena — they
+// just lose the reuse.
+package scratch
+
+import (
+	"repro/graph"
+	"repro/internal/bitset"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+)
+
+// Arena owns one run's reusable scratch memory. Accessors other than
+// Worker must be called from the run's coordinating goroutine; Worker
+// hands out per-worker state for use inside parallel sections.
+type Arena struct {
+	workers int
+	gang    *parallel.Gang
+	ctr     *metrics.Counters
+
+	free    [][]graph.NodeID   // node-buffer pool
+	lists   [][][]graph.NodeID // pool of per-worker list sets
+	claims  [][]int64          // per-worker counter matrix (retained)
+	rows    [2][]int64         // alternating result rows
+	rowFlip int
+	counts  []int64
+	flags   []bool
+	label   []int32
+	bits    *bitset.Atomic
+	backing []graph.NodeID // task node-list backing array
+	perW    []Worker
+}
+
+// New creates an arena for a run with the given worker count,
+// recording reuse into ctr (which may be nil). workers must be >= 1.
+// A persistent worker gang is spawned for workers > 1; Close releases
+// it.
+func New(workers int, ctr *metrics.Counters) *Arena {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &Arena{workers: workers, ctr: ctr, perW: make([]Worker, workers)}
+	for w := range a.perW {
+		a.perW[w].ctr = ctr
+	}
+	if workers > 1 {
+		a.gang = parallel.NewGang(workers)
+	}
+	return a
+}
+
+// Close releases the arena's worker gang. The arena must not be used
+// afterwards. Safe on a nil arena and idempotent.
+func (a *Arena) Close() {
+	if a == nil || a.gang == nil {
+		return
+	}
+	a.gang.Close()
+	a.gang = nil
+}
+
+// Counters returns the arena's metrics counters (nil for a nil arena
+// or a counterless one).
+func (a *Arena) Counters() *metrics.Counters {
+	if a == nil {
+		return nil
+	}
+	return a.ctr
+}
+
+// ForDynamic runs body over [0, n) in chunks with dynamic
+// self-scheduling, using the arena's persistent gang when available
+// and falling back to parallel.ForDynamicWorker otherwise.
+func (a *Arena) ForDynamic(workers, n, chunk int, body func(worker, lo, hi int)) {
+	if a != nil && a.gang != nil && a.workers == workers {
+		a.gang.ForDynamic(n, chunk, body)
+		return
+	}
+	parallel.ForDynamicWorker(workers, n, chunk, body)
+}
+
+// GetNodes returns an empty node buffer with at least capHint
+// capacity when the pool can supply one, recording the reuse.
+func (a *Arena) GetNodes(capHint int) []graph.NodeID {
+	if a == nil || len(a.free) == 0 {
+		if capHint < 8 {
+			capHint = 8
+		}
+		return make([]graph.NodeID, 0, capHint)
+	}
+	buf := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	a.ctr.AddReuse(int64(cap(buf)) * 4)
+	return buf[:0]
+}
+
+// PutNodes returns a buffer to the pool. No-op on a nil arena or nil
+// buffer.
+func (a *Arena) PutNodes(buf []graph.NodeID) {
+	if a == nil || buf == nil {
+		return
+	}
+	a.free = append(a.free, buf)
+}
+
+// GetLists returns a per-worker set of empty node buffers (length
+// workers). Sets come from a pool; their inner buffers retain their
+// grown capacity.
+func (a *Arena) GetLists(workers int) [][]graph.NodeID {
+	if a == nil || len(a.lists) == 0 {
+		return make([][]graph.NodeID, workers)
+	}
+	set := a.lists[len(a.lists)-1]
+	a.lists = a.lists[:len(a.lists)-1]
+	var reused int64
+	if cap(set) >= workers {
+		set = set[:workers] // recovers inner buffers within capacity
+	}
+	for len(set) < workers {
+		set = append(set, nil)
+	}
+	set = set[:workers]
+	for i := range set {
+		reused += int64(cap(set[i])) * 4
+		set[i] = set[i][:0]
+	}
+	if reused > 0 {
+		a.ctr.AddReuse(reused)
+	}
+	return set
+}
+
+// PutLists returns a per-worker list set to the pool.
+func (a *Arena) PutLists(set [][]graph.NodeID) {
+	if a == nil || set == nil {
+		return
+	}
+	a.lists = append(a.lists, set)
+}
+
+// ClaimMatrix returns the retained per-worker counter matrix shaped
+// [workers][k], zeroed. Only one kernel may hold it at a time.
+func (a *Arena) ClaimMatrix(workers, k int) [][]int64 {
+	if a == nil {
+		m := make([][]int64, workers)
+		for w := range m {
+			m[w] = make([]int64, k)
+		}
+		return m
+	}
+	if cap(a.claims) < workers {
+		a.claims = append(a.claims[:cap(a.claims)], make([][]int64, workers-cap(a.claims))...)
+	}
+	a.claims = a.claims[:workers]
+	for w := range a.claims {
+		if cap(a.claims[w]) < k {
+			a.claims[w] = make([]int64, k)
+		}
+		a.claims[w] = a.claims[w][:k]
+		for i := range a.claims[w] {
+			a.claims[w][i] = 0
+		}
+	}
+	return a.claims
+}
+
+// ResultRow returns a zeroed k-length row for a kernel result,
+// alternating between two retained rows so the previous kernel's
+// result row stays readable across one further kernel call.
+func (a *Arena) ResultRow(k int) []int64 {
+	if a == nil {
+		return make([]int64, k)
+	}
+	a.rowFlip ^= 1
+	row := a.rows[a.rowFlip]
+	if cap(row) < k {
+		row = make([]int64, k)
+	}
+	row = row[:k]
+	for i := range row {
+		row[i] = 0
+	}
+	a.rows[a.rowFlip] = row
+	return row
+}
+
+// Counts returns the retained per-worker int64 counter slice (length
+// workers), zeroed.
+func (a *Arena) Counts(workers int) []int64 {
+	if a == nil {
+		return make([]int64, workers)
+	}
+	if cap(a.counts) < workers {
+		a.counts = make([]int64, workers)
+	}
+	a.counts = a.counts[:workers]
+	for i := range a.counts {
+		a.counts[i] = 0
+	}
+	return a.counts
+}
+
+// Flags returns the retained per-worker bool slice (length workers),
+// cleared.
+func (a *Arena) Flags(workers int) []bool {
+	if a == nil {
+		return make([]bool, workers)
+	}
+	if cap(a.flags) < workers {
+		a.flags = make([]bool, workers)
+	}
+	a.flags = a.flags[:workers]
+	for i := range a.flags {
+		a.flags[i] = false
+	}
+	return a.flags
+}
+
+// Label returns the retained n-length int32 array used by Par-WCC.
+// Contents are NOT zeroed; the caller initializes the entries it uses.
+func (a *Arena) Label(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if cap(a.label) < n {
+		a.label = make([]int32, n)
+	}
+	return a.label[:n]
+}
+
+// Bitmap returns the retained atomic bitset with capacity for at
+// least n bits. Contents are NOT reset; callers reset the ranges they
+// rely on.
+func (a *Arena) Bitmap(n int) *bitset.Atomic {
+	if a == nil || a.bits == nil || a.bits.Len() < n {
+		b := bitset.NewAtomic(n)
+		if a != nil {
+			a.bits = b
+		}
+		return b
+	}
+	return a.bits
+}
+
+// TaskBacking returns the retained n-length backing array that the
+// engine partitions into phase-2 task node-lists. It is distinct from
+// every pool buffer, so the alive lists the kernels produced remain
+// valid while tasks are built on top of it.
+func (a *Arena) TaskBacking(n int) []graph.NodeID {
+	if a == nil {
+		return make([]graph.NodeID, n)
+	}
+	if cap(a.backing) < n {
+		a.backing = make([]graph.NodeID, n)
+	}
+	return a.backing[:n]
+}
+
+// Worker returns worker w's scratch state. Only worker w may use it
+// while a parallel section runs. A nil arena yields a fresh,
+// unpooled Worker.
+func (a *Arena) Worker(w int) *Worker {
+	if a == nil {
+		return &Worker{}
+	}
+	return &a.perW[w]
+}
+
+// Worker is one worker's private scratch: a reusable DFS stack and a
+// node-buffer pool for recycling phase-2 task node-lists.
+type Worker struct {
+	// Stack is the worker's reusable DFS stack; users leave it reset
+	// (length 0) but with capacity retained.
+	Stack []graph.NodeID
+
+	free [][]graph.NodeID
+	ctr  *metrics.Counters
+}
+
+// GetNodes returns an empty node buffer from the worker's pool, or a
+// fresh one of capHint capacity.
+func (w *Worker) GetNodes(capHint int) []graph.NodeID {
+	if len(w.free) == 0 {
+		if capHint < 8 {
+			capHint = 8
+		}
+		return make([]graph.NodeID, 0, capHint)
+	}
+	buf := w.free[len(w.free)-1]
+	w.free = w.free[:len(w.free)-1]
+	w.ctr.AddReuse(int64(cap(buf)) * 4)
+	return buf[:0]
+}
+
+// PutNodes recycles a task node buffer into the worker's pool.
+func (w *Worker) PutNodes(buf []graph.NodeID) {
+	if buf == nil {
+		return
+	}
+	w.free = append(w.free, buf)
+}

@@ -10,6 +10,12 @@
 // compare-and-swap on color, so concurrent trims are monotone-safe: a
 // node is only ever trimmed based on neighbors that are genuinely
 // removed, and removing more nodes can only enable more trims.
+//
+// All kernels take a *scratch.Arena (nil is valid). The caller's
+// candidates slice is never pooled: the returned survivor list is
+// always distinct arena-owned storage, so the caller can release its
+// own candidates buffer and, later, the returned one, without
+// double-free hazards.
 package trim
 
 import (
@@ -18,6 +24,7 @@ import (
 	"repro/graph"
 	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // Removed is the color value of a node whose SCC has been identified.
@@ -52,143 +59,228 @@ func aliveDegrees(g *graph.Graph, color []int32, v graph.NodeID, c int32) (in, o
 	return in, out
 }
 
+// allCandidates draws an arena buffer holding every node of g.
+func allCandidates(g *graph.Graph, ar *scratch.Arena) []graph.NodeID {
+	out := ar.GetNodes(g.NumNodes())
+	for i := 0; i < g.NumNodes(); i++ {
+		out = append(out, graph.NodeID(i))
+	}
+	return out
+}
+
 // Par runs Par-Trim over the candidate nodes until no more nodes can
 // be trimmed. candidates lists the nodes to consider (they need not
 // all be alive); if nil, every node of g is considered. It returns the
 // trim result and the surviving (still-alive) subset of the
 // candidates, which the caller may reuse as the next phase's node set.
+// The survivors are arena-owned storage distinct from candidates;
+// release them with ar.PutNodes when done.
 //
 // sink (nil is valid and free) receives one TrimRound event per
 // fixpoint iteration and is polled for cancellation at each round
 // boundary; a canceled run returns the partial result early.
-func Par(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+func Par(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID, ar *scratch.Arena) (Result, []graph.NodeID) {
+	ownCandidates := false
 	if candidates == nil {
-		candidates = make([]graph.NodeID, g.NumNodes())
-		for i := range candidates {
-			candidates[i] = graph.NodeID(i)
-		}
+		candidates = allCandidates(g, ar)
+		ownCandidates = true
 	}
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
 	}
+	ctr := ar.Counters()
 	var res Result
 	active := candidates
-	survivors := make([]graph.NodeID, 0, len(active))
-	// Per-worker survivor buffers avoid a shared append.
-	bufs := make([][]graph.NodeID, workers)
-	counts := make([]int64, workers)
+	// Survivor lists ping-pong between two arena buffers so the
+	// caller's candidates slice is read once and never written.
+	bufA := ar.GetNodes(len(candidates))
+	bufB := ar.GetNodes(len(candidates))
+	dst := bufA
+	single := workers == 1
+	var bufs [][]graph.NodeID
+	var counts []int64
+	if !single {
+		bufs = ar.GetLists(workers)
+		counts = ar.Counts(workers)
+	}
 	for {
 		if sink.Err() != nil {
 			break
 		}
 		res.Rounds++
-		for w := range bufs {
-			bufs[w] = bufs[w][:0]
-			counts[w] = 0
-		}
-		// Dynamic scheduling: trimming cost is the node's degree, which
-		// is heavily skewed on scale-free graphs (§4.3).
-		parallel.ForDynamicWorker(workers, len(active), 128, func(w, lo, hi int) {
-			buf := bufs[w]
-			removed := int64(0)
-			for i := lo; i < hi; i++ {
-				v := active[i]
-				c := atomic.LoadInt32(&color[v])
-				if c == Removed {
-					continue
-				}
-				in, out := aliveDegrees(g, color, v, c)
-				if in == 0 || out == 0 {
-					if atomic.CompareAndSwapInt32(&color[v], c, Removed) {
-						comp[v] = int32(v)
-						removed++
-						continue
-					}
-				}
-				buf = append(buf, v)
-			}
-			bufs[w] = buf
-			counts[w] += removed
-		})
 		var roundRemoved int64
-		survivors = survivors[:0]
-		for w := range bufs {
-			survivors = append(survivors, bufs[w]...)
-			roundRemoved += counts[w]
+		dst = dst[:0]
+		if single {
+			// Direct call (no closure, no goroutines): the steady-state
+			// zero-allocation path.
+			roundRemoved = trimRange(g, color, comp, active, 0, len(active), &dst)
+		} else {
+			roundRemoved = trimRoundPar(g, workers, color, comp, active, &dst, bufs, counts, ar)
 		}
 		res.Removed += roundRemoved
 		res.SCCs += roundRemoved
+		ctr.AddTrimRound(roundRemoved)
 		sink.Emit(events.Event{Type: events.TrimRound, Round: res.Rounds, Nodes: roundRemoved})
-		active, survivors = survivors, active[:0]
+		prev := active
+		active = dst
+		if res.Rounds == 1 {
+			dst = bufB // round 1 read the caller's candidates; don't recycle them
+		} else {
+			dst = prev
+		}
 		if roundRemoved == 0 {
 			break
 		}
 	}
-	out := make([]graph.NodeID, len(active))
-	copy(out, active)
-	return res, out
+	if !single {
+		ar.PutLists(bufs)
+	}
+	if res.Rounds == 0 {
+		// Canceled before the first round: active still aliases
+		// candidates, so hand back a copy in arena storage.
+		out := append(bufA[:0], active...)
+		ar.PutNodes(bufB)
+		if ownCandidates {
+			ar.PutNodes(candidates)
+		}
+		return res, out
+	}
+	// active is one of {bufA, bufB}; dst is the other.
+	ar.PutNodes(dst)
+	if ownCandidates {
+		ar.PutNodes(candidates)
+	}
+	return res, active
+}
+
+// trimRoundPar runs one multi-worker trim round over active, merging
+// the per-worker survivor lists into *dst. It lives outside Par so the
+// escaping parallel-for closure (and the heap cells it forces its
+// captures into) never exists on the single-worker path.
+func trimRoundPar(g *graph.Graph, workers int, color, comp []int32, active []graph.NodeID,
+	dst *[]graph.NodeID, bufs [][]graph.NodeID, counts []int64, ar *scratch.Arena) int64 {
+	for w := range bufs {
+		bufs[w] = bufs[w][:0]
+		counts[w] = 0
+	}
+	// Dynamic scheduling: trimming cost is the node's degree, which is
+	// heavily skewed on scale-free graphs (§4.3).
+	ar.ForDynamic(workers, len(active), 128, func(w, lo, hi int) {
+		counts[w] += trimRange(g, color, comp, active, lo, hi, &bufs[w])
+	})
+	var removed int64
+	for w := range bufs {
+		*dst = append(*dst, bufs[w]...)
+		removed += counts[w]
+	}
+	return removed
+}
+
+// trimRange applies one trim round to active[lo:hi], CAS-removing
+// nodes with zero alive in- or out-degree, appending survivors to
+// *buf, and returning the number of nodes removed. It is a plain
+// function (not a closure) so the single-worker path can call it
+// without any per-round allocation.
+func trimRange(g *graph.Graph, color, comp []int32, active []graph.NodeID, lo, hi int, buf *[]graph.NodeID) int64 {
+	removed := int64(0)
+	for i := lo; i < hi; i++ {
+		v := active[i]
+		c := atomic.LoadInt32(&color[v])
+		if c == Removed {
+			continue
+		}
+		in, out := aliveDegrees(g, color, v, c)
+		if in == 0 || out == 0 {
+			if atomic.CompareAndSwapInt32(&color[v], c, Removed) {
+				comp[v] = int32(v)
+				removed++
+				continue
+			}
+		}
+		*buf = append(*buf, v)
+	}
+	return removed
 }
 
 // Par2 runs Par-Trim2 once over the candidate nodes, removing size-2
 // SCCs matching the patterns of Figure 4: a 2-cycle {n,k} where either
 // both nodes have no other incoming edges (pattern a) or both have no
 // other outgoing edges (pattern b) within the partition. It returns
-// the result and the surviving candidates.
+// the result and the surviving candidates (arena-owned, distinct from
+// candidates).
 //
 // A pair is claimed by CASing the lower-numbered node's color to
 // Removed first; the losing side of a race rolls back, so each size-2
 // SCC is emitted exactly once. Par2 is a single parallel round; it
 // emits one TrimRound event on sink and checks cancellation once on
 // entry.
-func Par2(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+func Par2(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID, ar *scratch.Arena) (Result, []graph.NodeID) {
+	ownCandidates := false
 	if candidates == nil {
-		candidates = make([]graph.NodeID, g.NumNodes())
-		for i := range candidates {
-			candidates[i] = graph.NodeID(i)
-		}
+		candidates = allCandidates(g, ar)
+		ownCandidates = true
 	}
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
 	}
+	survivors := ar.GetNodes(len(candidates))
 	if sink.Err() != nil {
-		return Result{}, candidates
-	}
-	res := Result{Rounds: 1}
-	bufs := make([][]graph.NodeID, workers)
-	pairCounts := make([]int64, workers)
-
-	parallel.ForDynamicWorker(workers, len(candidates), 128, func(w, lo, hi int) {
-		buf := bufs[w]
-		var pairs int64
-		for i := lo; i < hi; i++ {
-			v := candidates[i]
-			c := atomic.LoadInt32(&color[v])
-			if c == Removed {
-				continue
-			}
-			if k, ok := trim2Partner(g, color, v, c); ok {
-				if claimPair(color, comp, v, k, c) {
-					pairs++
-					continue
-				}
-				// Lost the race: v was claimed by its partner's side.
-				if atomic.LoadInt32(&color[v]) == Removed {
-					continue
-				}
-			}
-			buf = append(buf, v)
+		survivors = append(survivors, candidates...)
+		if ownCandidates {
+			ar.PutNodes(candidates)
 		}
-		bufs[w] = buf
-		pairCounts[w] += pairs
-	})
-	var survivors []graph.NodeID
-	for w := range bufs {
-		survivors = append(survivors, bufs[w]...)
-		res.SCCs += pairCounts[w]
+		return Result{}, survivors
+	}
+	ctr := ar.Counters()
+	res := Result{Rounds: 1}
+	if workers == 1 {
+		res.SCCs = trim2Range(g, color, comp, candidates, 0, len(candidates), &survivors)
+	} else {
+		bufs := ar.GetLists(workers)
+		counts := ar.Counts(workers)
+		cand := candidates
+		ar.ForDynamic(workers, len(cand), 128, func(w, lo, hi int) {
+			counts[w] += trim2Range(g, color, comp, cand, lo, hi, &bufs[w])
+		})
+		for w := range bufs {
+			survivors = append(survivors, bufs[w]...)
+			res.SCCs += counts[w]
+		}
+		ar.PutLists(bufs)
 	}
 	res.Removed = 2 * res.SCCs
+	ctr.AddTrimRound(res.Removed)
+	ctr.AddTrim2Pairs(res.SCCs)
 	sink.Emit(events.Event{Type: events.TrimRound, Round: 1, Nodes: res.Removed})
+	if ownCandidates {
+		ar.PutNodes(candidates)
+	}
 	return res, survivors
+}
+
+// trim2Range applies the Trim2 pass to candidates[lo:hi], appending
+// survivors to *buf and returning the number of pairs claimed.
+func trim2Range(g *graph.Graph, color, comp []int32, candidates []graph.NodeID, lo, hi int, buf *[]graph.NodeID) int64 {
+	var pairs int64
+	for i := lo; i < hi; i++ {
+		v := candidates[i]
+		c := atomic.LoadInt32(&color[v])
+		if c == Removed {
+			continue
+		}
+		if k, ok := trim2Partner(g, color, v, c); ok {
+			if claimPair(color, comp, v, k, c) {
+				pairs++
+				continue
+			}
+			// Lost the race: v was claimed by its partner's side.
+			if atomic.LoadInt32(&color[v]) == Removed {
+				continue
+			}
+		}
+		*buf = append(*buf, v)
+	}
+	return pairs
 }
 
 // trim2Partner checks both Figure-4 patterns for node v and returns

@@ -6,6 +6,7 @@ import (
 	"repro/graph"
 	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // Par3 runs a single parallel pass detecting size-3 SCCs — the natural
@@ -17,58 +18,75 @@ import (
 // order costs more neighbor probing for a geometrically shrinking
 // population of components (the ablation BenchmarkAblationTrim3
 // measures exactly this diminishing return).
-func Par3(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID) (Result, []graph.NodeID) {
+func Par3(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, candidates []graph.NodeID, ar *scratch.Arena) (Result, []graph.NodeID) {
+	ownCandidates := false
 	if candidates == nil {
-		candidates = make([]graph.NodeID, g.NumNodes())
-		for i := range candidates {
-			candidates[i] = graph.NodeID(i)
-		}
+		candidates = allCandidates(g, ar)
+		ownCandidates = true
 	}
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
 	}
+	survivors := ar.GetNodes(len(candidates))
 	if sink.Err() != nil {
-		return Result{}, candidates
+		survivors = append(survivors, candidates...)
+		if ownCandidates {
+			ar.PutNodes(candidates)
+		}
+		return Result{}, survivors
 	}
+	ctr := ar.Counters()
 	res := Result{Rounds: 1}
-	bufs := make([][]graph.NodeID, workers)
-	triCounts := make([]int64, workers)
+	if workers == 1 {
+		res.SCCs = trim3Range(g, color, comp, candidates, 0, len(candidates), &survivors)
+	} else {
+		bufs := ar.GetLists(workers)
+		counts := ar.Counts(workers)
+		cand := candidates
+		ar.ForDynamic(workers, len(cand), 128, func(w, lo, hi int) {
+			counts[w] += trim3Range(g, color, comp, cand, lo, hi, &bufs[w])
+		})
+		for w := range bufs {
+			survivors = append(survivors, bufs[w]...)
+			res.SCCs += counts[w]
+		}
+		ar.PutLists(bufs)
+	}
+	res.Removed = 3 * res.SCCs
+	ctr.AddTrimRound(res.Removed)
+	sink.Emit(events.Event{Type: events.TrimRound, Round: 1, Nodes: res.Removed})
+	if ownCandidates {
+		ar.PutNodes(candidates)
+	}
+	return res, survivors
+}
 
-	parallel.ForDynamicWorker(workers, len(candidates), 128, func(w, lo, hi int) {
-		buf := bufs[w]
-		var tris int64
-		for i := lo; i < hi; i++ {
-			v := candidates[i]
-			c := atomic.LoadInt32(&color[v])
-			if c == Removed {
-				continue
-			}
-			if a, b, ok := trim3Cycle(g, color, v, c); ok {
-				// Only the minimum member claims, so each triangle is
-				// claimed at most once.
-				if v < a && v < b {
-					if claimTriple(color, comp, v, a, b, c) {
-						tris++
-						continue
-					}
-				}
-				if atomic.LoadInt32(&color[v]) == Removed {
+// trim3Range applies the Trim3 pass to candidates[lo:hi], appending
+// survivors to *buf and returning the number of triangles claimed.
+func trim3Range(g *graph.Graph, color, comp []int32, candidates []graph.NodeID, lo, hi int, buf *[]graph.NodeID) int64 {
+	var tris int64
+	for i := lo; i < hi; i++ {
+		v := candidates[i]
+		c := atomic.LoadInt32(&color[v])
+		if c == Removed {
+			continue
+		}
+		if a, b, ok := trim3Cycle(g, color, v, c); ok {
+			// Only the minimum member claims, so each triangle is
+			// claimed at most once.
+			if v < a && v < b {
+				if claimTriple(color, comp, v, a, b, c) {
+					tris++
 					continue
 				}
 			}
-			buf = append(buf, v)
+			if atomic.LoadInt32(&color[v]) == Removed {
+				continue
+			}
 		}
-		bufs[w] = buf
-		triCounts[w] += tris
-	})
-	var survivors []graph.NodeID
-	for w := range bufs {
-		survivors = append(survivors, bufs[w]...)
-		res.SCCs += triCounts[w]
+		*buf = append(*buf, v)
 	}
-	res.Removed = 3 * res.SCCs
-	sink.Emit(events.Event{Type: events.TrimRound, Round: 1, Nodes: res.Removed})
-	return res, survivors
+	return tris
 }
 
 // trim3Cycle checks whether v sits on a detectable strict 3-cycle and

@@ -12,7 +12,7 @@ func TestPar3IsolatedTriangle(t *testing.T) {
 	g := graph.FromEdges(3, []graph.Edge{
 		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}})
 	color, comp := freshState(3)
-	res, alive := Par3(nil, g, 2, color, comp, nil)
+	res, alive := Par3(nil, g, 2, color, comp, nil, nil)
 	if res.SCCs != 1 || res.Removed != 3 {
 		t.Fatalf("res = %+v", res)
 	}
@@ -33,7 +33,7 @@ func TestPar3PatternAWithOutgoing(t *testing.T) {
 		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
 		{From: 0, To: 3}, {From: 1, To: 4}})
 	color, comp := freshState(5)
-	res, _ := Par3(nil, g, 1, color, comp, []graph.NodeID{0, 1, 2})
+	res, _ := Par3(nil, g, 1, color, comp, []graph.NodeID{0, 1, 2}, nil)
 	if res.SCCs != 1 {
 		t.Fatalf("SCCs = %d, want 1", res.SCCs)
 	}
@@ -46,7 +46,7 @@ func TestPar3PatternBWithIncoming(t *testing.T) {
 		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0},
 		{From: 3, To: 0}, {From: 4, To: 1}})
 	color, comp := freshState(5)
-	res, _ := Par3(nil, g, 1, color, comp, []graph.NodeID{0, 1, 2})
+	res, _ := Par3(nil, g, 1, color, comp, []graph.NodeID{0, 1, 2}, nil)
 	if res.SCCs != 1 {
 		t.Fatalf("SCCs = %d, want 1", res.SCCs)
 	}
@@ -59,7 +59,7 @@ func TestPar3SkipsLargerSCC(t *testing.T) {
 		{From: 0, To: 1}, {From: 1, To: 2}, {From: 2, To: 0}, // triangle
 		{From: 2, To: 3}, {From: 3, To: 0}}) // second cycle through 0,2
 	color, comp := freshState(4)
-	res, _ := Par3(nil, g, 2, color, comp, nil)
+	res, _ := Par3(nil, g, 2, color, comp, nil, nil)
 	if res.SCCs != 0 {
 		t.Fatalf("claimed %d triangles inside a larger SCC", res.SCCs)
 	}
@@ -69,7 +69,7 @@ func TestPar3SkipsTwoCycle(t *testing.T) {
 	// A 2-cycle must not be claimed by the triangle detector.
 	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 0}})
 	color, comp := freshState(2)
-	res, alive := Par3(nil, g, 1, color, comp, nil)
+	res, alive := Par3(nil, g, 1, color, comp, nil, nil)
 	if res.SCCs != 0 || len(alive) != 2 {
 		t.Fatalf("res=%+v alive=%v", res, alive)
 	}
@@ -86,7 +86,7 @@ func TestPar3ManyTrianglesNoDoubleClaim(t *testing.T) {
 	}
 	g := b.Build()
 	color, comp := freshState(3 * tris)
-	res, alive := Par3(nil, g, 8, color, comp, nil)
+	res, alive := Par3(nil, g, 8, color, comp, nil, nil)
 	if res.SCCs != tris {
 		t.Fatalf("SCCs = %d, want %d", res.SCCs, tris)
 	}
@@ -120,7 +120,7 @@ func TestPar3ClaimsAreRealSCCs(t *testing.T) {
 			tarjanSize[c]++
 		}
 		color, comp := freshState(n)
-		Par3(nil, g, 4, color, comp, nil)
+		Par3(nil, g, 4, color, comp, nil, nil)
 		for v := 0; v < n; v++ {
 			if comp[v] < 0 {
 				continue

@@ -25,6 +25,7 @@ import (
 	"repro/graph"
 	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // Result reports labeling statistics.
@@ -46,75 +47,55 @@ type Result struct {
 // sink (nil is valid and free) receives one WCCRound event per
 // propagation round and is polled for cancellation at each round
 // boundary; a canceled run returns early with partial labels.
-func Run(sink *events.Sink, g *graph.Graph, workers int, color []int32, nodes []graph.NodeID, label []int32) Result {
+//
+// ar (nil is valid) supplies the per-worker changed flags and records
+// propagation rounds into the run's counters.
+func Run(sink *events.Sink, g *graph.Graph, workers int, color []int32, nodes []graph.NodeID, label []int32, ar *scratch.Arena) Result {
 	if workers < 1 {
 		workers = parallel.DefaultWorkers()
 	}
+	ctr := ar.Counters()
 	for _, v := range nodes {
 		label[v] = int32(v)
 	}
 	var res Result
-	changedPerWorker := make([]bool, workers)
+	single := workers == 1
+	changedPerWorker := ar.Flags(workers)
 	for {
 		if sink.Err() != nil {
 			break
 		}
 		res.Rounds++
+		ctr.AddWCCRound()
 		sink.Emit(events.Event{Type: events.WCCRound, Round: res.Rounds})
-		for w := range changedPerWorker {
-			changedPerWorker[w] = false
-		}
-		// Hook: adopt the minimum neighbor label (both directions).
-		parallel.ForDynamicWorker(workers, len(nodes), 128, func(w, lo, hi int) {
-			changed := false
-			for i := lo; i < hi; i++ {
-				n := nodes[i]
-				c := color[n]
-				best := atomic.LoadInt32(&label[n])
-				for _, k := range g.Out(n) {
-					if color[k] == c {
-						if l := atomic.LoadInt32(&label[k]); l < best {
-							best = l
-						}
-					}
-				}
-				for _, k := range g.In(n) {
-					if color[k] == c {
-						if l := atomic.LoadInt32(&label[k]); l < best {
-							best = l
-						}
-					}
-				}
-				if atomicMin(&label[n], best) {
-					changed = true
-				}
-			}
-			if changed {
-				changedPerWorker[w] = true
-			}
-		})
-		// Shortcut: one step of pointer jumping compresses label chains
-		// (the second inner loop of Algorithm 7).
-		parallel.ForDynamicWorker(workers, len(nodes), 512, func(w, lo, hi int) {
-			changed := false
-			for i := lo; i < hi; i++ {
-				n := nodes[i]
-				l := atomic.LoadInt32(&label[n])
-				if l != int32(n) {
-					if ll := atomic.LoadInt32(&label[l]); ll < l {
-						if atomicMin(&label[n], ll) {
-							changed = true
-						}
-					}
-				}
-			}
-			if changed {
-				changedPerWorker[w] = true
-			}
-		})
 		any := false
-		for _, c := range changedPerWorker {
-			any = any || c
+		if single {
+			// Direct calls (no closures, no goroutines): the steady-state
+			// zero-allocation path.
+			any = propagateRange(g, color, nodes, label, 0, len(nodes))
+			if shortcutRange(nodes, label, 0, len(nodes)) {
+				any = true
+			}
+		} else {
+			for w := range changedPerWorker {
+				changedPerWorker[w] = false
+			}
+			// Hook: adopt the minimum neighbor label (both directions).
+			ar.ForDynamic(workers, len(nodes), 128, func(w, lo, hi int) {
+				if propagateRange(g, color, nodes, label, lo, hi) {
+					changedPerWorker[w] = true
+				}
+			})
+			// Shortcut: one step of pointer jumping compresses label chains
+			// (the second inner loop of Algorithm 7).
+			ar.ForDynamic(workers, len(nodes), 512, func(w, lo, hi int) {
+				if shortcutRange(nodes, label, lo, hi) {
+					changedPerWorker[w] = true
+				}
+			})
+			for _, c := range changedPerWorker {
+				any = any || c
+			}
 		}
 		if !any {
 			break
@@ -126,6 +107,54 @@ func Run(sink *events.Sink, g *graph.Graph, workers int, color []int32, nodes []
 		}
 	}
 	return res
+}
+
+// propagateRange runs the min-label adoption step over nodes[lo:hi]
+// and reports whether any label changed. Plain function (not a
+// closure) so the single-worker path allocates nothing per round.
+func propagateRange(g *graph.Graph, color []int32, nodes []graph.NodeID, label []int32, lo, hi int) bool {
+	changed := false
+	for i := lo; i < hi; i++ {
+		n := nodes[i]
+		c := color[n]
+		best := atomic.LoadInt32(&label[n])
+		for _, k := range g.Out(n) {
+			if color[k] == c {
+				if l := atomic.LoadInt32(&label[k]); l < best {
+					best = l
+				}
+			}
+		}
+		for _, k := range g.In(n) {
+			if color[k] == c {
+				if l := atomic.LoadInt32(&label[k]); l < best {
+					best = l
+				}
+			}
+		}
+		if atomicMin(&label[n], best) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shortcutRange runs one pointer-jumping step over nodes[lo:hi] and
+// reports whether any label changed.
+func shortcutRange(nodes []graph.NodeID, label []int32, lo, hi int) bool {
+	changed := false
+	for i := lo; i < hi; i++ {
+		n := nodes[i]
+		l := atomic.LoadInt32(&label[n])
+		if l != int32(n) {
+			if ll := atomic.LoadInt32(&label[l]); ll < l {
+				if atomicMin(&label[n], ll) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
 }
 
 // atomicMin lowers *p to v if v is smaller, returning whether a change

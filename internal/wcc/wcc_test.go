@@ -53,7 +53,7 @@ func TestRunMatchesUnionFindRandom(t *testing.T) {
 		g := b.Build()
 		color := make([]int32, n)
 		label := make([]int32, n)
-		res := Run(nil, g, 4, color, allNodes(n), label)
+		res := Run(nil, g, 4, color, allNodes(n), label, nil)
 
 		uf := newUF(n)
 		for v := 0; v < n; v++ {
@@ -95,7 +95,7 @@ func TestRunLabelIsMinimumID(t *testing.T) {
 	}
 	g := graph.FromEdges(6, edges)
 	label := make([]int32, 6)
-	Run(nil, g, 2, make([]int32, 6), allNodes(6), label)
+	Run(nil, g, 2, make([]int32, 6), allNodes(6), label, nil)
 	for v, l := range label {
 		if l != 0 {
 			t.Fatalf("node %d labeled %d, want 0", v, l)
@@ -108,7 +108,7 @@ func TestRunRespectsColors(t *testing.T) {
 	g := graph.FromEdges(2, []graph.Edge{{From: 0, To: 1}})
 	color := []int32{0, 3}
 	label := make([]int32, 2)
-	res := Run(nil, g, 1, color, allNodes(2), label)
+	res := Run(nil, g, 1, color, allNodes(2), label, nil)
 	if res.Components != 2 {
 		t.Fatalf("components = %d, want 2", res.Components)
 	}
@@ -123,7 +123,7 @@ func TestRunIgnoresRemovedNodes(t *testing.T) {
 	g := graph.FromEdges(3, []graph.Edge{{From: 0, To: 1}, {From: 1, To: 2}})
 	color := []int32{0, -1, 0}
 	label := make([]int32, 3)
-	res := Run(nil, g, 2, color, []graph.NodeID{0, 2}, label)
+	res := Run(nil, g, 2, color, []graph.NodeID{0, 2}, label, nil)
 	if res.Components != 2 {
 		t.Fatalf("components = %d, want 2", res.Components)
 	}
@@ -131,7 +131,7 @@ func TestRunIgnoresRemovedNodes(t *testing.T) {
 
 func TestRunEmptyNodes(t *testing.T) {
 	g := graph.FromEdges(3, nil)
-	res := Run(nil, g, 2, make([]int32, 3), nil, make([]int32, 3))
+	res := Run(nil, g, 2, make([]int32, 3), nil, make([]int32, 3), nil)
 	if res.Components != 0 {
 		t.Fatalf("components = %d", res.Components)
 	}
@@ -148,7 +148,7 @@ func TestRunManySmallComponents(t *testing.T) {
 	}
 	g := b.Build()
 	label := make([]int32, 3*k)
-	res := Run(nil, g, 8, make([]int32, 3*k), allNodes(3*k), label)
+	res := Run(nil, g, 8, make([]int32, 3*k), allNodes(3*k), label, nil)
 	if res.Components != k {
 		t.Fatalf("components = %d, want %d", res.Components, k)
 	}
@@ -164,7 +164,7 @@ func TestRunHighDiameterConvergence(t *testing.T) {
 	}
 	g := graph.FromEdges(n, edges)
 	label := make([]int32, n)
-	res := Run(nil, g, 4, make([]int32, n), allNodes(n), label)
+	res := Run(nil, g, 4, make([]int32, n), allNodes(n), label, nil)
 	if res.Components != 1 {
 		t.Fatalf("components = %d, want 1", res.Components)
 	}
@@ -182,7 +182,7 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	var want []int32
 	for _, workers := range []int{1, 2, 8} {
 		label := make([]int32, n)
-		Run(nil, g, workers, make([]int32, n), allNodes(n), label)
+		Run(nil, g, workers, make([]int32, n), allNodes(n), label, nil)
 		if want == nil {
 			want = append([]int32(nil), label...)
 			continue
@@ -203,6 +203,6 @@ func BenchmarkWCCRMAT(b *testing.B) {
 	color := make([]int32, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Run(nil, g, 4, color, nodes, label)
+		Run(nil, g, 4, color, nodes, label, nil)
 	}
 }

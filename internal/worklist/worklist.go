@@ -49,6 +49,11 @@ func New[T any](workers, k int) *Queue[T] {
 		panic("worklist: k must be >= 1")
 	}
 	q := &Queue[T]{k: k, workers: workers, local: make([][]T, workers)}
+	// Local queues are bounded at 2K by the spill rule; preallocating
+	// that capacity keeps Push allocation-free in steady state.
+	for w := range q.local {
+		q.local[w] = make([]T, 0, 2*k)
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -67,13 +72,14 @@ func (q *Queue[T]) Push(worker int, item T) {
 	l := append(q.local[worker], item)
 	q.noteEnqueued(1)
 	if len(l) >= 2*q.k {
-		spill := make([]T, q.k)
-		copy(spill, l[:q.k])
+		// Spill directly under the global lock: append copies the items
+		// into the global queue, so no intermediate spill slice is
+		// needed and only the owner touches l afterwards.
+		q.mu.Lock()
+		q.global = append(q.global, l[:q.k]...)
+		q.mu.Unlock()
 		n := copy(l, l[q.k:])
 		l = l[:n]
-		q.mu.Lock()
-		q.global = append(q.global, spill...)
-		q.mu.Unlock()
 		q.cond.Broadcast()
 	}
 	q.local[worker] = l

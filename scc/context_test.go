@@ -194,6 +194,15 @@ func TestObserverEventOrdering(t *testing.T) {
 			}
 			open = -1
 			ends = append(ends, scc.Phase(ev.Phase))
+		case scc.EventRunMetrics:
+			// The run-summary event fires once after the final phase has
+			// closed; it carries no phase attribution of its own.
+			if open != -1 {
+				t.Fatalf("event %d: RunMetrics emitted inside open phase %v", i, scc.Phase(open))
+			}
+			if i != len(rec.events)-1 {
+				t.Fatalf("event %d: RunMetrics is not the final event (%d total)", i, len(rec.events))
+			}
 		default:
 			if open != ev.Phase {
 				t.Fatalf("event %d: %v stamped with phase %v outside that phase (open: %v)",

@@ -46,6 +46,11 @@ const (
 	// EventRollback reports distributed recovery rolling back to the
 	// last checkpoint; Nodes is the number of supersteps replayed.
 	EventRollback = events.Rollback
+	// EventRunMetrics is emitted once at the end of a successful
+	// parallel run; Steals, BuffersReused and BytesReused carry the
+	// run's scheduler and scratch-arena counters (the full snapshot is
+	// Result.Metrics).
+	EventRunMetrics = events.RunMetrics
 )
 
 // Observer receives progress events from a run. Implementations must

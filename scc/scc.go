@@ -270,6 +270,43 @@ type Result struct {
 	WCCRounds int
 	// InitialTasks is the number of tasks seeding the recursive phase.
 	InitialTasks int
+	// Metrics is the run's performance-counter snapshot (parallel
+	// algorithms only): kernel barrier rounds, BFS frontier sizes,
+	// recursive-phase scheduler activity and scratch-arena reuse.
+	Metrics MetricsSnapshot
+}
+
+// MetricsSnapshot is the per-run performance-counter totals recorded
+// by the parallel engine. The counters are bumped at round granularity
+// (never per node or edge), so collection overhead is negligible; they
+// exist to make the paper's fixed-cost story — barrier rounds and
+// per-round allocations — observable in benchmarks and dashboards.
+type MetricsSnapshot struct {
+	// TrimRounds is the total number of trim fixpoint iterations;
+	// TrimmedNodes the nodes they removed; Trim2Pairs the size-2 SCCs
+	// found by Trim2 passes.
+	TrimRounds   int64
+	TrimmedNodes int64
+	Trim2Pairs   int64
+	// BFSLevels is the total number of BFS level barriers across both
+	// phase-1 sweeps; FrontierNodes the summed frontier sizes;
+	// FrontierPeak the largest single-level frontier; BitmapLevels how
+	// many levels ran in the dense bitmap (bottom-up) representation
+	// under DirOptBFS.
+	BFSLevels     int64
+	FrontierNodes int64
+	FrontierPeak  int64
+	BitmapLevels  int64
+	// WCCRounds is the number of WCC label-propagation rounds.
+	WCCRounds int64
+	// Tasks is the number of recursive-phase tasks executed; Steals
+	// the successful steals under the work-stealing ablation.
+	Tasks  int64
+	Steals int64
+	// BuffersReused counts scratch-arena buffer reuses that replaced
+	// fresh allocations; BytesReused is the capacity they recycled.
+	BuffersReused int64
+	BytesReused   int64
 }
 
 // Detect decomposes g into strongly connected components. Detect is
@@ -429,6 +466,20 @@ func fromCore(a Algorithm, r *core.Result) *Result {
 		WCCComponents: r.WCCComponents,
 		WCCRounds:     r.WCCRounds,
 		InitialTasks:  r.InitialTasks,
+		Metrics: MetricsSnapshot{
+			TrimRounds:    r.Metrics.TrimRounds,
+			TrimmedNodes:  r.Metrics.TrimmedNodes,
+			Trim2Pairs:    r.Metrics.Trim2Pairs,
+			BFSLevels:     r.Metrics.BFSLevels,
+			FrontierNodes: r.Metrics.FrontierNodes,
+			FrontierPeak:  r.Metrics.FrontierPeak,
+			BitmapLevels:  r.Metrics.BitmapLevels,
+			WCCRounds:     r.Metrics.WCCRounds,
+			Tasks:         r.Metrics.Tasks,
+			Steals:        r.Metrics.Steals,
+			BuffersReused: r.Metrics.BuffersReused,
+			BytesReused:   r.Metrics.BytesReused,
+		},
 	}
 	for p := 0; p < int(NumPhases); p++ {
 		cp := r.Phases[p]
