@@ -8,6 +8,16 @@
 //	sccrun -alg method1 -tasklog 5 -text edges.txt
 //	sccrun -alg method2 -timeout 30s -progress graph.sccg
 //
+// Robustness controls: -mem-limit degrades the run to fit a memory
+// budget, -stall-timeout arms the no-progress watchdog, and the
+// -chaos-* flags inject deterministic failures. Failures exit with
+// distinct codes: canceled or invalid usage 2, stalled 3, worker
+// panic 4 (stack on stderr), budget too small 5.
+//
+//	sccrun -alg method2 -mem-limit 64M -stall-timeout 10s graph.sccg
+//	sccrun -alg method2 -chaos-panic bfs:2 graph.sccg
+//	sccrun -alg method2 -chaos-stall wcc -chaos-stall-for 100ms -stall-timeout 5s graph.sccg
+//
 // The -dist flag switches to the distributed (BSP message-passing)
 // engine, optionally with fault injection and checkpoint recovery:
 //
@@ -24,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,6 +59,12 @@ func main() {
 		chrome   = flag.String("chrometrace", "", "record the recursive phase's task schedule (simulated on the paper machine at 32 threads) as Chrome trace JSON")
 		timeout  = flag.Duration("timeout", 0, "abort detection after this duration (0 = no limit)")
 		progress = flag.Bool("progress", false, "stream phase and round progress to stderr")
+
+		memLimit     = flag.String("mem-limit", "", "degrade the parallel engine to fit this memory budget (bytes; K/M/G suffixes)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "abort the run if no kernel progress for this long (0 = no watchdog)")
+		chaosPanic   = flag.String("chaos-panic", "", "inject a panic at site[:hit][,...] (sites: trim|bfs|trim2|wcc|task)")
+		chaosStall   = flag.String("chaos-stall", "", "inject a stall at site[:hit][,...]")
+		chaosFor     = flag.Duration("chaos-stall-for", 0, "bound injected stalls (0 = stall until teardown)")
 
 		distW      = flag.Int("dist", 0, "run the distributed BSP engine with this many workers (overrides -alg)")
 		distTCP    = flag.Bool("dist-tcp", false, "distributed engine: exchange over a loopback TCP mesh instead of in memory")
@@ -116,6 +133,14 @@ func main() {
 	if *progress {
 		obs = progressObserver{}
 	}
+	limit, err := parseBytes(*memLimit)
+	if err != nil {
+		fatal(err)
+	}
+	chaosCfg, err := parseChaos(*chaosPanic, *chaosStall, *chaosFor)
+	if err != nil {
+		fatal(err)
+	}
 	res, err := scc.DetectContext(ctx, g, scc.Options{
 		Algorithm:     alg,
 		Workers:       *workers,
@@ -125,22 +150,12 @@ func main() {
 		TraceTasks:    *tasklog,
 		TraceSchedule: *chrome != "",
 		Observer:      obs,
+		MemoryLimit:   limit,
+		StallTimeout:  *stallTimeout,
+		Chaos:         chaosCfg,
 	})
 	if err != nil {
-		switch {
-		case errors.Is(err, scc.ErrCanceled):
-			fmt.Fprintf(os.Stderr, "sccrun: detection did not finish within %v: %v\n", *timeout, err)
-			os.Exit(3)
-		case errors.Is(err, scc.ErrInvalidOption):
-			var oe *scc.OptionError
-			if errors.As(err, &oe) {
-				fmt.Fprintf(os.Stderr, "sccrun: bad option %s: %v\n", oe.Field, err)
-				os.Exit(2)
-			}
-			fatal(err)
-		default:
-			fatal(err)
-		}
+		os.Exit(reportFailure(err, *timeout))
 	}
 
 	fmt.Printf("algorithm:   %v\n", res.Algorithm)
@@ -148,6 +163,9 @@ func main() {
 	fmt.Printf("time:        %v\n", res.Total.Round(time.Microsecond))
 	fmt.Printf("SCCs:        %d (largest %d, size-1 %d)\n",
 		res.NumSCCs, res.LargestSCC(), res.TrivialSCCs())
+	if res.Metrics.DegradedMode != "" {
+		fmt.Printf("degraded:    %s (fit -mem-limit %s)\n", res.Metrics.DegradedMode, *memLimit)
+	}
 	if alg == scc.Baseline || alg == scc.Method1 || alg == scc.Method2 {
 		fmt.Println("phase breakdown:")
 		for p := scc.Phase(0); p < scc.NumPhases; p++ {
@@ -261,11 +279,7 @@ func runDist(g *graph.Graph, cfg distConfig) {
 
 	res, err := dist.RunContext(ctx, g, opt)
 	if err != nil {
-		if errors.Is(err, scc.ErrCanceled) {
-			fmt.Fprintf(os.Stderr, "sccrun: distributed run did not finish within %v: %v\n", cfg.timeout, err)
-			os.Exit(3)
-		}
-		fatal(err)
+		os.Exit(reportFailure(err, cfg.timeout))
 	}
 
 	fmt.Printf("engine:      distributed (%d workers, %s transport)\n",
@@ -393,6 +407,93 @@ func (progressObserver) Observe(ev scc.Event) {
 	case scc.EventQueueSample:
 		fmt.Fprintf(os.Stderr, "[%s] queue: %d pending, %d executed\n", phase, ev.Queued, ev.Executed)
 	}
+}
+
+// Exit codes for detection failures. Flag and option errors share the
+// usage exit code (2), like the canceled case — the caller asked for
+// something that could not be attempted or completed as stated; the
+// engine's own failure modes get distinct codes so scripts can react
+// (retry a stall, file a panic, raise a budget).
+const (
+	exitFailure  = 1
+	exitCanceled = 2
+	exitStalled  = 3
+	exitPanic    = 4
+	exitBudget   = 5
+)
+
+// exitCode maps a detection error to its exit code.
+func exitCode(err error) int {
+	var pe *scc.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return exitPanic
+	case errors.Is(err, scc.ErrStalled):
+		return exitStalled
+	case errors.Is(err, scc.ErrMemoryBudget):
+		return exitBudget
+	case errors.Is(err, scc.ErrCanceled), errors.Is(err, scc.ErrInvalidOption):
+		return exitCanceled
+	}
+	return exitFailure
+}
+
+// reportFailure prints a detection failure to stderr — including the
+// worker's stack for a captured panic — and returns its exit code.
+func reportFailure(err error, timeout time.Duration) int {
+	code := exitCode(err)
+	switch {
+	case code == exitPanic:
+		fmt.Fprintln(os.Stderr, "sccrun:", err)
+		var pe *scc.PanicError
+		if errors.As(err, &pe) && len(pe.Stack) > 0 {
+			os.Stderr.Write(pe.Stack)
+		}
+	case code == exitCanceled && timeout > 0 && !errors.Is(err, scc.ErrInvalidOption):
+		fmt.Fprintf(os.Stderr, "sccrun: run did not finish within %v: %v\n", timeout, err)
+	default:
+		fmt.Fprintln(os.Stderr, "sccrun:", err)
+	}
+	return code
+}
+
+// parseBytes parses a byte count with an optional K/M/G suffix
+// (powers of 1024); empty input means 0 (no limit).
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -mem-limit %q (want bytes with optional K/M/G suffix)", s)
+	}
+	return n * mult, nil
+}
+
+// parseChaos builds the chaos configuration from the -chaos-* flags;
+// all empty means no injection (nil).
+func parseChaos(panicSpec, stallSpec string, stallFor time.Duration) (*scc.ChaosConfig, error) {
+	panicAt, err := scc.ParseChaosSpec(panicSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos-panic: %w", err)
+	}
+	stallAt, err := scc.ParseChaosSpec(stallSpec)
+	if err != nil {
+		return nil, fmt.Errorf("-chaos-stall: %w", err)
+	}
+	if panicAt == nil && stallAt == nil {
+		return nil, nil
+	}
+	return &scc.ChaosConfig{PanicAt: panicAt, StallAt: stallAt, StallFor: stallFor}, nil
 }
 
 func fatal(err error) {

@@ -86,6 +86,13 @@ type Options struct {
 	// transports that remain usable after an error (the in-memory
 	// transport, fault injectors over it).
 	Dial func() (Transport, error)
+
+	// kernelFault, when non-nil, runs once per worker at the start of
+	// every driver segment — an in-package test hook that raises a
+	// genuine worker-goroutine panic inside a dist kernel, exercising
+	// the panic-capture path (the in-memory engine's internal/chaos
+	// counterpart). Unexported: external callers cannot set it.
+	kernelFault func(seg, worker int)
 }
 
 // Partition is a node-to-worker assignment strategy.

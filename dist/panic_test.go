@@ -1,0 +1,109 @@
+package dist
+
+import (
+	"errors"
+	"runtime"
+	"slices"
+	"sync/atomic"
+	"testing"
+
+	"repro/gen"
+	"repro/internal/parallel"
+	"repro/internal/seq"
+	"repro/internal/verify"
+	"repro/scc"
+)
+
+// TestKernelPanicRollsBack raises a genuine worker-goroutine panic
+// inside a driver segment and requires the checkpoint/rollback
+// machinery to treat it exactly like a machine failure: roll back,
+// replay, and still produce the fault-free assignment.
+func TestKernelPanicRollsBack(t *testing.T) {
+	g := faultGraph()
+	clean := Run(g, Options{Workers: 4, Seed: 7})
+
+	for _, seg := range []int{segTrim1, segWCC} {
+		var fired atomic.Bool
+		opt := Options{Workers: 4, Seed: 7, CheckpointEvery: 2}
+		opt.kernelFault = func(s, wk int) {
+			if s == seg && wk == 2 && fired.CompareAndSwap(false, true) {
+				panic("injected kernel bug")
+			}
+		}
+		res, err := RunTransport(g, opt)
+		if err != nil {
+			t.Fatalf("seg=%d: recovery from kernel panic failed: %v", seg, err)
+		}
+		if !fired.Load() {
+			t.Fatalf("seg=%d: fault hook never fired", seg)
+		}
+		if res.Stats.Rollbacks < 1 {
+			t.Fatalf("seg=%d: kernel panic did not roll back: %+v", seg, res.Stats)
+		}
+		if !slices.Equal(res.Comp, clean.Comp) {
+			t.Fatalf("seg=%d: recovered run not byte-identical to fault-free run", seg)
+		}
+	}
+	tc, _ := seq.Tarjan(g)
+	if !verify.SamePartition(clean.Comp, tc) {
+		t.Fatal("fault-free run disagrees with Tarjan")
+	}
+}
+
+// TestKernelPanicSurfacesWithoutRecovery: with recovery disabled, a
+// worker panic must surface as a typed error carrying the panic value
+// and the worker's stack — never a process crash — with every
+// goroutine joined.
+func TestKernelPanicSurfacesWithoutRecovery(t *testing.T) {
+	base := runtime.NumGoroutine()
+	g := faultGraph()
+	opt := Options{Workers: 4, Seed: 7}
+	opt.kernelFault = func(s, wk int) {
+		if s == segFWBW && wk == 1 {
+			panic("wedged kernel")
+		}
+	}
+	res, err := RunTransport(g, opt)
+	if res != nil || err == nil {
+		t.Fatalf("kernel panic did not surface: res=%v err=%v", res, err)
+	}
+	var se *scc.Error
+	if !errors.As(err, &se) || se.Op != "dist" {
+		t.Fatalf("want *scc.Error with Op dist, got %v", err)
+	}
+	var wp *parallel.WorkerPanic
+	if !errors.As(err, &wp) {
+		t.Fatalf("error chain lost the worker panic: %v", err)
+	}
+	if wp.Value != "wedged kernel" || wp.Worker != 1 || len(wp.Stack) == 0 {
+		t.Fatalf("panic details lost: value=%v worker=%d stack=%dB", wp.Value, wp.Worker, len(wp.Stack))
+	}
+	settleGoroutines(t, base)
+}
+
+// TestKernelPanicExhaustsRecovery: a deterministic kernel panic (fires
+// on every replay) must stop after MaxRollbacks attempts and surface
+// the panic, not loop forever.
+func TestKernelPanicExhaustsRecovery(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(7, 4, 3))
+	var fires atomic.Int64
+	opt := Options{Workers: 2, Seed: 1, CheckpointEvery: 1, MaxRollbacks: 2}
+	opt.kernelFault = func(s, wk int) {
+		if s == segTrim1 && wk == 0 {
+			fires.Add(1)
+			panic("deterministic kernel bug")
+		}
+	}
+	_, err := RunTransport(g, opt)
+	if err == nil {
+		t.Fatal("deterministic panic did not surface")
+	}
+	var wp *parallel.WorkerPanic
+	if !errors.As(err, &wp) || wp.Value != "deterministic kernel bug" {
+		t.Fatalf("surfaced error lost the panic: %v", err)
+	}
+	// Initial attempt + MaxRollbacks replays.
+	if got := fires.Load(); got != 3 {
+		t.Fatalf("fault fired %d times, want 3 (1 attempt + 2 rollbacks)", got)
+	}
+}

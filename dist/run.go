@@ -86,7 +86,10 @@ func RunTransport(g *graph.Graph, opt Options) (*Result, error) {
 // Replayed work is counted twice in Phases (it really happened twice);
 // Result.Stats reports how much was replayed. When recovery is
 // exhausted (opt.MaxRollbacks) or disabled, the failure surfaces as a
-// *scc.Error with Op "dist".
+// *scc.Error with Op "dist". A panic on a kernel worker goroutine is
+// captured at the segment barrier and handled the same way as a fatal
+// transport failure — rolled back when recovery is enabled, surfaced
+// as an error (never a process crash) otherwise.
 func RunContext(ctx context.Context, g *graph.Graph, opt Options) (res *Result, err error) {
 	opt = opt.withDefaults()
 	c := newCluster(g, opt)
@@ -194,20 +197,40 @@ func RunContext(ctx context.Context, g *graph.Graph, opt Options) (res *Result, 
 }
 
 // runSegment executes one driver segment, converting the kernels'
-// transport-failure panic into an error so the driver's recovery loop
-// can decide between rollback and surfacing it.
+// failure panics into an error so the driver's recovery loop can
+// decide between rollback and surfacing it. Two panic shapes arrive
+// here: a transportError raised by exchangeVia on this goroutine, and
+// a *parallel.WorkerPanic re-raised at the barrier after a kernel
+// worker panicked (all sibling workers have joined by then, so the
+// cluster arrays are quiescent — exactly the state a checkpoint
+// rollback restores over). Both become segment errors; a worker panic
+// on one simulated peer is thus handled like a machine failure by the
+// same retry/rollback machinery.
 func (c *cluster) runSegment(seg int, st *runState, res *Result) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if te, ok := r.(transportError); ok {
-				err = te.err
-				return
+			switch f := r.(type) {
+			case transportError:
+				err = f.err
+			case *parallel.WorkerPanic:
+				// A transport failure raised inside a parallel region
+				// arrives wrapped; unwrap it so retry accounting sees
+				// the same error it would on the coordinator.
+				if te, ok := f.Value.(transportError); ok {
+					err = te.err
+					return
+				}
+				err = f
+			default:
+				panic(r)
 			}
-			panic(r)
 		}
 	}()
 	if c.recov != nil {
 		c.recov.seg = seg
+	}
+	if c.opt.kernelFault != nil {
+		parallel.Run(c.w, func(wk int) { c.opt.kernelFault(seg, wk) })
 	}
 	switch seg {
 	case segTrim1:

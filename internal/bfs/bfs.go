@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
@@ -102,12 +103,18 @@ func run(sink *events.Sink, g *graph.Graph, workers int, reverse bool, seeds []g
 		if single {
 			// Direct call: no closure, no goroutines — the steady-state
 			// zero-allocation path.
+			ar.Chaos().Hit(chaos.SiteBFS)
 			expandRange(g, reverse, frontier, 0, len(frontier), color, transitions, &next[0], claims[0])
 		} else {
 			fr := frontier
+			inj := ar.Chaos()
 			// Chunk size tuned small: frontier nodes have wildly varying
 			// degree on scale-free graphs (§4.3 dynamic scheduling).
 			ar.ForDynamic(workers, len(fr), 64, func(w, lo, hi int) {
+				if lo == 0 {
+					// One chaos hit per level, from inside the dispatch.
+					inj.Hit(chaos.SiteBFS)
+				}
 				expandRange(g, reverse, fr, lo, hi, color, transitions, &next[w], claims[w])
 			})
 		}

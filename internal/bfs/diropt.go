@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
@@ -116,6 +117,7 @@ func RunDirOpt(sink *events.Sink, g *graph.Graph, workers int, reverse bool, see
 			break
 		}
 		res.Levels++
+		ar.Chaos().Hit(chaos.SiteBFS)
 		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Levels, Frontier: frontierSize})
 		if !bottomUp && frontierSize*cfg.Alpha > len(remaining) {
 			bottomUp = true

@@ -17,6 +17,7 @@ func (q *sinkQueue) Seed([]task)             {}
 func (q *sinkQueue) Push(worker int, t task) { q.ws.PutNodes(t.nodes) }
 func (q *sinkQueue) Run(fn func(int, task))  {}
 func (q *sinkQueue) Cancel()                 {}
+func (q *sinkQueue) abandon()                {}
 func (q *sinkQueue) stats() worklist.Stats   { return worklist.Stats{} }
 func (q *sinkQueue) steals() int64           { return 0 }
 

@@ -18,14 +18,17 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
+	"repro/internal/watchdog"
 	"repro/internal/worklist"
 )
 
@@ -164,6 +167,31 @@ type Options struct {
 	// run executes. It must be safe for concurrent use; see
 	// internal/events. A nil observer costs nothing.
 	Observer events.Observer
+	// StallTimeout, when > 0, arms a per-run watchdog: if no kernel
+	// completes a round (trim iteration, BFS level, WCC round, phase-2
+	// task) for this long, the run emits a Stalled event and aborts
+	// with a *StallError. The window must exceed the longest legitimate
+	// barrier round — progress is reported at round granularity. The
+	// watchdog also force-aborts a barrier that stays wedged past one
+	// window after the context fires (kernels otherwise notice
+	// cancellation only at round boundaries). 0 disables it.
+	StallTimeout time.Duration
+	// MemoryLimit, when > 0, bounds the estimated worst-case engine +
+	// scratch footprint in bytes. A configuration over the limit is
+	// degraded stepwise (fewer workers, then queue frontier instead of
+	// the direction-optimizing bitmap, then task batch K=1) before the
+	// run starts; if even the floor configuration does not fit,
+	// RunContext fails with a *BudgetError. The applied degradation is
+	// recorded in Result.Degraded and Result.Metrics.DegradedMode.
+	MemoryLimit int64
+	// Chaos, if non-nil, injects deterministic failures at the named
+	// kernel sites (see internal/chaos) for robustness testing. The
+	// injector is bound to the run's context so injected stalls unwind
+	// on cancellation or abort. Nil costs nothing.
+	Chaos *chaos.Injector
+	// WatchClock overrides the watchdog's clock (tests only; nil
+	// selects the wall clock).
+	WatchClock watchdog.Clock
 }
 
 func (o Options) withDefaults(alg Algorithm) Options {
@@ -254,6 +282,10 @@ type Result struct {
 	// barrier rounds, frontier sizes, phase-2 scheduler activity and
 	// scratch-arena reuse (see internal/metrics).
 	Metrics metrics.Snapshot
+	// Degraded notes the degradation steps Options.MemoryLimit forced
+	// (e.g. "workers=2,workers=1,diropt=off"); empty when the run
+	// executed as configured. Also mirrored to Metrics.DegradedMode.
+	Degraded string
 }
 
 // TaskTrace is one recorded phase-2 task execution for the scheduling
@@ -328,6 +360,38 @@ type engine struct {
 	taskCount atomic.Int64 // phase-2 tasks executed (for TraceTasks)
 	obsTasks  atomic.Int64 // phase-2 tasks observed (QueueSample pacing)
 	rngState  atomic.Uint64
+
+	// curPhase is the phase the coordinating goroutine is executing,
+	// tracked atomically so the watchdog goroutine can stamp it onto a
+	// Stalled event without racing phaseStart.
+	curPhase atomic.Int32
+	// qmu guards curQ, the in-flight phase-2 queue the watchdog must
+	// abandon on a force-abort (nil outside phase 2).
+	qmu  sync.Mutex
+	curQ taskQueue
+}
+
+// setQueue publishes (or clears) the in-flight phase-2 queue for the
+// watchdog's force-abort path.
+func (e *engine) setQueue(q taskQueue) {
+	e.qmu.Lock()
+	e.curQ = q
+	e.qmu.Unlock()
+}
+
+// abortBarriers force-releases every barrier the coordinating
+// goroutine could be wedged on: the arena's gang and the phase-2 work
+// queue. Called from the watchdog goroutine; the released dispatcher
+// panics parallel.ErrBarrierAbandoned, which RunContext's recover
+// turns into the run's error.
+func (e *engine) abortBarriers() {
+	e.ar.Abort()
+	e.qmu.Lock()
+	q := e.curQ
+	e.qmu.Unlock()
+	if q != nil {
+		q.abandon()
+	}
 }
 
 // newColor allocates a fresh partition color.

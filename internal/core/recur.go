@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/scratch"
 	"repro/internal/worklist"
@@ -26,12 +27,17 @@ type task struct {
 }
 
 // taskQueue abstracts the phase-2 scheduler so the paper's two-level
-// queue (§4.3) can be ablated against a work-stealing design.
+// queue (§4.3) can be ablated against a work-stealing design. Run
+// carries the worklist panic contract: a task panic re-raises as a
+// *parallel.WorkerPanic on the dispatching goroutine, and abandon
+// (the watchdog's force-abort) makes a blocked Run panic
+// parallel.ErrBarrierAbandoned.
 type taskQueue interface {
 	Seed([]task)
 	Push(worker int, t task)
 	Run(fn func(worker int, t task))
 	Cancel()
+	abandon()
 	stats() worklist.Stats
 	steals() int64
 }
@@ -41,12 +47,14 @@ type twoLevelQueue struct{ *worklist.Queue[task] }
 
 func (q twoLevelQueue) stats() worklist.Stats { return q.Queue.Stats() }
 func (q twoLevelQueue) steals() int64         { return 0 }
+func (q twoLevelQueue) abandon()              { q.Queue.Abandon() }
 
 // stealingQueue adapts the work-stealing scheduler.
 type stealingQueue struct{ *worklist.StealingQueue[task] }
 
 func (q stealingQueue) stats() worklist.Stats { s, _ := q.StealingQueue.Stats(); return s }
 func (q stealingQueue) steals() int64         { _, s := q.StealingQueue.Stats(); return s }
+func (q stealingQueue) abandon()              { q.StealingQueue.Abandon() }
 
 // phase2 runs the task-parallel recursive FW-BW phase over the seeded
 // work queue (the "until work queue is empty do in parallel" loop of
@@ -67,13 +75,19 @@ func (e *engine) phase2(tasks []task) {
 		stop := context.AfterFunc(ctx, q.Cancel)
 		defer stop()
 	}
+	// Publish the queue so the watchdog can abandon a Run wedged on a
+	// task that never finishes.
+	e.setQueue(q)
+	defer e.setQueue(nil)
 	var (
 		nodes atomic.Int64
 		sccs  atomic.Int64
 		logMu sync.Mutex
 	)
 	trace := e.opt.TraceSchedule
+	inj := e.ar.Chaos()
 	q.Run(func(w int, t task) {
+		inj.Hit(chaos.SiteTask)
 		e.ctr.AddTask()
 		var id int32
 		var t0 time.Time

@@ -3,22 +3,33 @@ package core
 import (
 	"cmp"
 	"context"
+	"errors"
+	"runtime/debug"
 	"slices"
 	"time"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/scratch"
 	"repro/internal/trim"
+	"repro/internal/watchdog"
 	"repro/internal/wcc"
 )
 
 // Run executes the selected algorithm on g and returns the SCC
 // decomposition with full instrumentation. It is RunContext with a
-// background context: it cannot be canceled and never fails.
+// background context: it cannot be canceled and never returns an
+// error — a failure RunContext would report (a captured worker panic,
+// a memory budget violation) is re-raised as a panic, matching the
+// crash semantics this entry point always had.
 func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
-	res, _ := RunContext(context.Background(), g, alg, opt)
+	res, err := RunContext(context.Background(), g, alg, opt)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
@@ -29,20 +40,45 @@ func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
 // dequeues). A canceled run unwinds cleanly — all worker goroutines
 // join before RunContext returns — and yields (nil, ctx.Err()).
 //
+// Failure envelope: a panic on any worker (or on the coordinating
+// goroutine inside a kernel) is captured and returned as a
+// *parallel.WorkerPanic error after the run tears down — arena
+// released, workers joined, never a process crash. With
+// Options.StallTimeout a wedged run is aborted with a *StallError;
+// with Options.MemoryLimit an over-budget configuration is degraded
+// or rejected with a *BudgetError before any work starts.
+//
 // Progress events are delivered to opt.Observer (see
 // internal/events); with no observer and a never-canceled context the
 // instrumentation adds no measurable cost.
-func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options) (*Result, error) {
+func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options) (res *Result, err error) {
 	opt = opt.withDefaults(alg)
 	n := g.NumNodes()
+	opt, degraded, err := applyBudget(n, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// The run context separates stall aborts from caller cancellation:
+	// the watchdog cancels it with a *StallError cause, and the chaos
+	// injector's stalls unwind when it fires. Only materialized when
+	// one of those facilities is active, so the default path keeps the
+	// caller's context (and the nil-sink fast path) untouched.
+	runCtx := ctx
+	var cancel context.CancelCauseFunc
+	if opt.StallTimeout > 0 || opt.Chaos != nil {
+		runCtx, cancel = context.WithCancelCause(ctx)
+		defer cancel(nil)
+	}
+
 	e := &engine{
 		g:     g,
 		opt:   opt,
 		alg:   alg,
 		color: make([]int32, n),
 		comp:  make([]int32, n),
-		res:   &Result{},
-		sink:  events.NewSink(ctx, opt.Observer),
+		res:   &Result{Degraded: degraded},
+		sink:  events.NewSink(runCtx, opt.Observer),
 	}
 	for i := range e.comp {
 		e.comp[i] = -1
@@ -55,6 +91,34 @@ func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options)
 	e.ctr = &metrics.Counters{}
 	e.ar = scratch.New(opt.Workers, e.ctr)
 	defer e.ar.Close()
+	if opt.Chaos != nil {
+		e.ar.SetChaos(opt.Chaos)
+		opt.Chaos.Bind(runCtx.Done())
+	}
+
+	if opt.StallTimeout > 0 {
+		wd := watchdog.Start(runCtx, watchdog.Config{
+			Window:   opt.StallTimeout,
+			Clock:    opt.WatchClock,
+			Progress: e.ctr.Progress,
+			OnStall: func() {
+				e.sink.EmitPhase(events.Event{Type: events.Stalled,
+					Phase: int(e.curPhase.Load()), Round: int(e.ctr.Progress())})
+				cancel(&StallError{Phase: Phase(e.curPhase.Load()), Window: opt.StallTimeout})
+			},
+			OnAbort: e.abortBarriers,
+		})
+		defer wd.Stop()
+	}
+
+	// The recover defer is registered last so it runs first on a
+	// panic: the watchdog is still live while the error is classified,
+	// then Stop joins it, then the arena closes.
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, e.recoverErr(runCtx, v)
+		}
+	}()
 
 	start := time.Now()
 	switch alg {
@@ -70,13 +134,14 @@ func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options)
 		panic("core: unknown algorithm")
 	}
 	e.res.Total = time.Since(start)
-	if err := e.sink.Err(); err != nil {
-		return nil, err
+	if e.sink.Err() != nil {
+		return nil, teardownErr(runCtx)
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		e.res.NumSCCs += e.res.Phases[p].SCCs
 	}
 	e.res.Metrics = e.ctr.Snapshot()
+	e.res.Metrics.DegradedMode = degraded
 	if e.sink.Active() {
 		m := e.res.Metrics
 		e.sink.Emit(events.Event{Type: events.RunMetrics, Steals: m.Steals,
@@ -85,13 +150,61 @@ func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options)
 	return e.res, nil
 }
 
+// teardownErr resolves the error a torn-down run should report: the
+// run context's cancel cause (a *StallError for watchdog aborts, the
+// parent context's error for caller cancellation), falling back to the
+// plain context error.
+func teardownErr(runCtx context.Context) error {
+	if cause := context.Cause(runCtx); cause != nil {
+		return cause
+	}
+	return runCtx.Err()
+}
+
+// recoverErr classifies a panic recovered on the coordinating
+// goroutine into the run's error. Teardown panics — an abandoned
+// barrier, a released chaos stall — carry no information of their own
+// and map to the teardown cause (stall or cancellation); everything
+// else is (or is wrapped into) a *parallel.WorkerPanic and returned as
+// the run's error.
+func (e *engine) recoverErr(runCtx context.Context, v any) error {
+	unwrapped := v
+	if wp, ok := v.(*parallel.WorkerPanic); ok {
+		unwrapped = wp.Value
+	}
+	switch u := unwrapped.(type) {
+	case chaos.Released:
+		// A stalled worker unwound during teardown.
+		if te := teardownErr(runCtx); te != nil {
+			return te
+		}
+		return &parallel.WorkerPanic{Value: u, Stack: debug.Stack()}
+	case error:
+		if errors.Is(u, parallel.ErrBarrierAbandoned) {
+			if te := teardownErr(runCtx); te != nil {
+				return te
+			}
+			return u
+		}
+	}
+	if wp, ok := v.(*parallel.WorkerPanic); ok {
+		return wp
+	}
+	// A raw panic on the coordinating goroutine (single-worker inline
+	// kernel path): wrap it here, where the stack still includes the
+	// panic site.
+	return &parallel.WorkerPanic{Value: v, Stack: debug.Stack()}
+}
+
 // stopped reports whether the run's context has been canceled; the
 // run methods bail out at the next phase boundary when it fires.
 func (e *engine) stopped() bool { return e.sink.Err() != nil }
 
 // phaseStart stamps subsequent kernel events with phase p and emits
-// the PhaseStart boundary event.
+// the PhaseStart boundary event. The phase is also tracked atomically
+// for the watchdog's Stalled snapshot.
 func (e *engine) phaseStart(p Phase) {
+	e.curPhase.Store(int32(p))
 	e.sink.SetPhase(int(p))
 	e.sink.Emit(events.Event{Type: events.PhaseStart})
 }

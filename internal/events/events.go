@@ -58,6 +58,12 @@ const (
 	// BytesReused carry the scheduler and scratch-arena counters (the
 	// full snapshot is on the Result).
 	RunMetrics
+	// Stalled reports the watchdog declaring the run stalled: no kernel
+	// completed a round within the configured window. Phase is the
+	// phase that was executing, Round the heartbeat value at detection.
+	// It is the run's final event; the run then aborts with a stall
+	// error.
+	Stalled
 )
 
 // String names the event type.
@@ -85,6 +91,8 @@ func (t Type) String() string {
 		return "Rollback"
 	case RunMetrics:
 		return "RunMetrics"
+	case Stalled:
+		return "Stalled"
 	default:
 		return "Unknown"
 	}
@@ -192,5 +200,17 @@ func (s *Sink) Emit(ev Event) {
 		return
 	}
 	ev.Phase = s.phase
+	s.obs.Observe(ev)
+}
+
+// EmitPhase delivers ev with its Phase field left as the caller set
+// it. The watchdog goroutine uses it: it runs concurrently with the
+// coordinating goroutine, so reading the sink's phase (written by
+// SetPhase without synchronization) would race — the watchdog instead
+// stamps the engine's atomically tracked phase itself.
+func (s *Sink) EmitPhase(ev Event) {
+	if s == nil || s.obs == nil {
+		return
+	}
 	s.obs.Observe(ev)
 }

@@ -121,6 +121,24 @@ func (c *Counters) AddReuse(capBytes int64) {
 	c.BytesReused.Add(capBytes)
 }
 
+// Progress folds the monotone round-granularity counters into a
+// single heartbeat value for the stall watchdog: it changes whenever
+// any kernel completes a round, level, or task. Counters that can hold
+// still across an entire healthy phase (peaks, reuse totals) are
+// excluded. A nil receiver reports 0.
+func (c *Counters) Progress() uint64 {
+	if c == nil {
+		return 0
+	}
+	return uint64(c.TrimRounds.Load()) +
+		uint64(c.TrimmedNodes.Load()) +
+		uint64(c.Trim2Pairs.Load()) +
+		uint64(c.BFSLevels.Load()) +
+		uint64(c.FrontierNodes.Load()) +
+		uint64(c.WCCRounds.Load()) +
+		uint64(c.Tasks.Load())
+}
+
 // Snapshot is a plain-value copy of the counters, safe to embed in
 // results after the run's workers have joined.
 type Snapshot struct {
@@ -148,6 +166,10 @@ type Snapshot struct {
 	// allocations; BytesReused is the capacity they recycled.
 	BuffersReused int64
 	BytesReused   int64
+	// DegradedMode notes the degradation steps a memory budget forced
+	// on the run ("" when none). Stamped by the engine after the
+	// counters are snapshotted; it is not itself a counter.
+	DegradedMode string
 }
 
 // Snapshot returns a plain copy of the current counter values. A nil

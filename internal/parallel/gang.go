@@ -7,24 +7,44 @@ import (
 
 // Gang is a persistent pool of worker goroutines for repeated
 // barrier-synchronized parallel regions. The ForDynamic/ForRange
-// helpers above spawn fresh goroutines per call, which is fine for a
-// handful of invocations but becomes the dominant fixed cost of a
-// kernel that runs dozens of barrier rounds on small inputs (§4.3's
-// warning about fixed costs on small partitions). A Gang spawns its
-// goroutines once; each dispatch is a condvar broadcast plus a
-// WaitGroup join, and allocates only the dispatched closure.
+// helpers spawn fresh goroutines per call, which is fine for a handful
+// of invocations but becomes the dominant fixed cost of a kernel that
+// runs dozens of barrier rounds on small inputs (§4.3's warning about
+// fixed costs on small partitions). A Gang spawns its goroutines once;
+// each dispatch is a condvar broadcast plus a condvar join, and
+// allocates only the dispatched closure.
 //
 // Dispatches must come from a single goroutine at a time (the engines'
-// coordinating goroutine). Close releases the workers; a closed Gang
-// must not be dispatched again.
+// coordinating goroutine).
+//
+// Failure contract:
+//
+//   - A panic inside a dispatched body is captured (first panic wins),
+//     the remaining workers finish the round, and Run re-raises the
+//     captured panic as a *WorkerPanic on the dispatching goroutine.
+//     The gang itself stays usable.
+//   - Abort releases a Run blocked on a barrier whose workers cannot
+//     finish (a wedged round). Run then panics ErrBarrierAbandoned and
+//     the gang is permanently dead: workers may still be running and
+//     writing to the dispatched body's state, so the gang and any
+//     scratch it touched must be discarded, never redispatched.
+//   - Close is idempotent and safe to call concurrently with an
+//     in-flight dispatch: the current round (if any) runs to
+//     completion and its Run returns normally; workers exit once no
+//     dispatch is pending. A closed gang must not be dispatched again.
 type Gang struct {
-	n      int
-	mu     sync.Mutex
-	cond   *sync.Cond
-	seq    uint64
-	body   func(worker int)
-	wg     sync.WaitGroup
-	closed bool
+	n    int
+	mu   sync.Mutex
+	work *sync.Cond // workers wait here for the next dispatch or close
+	done *sync.Cond // Run waits here for the barrier (or an abort)
+
+	seq     uint64
+	body    func(worker int)
+	running int
+	aborted bool
+	closed  bool
+
+	box panicBox
 }
 
 // NewGang starts workers goroutines and returns the gang. workers
@@ -36,7 +56,8 @@ func NewGang(workers int) *Gang {
 		panic("parallel: gang workers must be >= 1")
 	}
 	g := &Gang{n: workers}
-	g.cond = sync.NewCond(&g.mu)
+	g.work = sync.NewCond(&g.mu)
+	g.done = sync.NewCond(&g.mu)
 	for w := 0; w < workers; w++ {
 		go g.loop(w)
 	}
@@ -51,36 +72,88 @@ func (g *Gang) loop(w int) {
 	g.mu.Lock()
 	for {
 		for g.seq == seen && !g.closed {
-			g.cond.Wait()
+			g.work.Wait()
 		}
-		if g.closed {
+		if g.seq == seen {
+			// Closed with no pending dispatch. A close that raced an
+			// in-flight dispatch is handled above: the new seq is
+			// observed first and the round runs to completion.
 			g.mu.Unlock()
 			return
 		}
 		seen = g.seq
 		body := g.body
 		g.mu.Unlock()
-		body(w)
-		g.wg.Done()
+		g.call(w, body)
 		g.mu.Lock()
+		g.running--
+		if g.running == 0 {
+			g.done.Broadcast()
+		}
 	}
+}
+
+// call runs body on worker w, capturing a panic instead of letting it
+// kill the process. The barrier still completes: the deferred recover
+// returns control to loop, which decrements running as usual.
+func (g *Gang) call(w int, body func(worker int)) {
+	defer func() {
+		if v := recover(); v != nil {
+			g.box.capture(w, v)
+		}
+	}()
+	body(w)
 }
 
 // Run executes body(worker) once on every worker and returns when all
 // have finished. It must not be called concurrently with itself or
-// after Close.
+// after Close. If a worker panicked, Run re-raises the first captured
+// panic as a *WorkerPanic after the barrier completes. If Abort
+// released the barrier before all workers finished, Run panics
+// ErrBarrierAbandoned and the gang must not be used again.
 func (g *Gang) Run(body func(worker int)) {
 	g.mu.Lock()
+	if g.aborted {
+		g.mu.Unlock()
+		panic(ErrBarrierAbandoned)
+	}
 	if g.closed {
 		g.mu.Unlock()
 		panic("parallel: Run on closed gang")
 	}
-	g.wg.Add(g.n)
+	g.running = g.n
 	g.body = body
 	g.seq++
+	g.work.Broadcast()
+	for g.running > 0 && !g.aborted {
+		g.done.Wait()
+	}
+	abandoned := g.running > 0
+	g.body = nil
 	g.mu.Unlock()
-	g.cond.Broadcast()
-	g.wg.Wait()
+	if abandoned {
+		panic(ErrBarrierAbandoned)
+	}
+	g.box.rethrow()
+}
+
+// Abort releases a dispatcher blocked in Run on a barrier that will
+// never complete (a wedged worker). Nil-safe, idempotent, and callable
+// from any goroutine. After Abort the gang is dead: Run panics
+// ErrBarrierAbandoned (immediately if no dispatch was in flight), and
+// Close remains safe. Abort does not (cannot) stop the wedged worker
+// goroutine itself; callers are responsible for unblocking it (e.g.
+// context cancellation) or accepting the leak of a truly wedged one.
+func (g *Gang) Abort() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.aborted = true
+	g.closed = true
+	g.mu.Unlock()
+	g.done.Broadcast()
+	g.work.Broadcast()
 }
 
 // ForDynamic is ForDynamicWorker scheduled onto the gang's persistent
@@ -114,11 +187,16 @@ func (g *Gang) ForDynamic(n, chunk int, body func(worker, lo, hi int)) {
 	})
 }
 
-// Close releases the gang's goroutines. Idempotent; pending Run calls
-// must have completed.
+// Close releases the gang's goroutines. Idempotent, nil-safe, and
+// safe to call while a dispatch is in flight: the in-flight round runs
+// to completion (its Run returns normally) and the workers exit
+// afterwards.
 func (g *Gang) Close() {
+	if g == nil {
+		return
+	}
 	g.mu.Lock()
 	g.closed = true
 	g.mu.Unlock()
-	g.cond.Broadcast()
+	g.work.Broadcast()
 }

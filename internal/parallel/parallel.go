@@ -56,6 +56,7 @@ func ForRange(workers, n int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	// Distribute remainder one extra element to the first `rem` workers
@@ -68,13 +69,19 @@ func ForRange(workers, n int, body func(lo, hi int)) {
 			sz++
 		}
 		hi := lo + sz
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					box.capture(w, v)
+				}
+			}()
 			body(lo, hi)
-		}(lo, hi)
+		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // ForDynamic runs body(i) for every i in [0, n) using dynamic
@@ -103,12 +110,18 @@ func ForDynamicRange(workers, n, chunk int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	var box panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					box.capture(w, v)
+				}
+			}()
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
@@ -120,9 +133,10 @@ func ForDynamicRange(workers, n, chunk int, body func(lo, hi int)) {
 				}
 				body(lo, hi)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // Run launches fn(worker) on `workers` goroutines, passing each its
@@ -136,15 +150,22 @@ func Run(workers int, fn func(worker int)) {
 		fn(0)
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					box.capture(w, v)
+				}
+			}()
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // ReduceInt64 runs body over [0, n) with static partitioning; each
@@ -180,6 +201,7 @@ func ForRangeWorker(workers, n int, body func(worker, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	base, rem := n/workers, n%workers
@@ -192,11 +214,17 @@ func ForRangeWorker(workers, n int, body func(worker, lo, hi int)) {
 		hi := lo + sz
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					box.capture(w, v)
+				}
+			}()
 			body(w, lo, hi)
 		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // ForDynamicWorker is ForDynamicRange where the body also receives the
@@ -213,12 +241,18 @@ func ForDynamicWorker(workers, n, chunk int, body func(worker, lo, hi int)) {
 		body(0, 0, n)
 		return
 	}
+	var box panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					box.capture(w, v)
+				}
+			}()
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk
 				if lo >= n {
@@ -233,4 +267,5 @@ func ForDynamicWorker(workers, n, chunk int, body func(worker, lo, hi int)) {
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 }

@@ -47,6 +47,7 @@ package scratch
 import (
 	"repro/graph"
 	"repro/internal/bitset"
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 )
@@ -70,6 +71,8 @@ type Arena struct {
 	bits    *bitset.Atomic
 	backing []graph.NodeID // task node-list backing array
 	perW    []Worker
+
+	inj *chaos.Injector
 }
 
 // New creates an arena for a run with the given worker count,
@@ -107,6 +110,35 @@ func (a *Arena) Counters() *metrics.Counters {
 		return nil
 	}
 	return a.ctr
+}
+
+// SetChaos attaches a chaos injector whose Hit calls the kernels will
+// fire at their named sites. Nil-safe; a nil injector (the default)
+// keeps the kernels on their zero-cost fast path.
+func (a *Arena) SetChaos(inj *chaos.Injector) {
+	if a != nil {
+		a.inj = inj
+	}
+}
+
+// Chaos returns the attached chaos injector, nil when none (including
+// on a nil arena) — and a nil *chaos.Injector's methods are themselves
+// nil-safe, so kernels call a.Chaos().Hit(site) unconditionally.
+func (a *Arena) Chaos() *chaos.Injector {
+	if a == nil {
+		return nil
+	}
+	return a.inj
+}
+
+// Abort force-releases a dispatcher wedged on the arena's gang
+// barrier; see parallel.Gang.Abort. The arena must not be used for
+// further parallel sections afterwards. Nil-safe.
+func (a *Arena) Abort() {
+	if a == nil {
+		return
+	}
+	a.gang.Abort()
 }
 
 // ForDynamic runs body over [0, n) in chunks with dynamic

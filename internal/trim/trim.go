@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
@@ -113,6 +114,7 @@ func Par(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, ca
 		if single {
 			// Direct call (no closure, no goroutines): the steady-state
 			// zero-allocation path.
+			ar.Chaos().Hit(chaos.SiteTrim)
 			roundRemoved = trimRange(g, color, comp, active, 0, len(active), &dst)
 		} else {
 			roundRemoved = trimRoundPar(g, workers, color, comp, active, &dst, bufs, counts, ar)
@@ -165,7 +167,14 @@ func trimRoundPar(g *graph.Graph, workers int, color, comp []int32, active []gra
 	}
 	// Dynamic scheduling: trimming cost is the node's degree, which is
 	// heavily skewed on scale-free graphs (§4.3).
+	inj := ar.Chaos()
 	ar.ForDynamic(workers, len(active), 128, func(w, lo, hi int) {
+		if lo == 0 {
+			// One chaos hit per round, fired from inside the gang
+			// dispatch so injected failures exercise worker-side
+			// capture.
+			inj.Hit(chaos.SiteTrim)
+		}
 		counts[w] += trimRange(g, color, comp, active, lo, hi, &bufs[w])
 	})
 	var removed int64
@@ -234,12 +243,17 @@ func Par2(sink *events.Sink, g *graph.Graph, workers int, color, comp []int32, c
 	ctr := ar.Counters()
 	res := Result{Rounds: 1}
 	if workers == 1 {
+		ar.Chaos().Hit(chaos.SiteTrim2)
 		res.SCCs = trim2Range(g, color, comp, candidates, 0, len(candidates), &survivors)
 	} else {
 		bufs := ar.GetLists(workers)
 		counts := ar.Counts(workers)
 		cand := candidates
+		inj := ar.Chaos()
 		ar.ForDynamic(workers, len(cand), 128, func(w, lo, hi int) {
+			if lo == 0 {
+				inj.Hit(chaos.SiteTrim2)
+			}
 			counts[w] += trim2Range(g, color, comp, cand, lo, hi, &bufs[w])
 		})
 		for w := range bufs {

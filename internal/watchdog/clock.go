@@ -1,0 +1,104 @@
+package watchdog
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the watchdog's notion of time so the stall logic is
+// testable without real sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Real returns the wall clock.
+func Real() Clock { return realClock{} }
+
+// Manual is a fake Clock driven explicitly by Advance. It lets tests
+// walk a watchdog through poll ticks and window expiries
+// deterministically, with no real time passing.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []manualWaiter
+}
+
+type manualWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManual returns a Manual clock starting at the given time.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the clock's current time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After registers a waiter due at now+d. A non-positive d fires
+// immediately.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := m.now.Add(d)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, manualWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and fires every waiter whose
+// deadline has passed.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	kept := m.waiters[:0]
+	var fire []chan time.Time
+	for _, w := range m.waiters {
+		if !w.at.After(now) {
+			fire = append(fire, w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.waiters = kept
+	m.mu.Unlock()
+	for _, ch := range fire {
+		ch <- now
+	}
+}
+
+// BlockUntilWaiters spins until at least n waiters are registered —
+// i.e. until the watchdog loop is parked in After — so a test can
+// Advance without racing the loop's re-arm.
+func (m *Manual) BlockUntilWaiters(n int) {
+	for {
+		m.mu.Lock()
+		cur := len(m.waiters)
+		m.mu.Unlock()
+		if cur >= n {
+			return
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,133 @@
+// Package watchdog implements the per-run stall supervisor for the
+// in-memory SCC engine. The engine's kernels report progress through
+// monotone metrics counters (trim rounds, BFS levels, WCC rounds,
+// executed tasks); the watchdog polls that heartbeat and declares a
+// stall when it stops advancing for a configured window. It also
+// enforces context cancellation *inside* a wedged barrier: kernels
+// only poll ctx at round boundaries, so a round that never finishes
+// would otherwise ignore the deadline forever.
+//
+// The window must be longer than the slowest legitimate barrier round
+// (e.g. one BFS level across a giant SCC): the heartbeat advances at
+// round granularity, so a round that merely takes long reads as "no
+// progress" until it completes. The engine's default errs on the large
+// side; callers tuning it down get faster stall detection at the cost
+// of false positives on huge inputs.
+package watchdog
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a watchdog run.
+type Config struct {
+	// Window is how long the heartbeat may hold still before the run
+	// is declared stalled. Required, > 0.
+	Window time.Duration
+	// Poll is the heartbeat sampling period. Defaults to Window/4.
+	Poll time.Duration
+	// Grace is how long after ctx cancellation the engine gets to
+	// unwind gracefully (kernels notice cancellation at the next round
+	// boundary) before the watchdog force-aborts the wedged barrier.
+	// Defaults to Window.
+	Grace time.Duration
+	// Clock supplies time; defaults to Real(). Tests inject Manual.
+	Clock Clock
+	// Progress returns the run's monotone heartbeat. Required.
+	Progress func() uint64
+	// OnStall is called once, before OnAbort, when the window expires
+	// with no progress. Optional.
+	OnStall func()
+	// OnAbort force-aborts the run's barriers (gang abort, queue
+	// abandon). Called once, after OnStall on a stall, or after Grace
+	// on an unheeded cancellation. Optional.
+	OnAbort func()
+}
+
+// Watchdog is one run's supervisor goroutine. Create with Start, and
+// always Stop it (idempotent) when the run ends; Stop joins the
+// goroutine so teardown leak checks see it gone.
+type Watchdog struct {
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// Start launches a supervisor for a run governed by ctx. It panics if
+// cfg.Window <= 0 or cfg.Progress is nil.
+func Start(ctx context.Context, cfg Config) *Watchdog {
+	if cfg.Window <= 0 {
+		panic("watchdog: Window must be > 0")
+	}
+	if cfg.Progress == nil {
+		panic("watchdog: Progress is required")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.Window / 4
+		if cfg.Poll <= 0 {
+			cfg.Poll = cfg.Window
+		}
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = cfg.Window
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = Real()
+	}
+	w := &Watchdog{stop: make(chan struct{}), done: make(chan struct{})}
+	go w.loop(ctx, cfg)
+	return w
+}
+
+// Stop ends the supervisor and waits for its goroutine to exit.
+// Idempotent and safe from any goroutine.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+func (w *Watchdog) loop(ctx context.Context, cfg Config) {
+	defer close(w.done)
+	clk := cfg.Clock
+	last := cfg.Progress()
+	lastChange := clk.Now()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ctx.Done():
+			// The run was canceled. Give the engine one grace period
+			// to unwind at a round boundary; if Stop hasn't arrived by
+			// then, a barrier is wedged mid-round — force-abort it.
+			select {
+			case <-w.stop:
+				return
+			case <-clk.After(cfg.Grace):
+				if cfg.OnAbort != nil {
+					cfg.OnAbort()
+				}
+				<-w.stop
+				return
+			}
+		case <-clk.After(cfg.Poll):
+			cur := cfg.Progress()
+			if cur != last {
+				last = cur
+				lastChange = clk.Now()
+				continue
+			}
+			if clk.Now().Sub(lastChange) >= cfg.Window {
+				if cfg.OnStall != nil {
+					cfg.OnStall()
+				}
+				if cfg.OnAbort != nil {
+					cfg.OnAbort()
+				}
+				<-w.stop
+				return
+			}
+		}
+	}
+}

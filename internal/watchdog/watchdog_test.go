@@ -1,0 +1,187 @@
+package watchdog
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// harness wires a watchdog to a fake clock and counters for the three
+// scenarios the engine cares about. Every Progress sample is echoed on
+// the polled channel so ticks run in lockstep with the loop: without
+// that, the loop could observe a later tick's progress increment
+// during an earlier poll and shift when the window expires.
+type harness struct {
+	clk      *Manual
+	progress atomic.Uint64
+	polled   chan uint64
+	stalls   atomic.Int64
+	aborts   atomic.Int64
+	wd       *Watchdog
+}
+
+func start(t *testing.T, ctx context.Context, window time.Duration) *harness {
+	t.Helper()
+	h := &harness{clk: NewManual(time.Unix(0, 0)), polled: make(chan uint64, 100)}
+	h.wd = Start(ctx, Config{
+		Window: window,
+		Poll:   window / 4,
+		Grace:  window,
+		Clock:  h.clk,
+		Progress: func() uint64 {
+			v := h.progress.Load()
+			h.polled <- v
+			return v
+		},
+		OnStall: func() { h.stalls.Add(1) },
+		OnAbort: func() { h.aborts.Add(1) },
+	})
+	t.Cleanup(h.wd.Stop)
+	<-h.polled // the loop's baseline sample: the watchdog is running
+	return h
+}
+
+// tick advances the clock one poll period once the loop has parked,
+// then waits for the loop to take (and fully process) its sample.
+func (h *harness) tick(t *testing.T, d time.Duration) {
+	t.Helper()
+	h.clk.BlockUntilWaiters(1)
+	h.clk.Advance(d)
+	select {
+	case <-h.polled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog loop never sampled after Advance")
+	}
+}
+
+// waitCount polls an atomic counter until it reaches want.
+func waitCount(t *testing.T, c *atomic.Int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", what, c.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNoFalsePositiveOnSlowProgress(t *testing.T) {
+	// A giant-SCC BFS completing one level per poll period: progress
+	// advances slowly but steadily, so the watchdog must stay quiet
+	// however long it runs.
+	h := start(t, context.Background(), 1*time.Second)
+	for i := 0; i < 40; i++ {
+		h.progress.Add(1) // one BFS level since the last poll
+		h.tick(t, 250*time.Millisecond)
+	}
+	if h.stalls.Load() != 0 || h.aborts.Load() != 0 {
+		t.Fatalf("watchdog fired on progressing run: stalls=%d aborts=%d",
+			h.stalls.Load(), h.aborts.Load())
+	}
+}
+
+func TestFiresOnWedgedRound(t *testing.T) {
+	h := start(t, context.Background(), 1*time.Second)
+	// Some healthy rounds first.
+	for i := 0; i < 3; i++ {
+		h.progress.Add(1)
+		h.tick(t, 250*time.Millisecond)
+	}
+	// Then the heartbeat freezes: the window must expire after four
+	// more polls with no progress.
+	for i := 0; i < 4; i++ {
+		h.tick(t, 250*time.Millisecond)
+	}
+	waitCount(t, &h.stalls, 1, "stalls")
+	waitCount(t, &h.aborts, 1, "aborts")
+	if h.stalls.Load() != 1 || h.aborts.Load() != 1 {
+		t.Fatalf("stall fired %d/%d times, want exactly once", h.stalls.Load(), h.aborts.Load())
+	}
+}
+
+func TestOnStallPrecedesOnAbort(t *testing.T) {
+	var order atomic.Int64 // 1 = stall seen first
+	clk := NewManual(time.Unix(0, 0))
+	wd := Start(context.Background(), Config{
+		Window:   time.Second,
+		Poll:     time.Second,
+		Clock:    clk,
+		Progress: func() uint64 { return 0 },
+		OnStall:  func() { order.CompareAndSwap(0, 1) },
+		OnAbort:  func() { order.CompareAndSwap(0, 2) },
+	})
+	defer wd.Stop()
+	clk.BlockUntilWaiters(1)
+	clk.Advance(time.Second)
+	waitCount(t, &order, 1, "callback order flag")
+	if order.Load() != 1 {
+		t.Fatal("OnAbort ran before OnStall")
+	}
+}
+
+func TestCancellationForceAbortsWedgedBarrier(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	h := start(t, ctx, 1*time.Second)
+	// The run wedges (no progress) and the caller cancels. Kernels
+	// would normally notice at the next round boundary; a wedged
+	// barrier never reaches one, so after Grace the watchdog must
+	// force-abort — without declaring a stall. Wait for the grace timer
+	// (second waiter, after the initial poll timer) before advancing so
+	// the loop is provably past the cancellation branch.
+	cancel()
+	h.clk.BlockUntilWaiters(2)
+	h.clk.Advance(1 * time.Second)
+	waitCount(t, &h.aborts, 1, "aborts")
+	if h.stalls.Load() != 0 {
+		t.Fatalf("cancellation path declared a stall (%d)", h.stalls.Load())
+	}
+}
+
+func TestStopBeforeGraceSuppressesAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	h := start(t, ctx, 1*time.Second)
+	cancel()
+	// The engine unwinds promptly at a round boundary and stops the
+	// watchdog before the grace period elapses: no abort. The second
+	// waiter is the grace timer — the loop is parked inside the
+	// cancellation branch when Stop arrives.
+	h.clk.BlockUntilWaiters(2)
+	h.wd.Stop()
+	if h.aborts.Load() != 0 {
+		t.Fatalf("abort fired despite graceful unwind (%d)", h.aborts.Load())
+	}
+}
+
+func TestStopJoinsLoopGoroutine(t *testing.T) {
+	clk := NewManual(time.Unix(0, 0))
+	wd := Start(context.Background(), Config{
+		Window:   time.Second,
+		Clock:    clk,
+		Progress: func() uint64 { return 0 },
+	})
+	done := make(chan struct{})
+	go func() { wd.Stop(); wd.Stop(); close(done) }() // idempotent
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not join the watchdog goroutine")
+	}
+}
+
+func TestStartValidatesConfig(t *testing.T) {
+	if recoverPanicVal(func() { Start(context.Background(), Config{Progress: func() uint64 { return 0 }}) }) == nil {
+		t.Fatal("Window <= 0 accepted")
+	}
+	if recoverPanicVal(func() { Start(context.Background(), Config{Window: time.Second}) }) == nil {
+		t.Fatal("nil Progress accepted")
+	}
+}
+
+func recoverPanicVal(fn func()) (v any) {
+	defer func() { v = recover() }()
+	fn()
+	return nil
+}

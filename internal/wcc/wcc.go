@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/graph"
+	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
@@ -72,6 +73,7 @@ func Run(sink *events.Sink, g *graph.Graph, workers int, color []int32, nodes []
 		if single {
 			// Direct calls (no closures, no goroutines): the steady-state
 			// zero-allocation path.
+			ar.Chaos().Hit(chaos.SiteWCC)
 			any = propagateRange(g, color, nodes, label, 0, len(nodes))
 			if shortcutRange(nodes, label, 0, len(nodes)) {
 				any = true
@@ -80,8 +82,13 @@ func Run(sink *events.Sink, g *graph.Graph, workers int, color []int32, nodes []
 			for w := range changedPerWorker {
 				changedPerWorker[w] = false
 			}
+			inj := ar.Chaos()
 			// Hook: adopt the minimum neighbor label (both directions).
 			ar.ForDynamic(workers, len(nodes), 128, func(w, lo, hi int) {
+				if lo == 0 {
+					// One chaos hit per round, from inside the dispatch.
+					inj.Hit(chaos.SiteWCC)
+				}
 				if propagateRange(g, color, nodes, label, lo, hi) {
 					changedPerWorker[w] = true
 				}

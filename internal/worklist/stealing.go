@@ -3,6 +3,8 @@ package worklist
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // StealingQueue is an alternative scheduler for the same workload
@@ -30,6 +32,10 @@ type StealingQueue[T any] struct {
 	rng       atomic.Uint64
 	steals    atomic.Int64
 	canceled  atomic.Bool
+
+	trap      parallel.Trap
+	abandoned atomic.Bool
+	abandonCh chan struct{}
 }
 
 // stealDeque is a mutex-guarded deque: the owner pushes/pops at the
@@ -46,7 +52,7 @@ func NewStealing[T any](workers int) *StealingQueue[T] {
 	if workers < 1 {
 		panic("worklist: workers must be >= 1")
 	}
-	q := &StealingQueue[T]{workers: workers, deques: make([]stealDeque[T], workers)}
+	q := &StealingQueue[T]{workers: workers, deques: make([]stealDeque[T], workers), abandonCh: make(chan struct{})}
 	q.cond = sync.NewCond(&q.mu)
 	q.rng.Store(0x9e3779b97f4a7c15)
 	return q
@@ -101,21 +107,58 @@ func (q *StealingQueue[T]) Cancel() {
 }
 
 // Run executes fn over all items until every deque drains and all
-// workers are idle, or until Cancel is called.
+// workers are idle, or until Cancel is called. Panic and abandon
+// semantics match Queue.Run: a task panic is re-raised as a
+// *parallel.WorkerPanic, an Abandon turns into a
+// parallel.ErrBarrierAbandoned panic.
 func (q *StealingQueue[T]) Run(fn func(worker int, item T)) {
 	q.mu.Lock()
 	q.done = q.canceled.Load() // a pre-Run Cancel sticks
 	q.idle = 0
 	q.mu.Unlock()
-	var wg sync.WaitGroup
-	wg.Add(q.workers)
+	var live atomic.Int64
+	live.Store(int64(q.workers))
+	allDone := make(chan struct{})
 	for w := 0; w < q.workers; w++ {
 		go func(w int) {
-			defer wg.Done()
+			defer func() {
+				if live.Add(-1) == 0 {
+					close(allDone)
+				}
+			}()
 			q.worker(w, fn)
 		}(w)
 	}
-	wg.Wait()
+	select {
+	case <-allDone:
+	case <-q.abandonCh:
+		panic(parallel.ErrBarrierAbandoned)
+	}
+	q.trap.Rethrow()
+}
+
+// runItem mirrors Queue.runItem: first panic wins, cancels the queue.
+func (q *StealingQueue[T]) runItem(w int, fn func(worker int, item T), item T) {
+	defer func() {
+		if v := recover(); v != nil {
+			q.trap.Capture(w, v)
+			q.Cancel()
+		}
+	}()
+	fn(w, item)
+}
+
+// Abandon releases a Run blocked on a wedged task; see Queue.Abandon.
+func (q *StealingQueue[T]) Abandon() {
+	q.Cancel()
+	if q.abandoned.CompareAndSwap(false, true) {
+		close(q.abandonCh)
+	}
+}
+
+// Panic returns the first captured task panic, or nil.
+func (q *StealingQueue[T]) Panic() *parallel.WorkerPanic {
+	return q.trap.Panic()
 }
 
 func (q *StealingQueue[T]) worker(w int, fn func(worker int, item T)) {
@@ -130,7 +173,7 @@ func (q *StealingQueue[T]) worker(w int, fn func(worker int, item T)) {
 		if ok {
 			q.ready.Add(-1)
 			q.executed.Add(1)
-			fn(w, item)
+			q.runItem(w, fn, item)
 			continue
 		}
 		// Nothing local, nothing stolen: park. A worker that might

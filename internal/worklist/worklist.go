@@ -15,11 +15,20 @@ package worklist
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Queue is a two-level work queue of items of type T, executed by a
 // fixed pool of workers. Create with New, seed with Seed (or push from
 // inside tasks), then call Run.
+//
+// A panic inside a task does not crash the process: the first panic is
+// captured (value + stack), the queue cancels itself so peers stop
+// dispatching, and Run re-raises it as a *parallel.WorkerPanic on the
+// calling goroutine once all workers have parked. Abandon releases a
+// Run blocked on a wedged task; Run then panics
+// parallel.ErrBarrierAbandoned and the queue must not be reused.
 type Queue[T any] struct {
 	k       int
 	workers int
@@ -37,6 +46,10 @@ type Queue[T any] struct {
 	total     atomic.Int64 // items ever enqueued
 	executed  atomic.Int64
 	canceled  atomic.Bool
+
+	trap      parallel.Trap
+	abandoned atomic.Bool
+	abandonCh chan struct{}
 }
 
 // New returns a Queue executed by `workers` workers with batch size k.
@@ -48,7 +61,7 @@ func New[T any](workers, k int) *Queue[T] {
 	if k < 1 {
 		panic("worklist: k must be >= 1")
 	}
-	q := &Queue[T]{k: k, workers: workers, local: make([][]T, workers)}
+	q := &Queue[T]{k: k, workers: workers, local: make([][]T, workers), abandonCh: make(chan struct{})}
 	// Local queues are bounded at 2K by the spill rule; preallocating
 	// that capacity keeps Push allocation-free in steady state.
 	for w := range q.local {
@@ -112,20 +125,63 @@ func (q *Queue[T]) Cancel() {
 // worker is idle, or until Cancel is called. fn receives the executing
 // worker's index (valid for Push) and the item. Run blocks until
 // completion; the Queue can be reused afterwards (stats accumulate).
+// If a task panicked, Run re-raises the first captured panic as a
+// *parallel.WorkerPanic; if Abandon released the barrier early, Run
+// panics parallel.ErrBarrierAbandoned.
 func (q *Queue[T]) Run(fn func(worker int, item T)) {
 	q.mu.Lock()
 	q.done = q.canceled.Load() // a pre-Run Cancel sticks
 	q.idle = 0
 	q.mu.Unlock()
-	var wg sync.WaitGroup
-	wg.Add(q.workers)
+	var live atomic.Int64
+	live.Store(int64(q.workers))
+	allDone := make(chan struct{})
 	for w := 0; w < q.workers; w++ {
 		go func(w int) {
-			defer wg.Done()
+			defer func() {
+				if live.Add(-1) == 0 {
+					close(allDone)
+				}
+			}()
 			q.worker(w, fn)
 		}(w)
 	}
-	wg.Wait()
+	select {
+	case <-allDone:
+	case <-q.abandonCh:
+		panic(parallel.ErrBarrierAbandoned)
+	}
+	q.trap.Rethrow()
+}
+
+// runItem executes one task, capturing a panic instead of crashing:
+// the first panic wins the trap and cancels the queue so the other
+// workers stop dispatching.
+func (q *Queue[T]) runItem(w int, fn func(worker int, item T), item T) {
+	defer func() {
+		if v := recover(); v != nil {
+			q.trap.Capture(w, v)
+			q.Cancel()
+		}
+	}()
+	fn(w, item)
+}
+
+// Abandon releases a Run blocked on workers that will never finish (a
+// wedged task). It implies Cancel; the pending Run panics
+// parallel.ErrBarrierAbandoned and the queue must not be reused —
+// wedged workers may still be executing. Idempotent, any goroutine.
+func (q *Queue[T]) Abandon() {
+	q.Cancel()
+	if q.abandoned.CompareAndSwap(false, true) {
+		close(q.abandonCh)
+	}
+}
+
+// Panic returns the first captured task panic, or nil. It is only
+// meaningful after Run has returned or been abandoned.
+func (q *Queue[T]) Panic() *parallel.WorkerPanic {
+	return q.trap.Panic()
 }
 
 func (q *Queue[T]) worker(w int, fn func(worker int, item T)) {
@@ -140,7 +196,7 @@ func (q *Queue[T]) worker(w int, fn func(worker int, item T)) {
 			q.local[w] = l[:len(l)-1]
 			q.ready.Add(-1)
 			q.executed.Add(1)
-			fn(w, item)
+			q.runItem(w, fn, item)
 		}
 		// Refill from the global queue, or terminate.
 		q.mu.Lock()

@@ -24,6 +24,15 @@ var (
 	// decomposition inconsistent with the graph (an engine bug, not a
 	// user error).
 	ErrValidation = errors.New("self-validation failed")
+	// ErrStalled reports that the stall watchdog (Options.StallTimeout)
+	// aborted a run that made no kernel progress for the configured
+	// window. The underlying error names the stalled phase and window.
+	ErrStalled = errors.New("detection stalled")
+	// ErrMemoryBudget reports that Options.MemoryLimit is below the
+	// estimated footprint of even the most degraded configuration; no
+	// work was started. The underlying error carries the limit and the
+	// minimum estimate.
+	ErrMemoryBudget = errors.New("memory budget too small")
 )
 
 // Error is the error type returned by Detect, DetectContext and the
@@ -59,6 +68,36 @@ func (e *OptionError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrInvalidOption) hold.
 func (e *OptionError) Unwrap() error { return ErrInvalidOption }
+
+// PanicError reports a panic captured inside the parallel engine — on
+// a gang worker, a work-queue worker, or the coordinating goroutine of
+// a kernel. The engine guarantees the panic never crashes the process:
+// the round's barrier completes (or is force-abandoned by the
+// watchdog), all workers join, the scratch arena is released, and the
+// first captured panic surfaces as a *PanicError. Retrieve it with
+// errors.As; the zero Comp result of the failed run is discarded.
+type PanicError struct {
+	// Value is the value the worker panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+	// Worker is the index of the worker the panic occurred on (0 for
+	// panics on the coordinating goroutine).
+	Worker int
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error (a runtime
+// error, an injected chaos failure) to errors.Is / errors.As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // detectErr wraps err in the package's typed error envelope.
 func detectErr(op string, err error) error {

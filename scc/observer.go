@@ -51,6 +51,12 @@ const (
 	// run's scheduler and scratch-arena counters (the full snapshot is
 	// Result.Metrics).
 	EventRunMetrics = events.RunMetrics
+	// EventStalled reports the stall watchdog (Options.StallTimeout)
+	// detecting a run with no kernel progress for the configured
+	// window, immediately before it aborts the run with ErrStalled;
+	// Phase is the wedged phase and Round the run's progress counter at
+	// detection. Delivered from the watchdog goroutine.
+	EventStalled = events.Stalled
 )
 
 // Observer receives progress events from a run. Implementations must

@@ -30,6 +30,7 @@ package scc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/multistep"
 	"repro/internal/obf"
+	"repro/internal/parallel"
 	"repro/internal/seq"
 	"repro/internal/verify"
 )
@@ -192,6 +194,29 @@ type Options struct {
 	// algorithms' runs; see the Observer type. Sequential algorithms
 	// emit no events. A nil Observer costs nothing.
 	Observer Observer
+	// StallTimeout, when > 0, arms a per-run watchdog on the parallel
+	// algorithms: if no kernel completes a round (trim iteration, BFS
+	// level, WCC round, phase-2 task) for this long, the run emits an
+	// EventStalled observer event and aborts with an error wrapping
+	// ErrStalled. The window must exceed the longest legitimate barrier
+	// round. The watchdog also force-aborts a barrier that stays wedged
+	// past one window after ctx fires — without it, cancellation is
+	// only noticed at round boundaries. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// MemoryLimit, when > 0, bounds the parallel engine's estimated
+	// worst-case scratch + engine footprint in bytes (see
+	// EstimateMemory). An over-budget configuration is degraded
+	// stepwise before the run starts — fewer workers, then the queue
+	// frontier instead of the direction-optimizing bitmap, then task
+	// batch K=1 — and the applied steps are recorded in
+	// Result.Metrics.DegradedMode. If even the floor configuration does
+	// not fit, detection fails up front with an error wrapping
+	// ErrMemoryBudget. 0 disables the budget.
+	MemoryLimit int64
+	// Chaos, if non-nil, injects deterministic failures into the
+	// parallel engine's kernels for robustness testing; see
+	// ChaosConfig. Nil costs nothing.
+	Chaos *ChaosConfig
 }
 
 // PhaseStats is one phase's share of a parallel run.
@@ -307,6 +332,11 @@ type MetricsSnapshot struct {
 	// fresh allocations; BytesReused is the capacity they recycled.
 	BuffersReused int64
 	BytesReused   int64
+	// DegradedMode notes the degradation steps Options.MemoryLimit
+	// forced on the run, comma-separated in the order applied (e.g.
+	// "workers=2,workers=1,diropt=off"); empty when the run executed
+	// exactly as configured.
+	DegradedMode string
 }
 
 // Detect decomposes g into strongly connected components. Detect is
@@ -333,8 +363,12 @@ func validateOptions(opts Options) error {
 		return &OptionError{Field: "PivotSample", Value: opts.PivotSample, Reason: "must be >= 0"}
 	case opts.Trim2Iterations < 0:
 		return &OptionError{Field: "Trim2Iterations", Value: opts.Trim2Iterations, Reason: "must be >= 0"}
+	case opts.StallTimeout < 0:
+		return &OptionError{Field: "StallTimeout", Value: opts.StallTimeout, Reason: "must be >= 0"}
+	case opts.MemoryLimit < 0:
+		return &OptionError{Field: "MemoryLimit", Value: opts.MemoryLimit, Reason: "must be >= 0"}
 	}
-	return nil
+	return opts.Chaos.validate()
 }
 
 // DetectContext decomposes g into strongly connected components under
@@ -350,6 +384,15 @@ func validateOptions(opts Options) error {
 // sequential and extension algorithms (Tarjan, Kosaraju, Gabow, OBF,
 // Coloring, MultiStep) check ctx only on entry and then run to
 // completion.
+//
+// Failure envelope (parallel algorithms): a panic on any engine
+// worker never crashes the process — the run tears down cleanly and
+// the error carries a *PanicError with the worker's stack. With
+// Options.StallTimeout a run making no kernel progress is aborted
+// with an error wrapping ErrStalled; with Options.MemoryLimit an
+// over-budget configuration is degraded (see
+// Result.Metrics.DegradedMode) or rejected with an error wrapping
+// ErrMemoryBudget before any work starts.
 //
 // Progress events stream to opts.Observer as the run executes; a nil
 // observer adds no overhead.
@@ -407,25 +450,9 @@ func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 			GiantSCC:  r.GiantSCC,
 		}
 	case Baseline, Method1, Method2, FWBW:
-		r, err := core.RunContext(ctx, g, coreAlgorithm(opts.Algorithm), core.Options{
-			Workers:         opts.Workers,
-			K:               opts.K,
-			GiantThreshold:  opts.GiantThreshold,
-			MaxPhase1Trials: opts.MaxPhase1Trials,
-			Seed:            opts.Seed,
-			DisableTrim2:    opts.DisableTrim2,
-			DisableHybrid:   opts.DisableHybrid,
-			TraceTasks:      opts.TraceTasks,
-			PivotSample:     opts.PivotSample,
-			TraceSchedule:   opts.TraceSchedule,
-			DirOptBFS:       opts.DirOptBFS,
-			Trim2Iterations: opts.Trim2Iterations,
-			EnableTrim3:     opts.EnableTrim3,
-			UseStealing:     opts.UseStealing,
-			Observer:        opts.Observer,
-		})
+		r, err := core.RunContext(ctx, g, coreAlgorithm(opts.Algorithm), coreOptions(opts))
 		if err != nil {
-			return nil, canceledErr("detect", err)
+			return nil, engineErr("detect", err)
 		}
 		res = fromCore(opts.Algorithm, r)
 	default:
@@ -438,6 +465,67 @@ func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 		}
 	}
 	return res, nil
+}
+
+// coreOptions translates the public Options into the engine's; shared
+// by DetectContext and EstimateMemory so both see the same run
+// configuration.
+func coreOptions(opts Options) core.Options {
+	return core.Options{
+		Workers:         opts.Workers,
+		K:               opts.K,
+		GiantThreshold:  opts.GiantThreshold,
+		MaxPhase1Trials: opts.MaxPhase1Trials,
+		Seed:            opts.Seed,
+		DisableTrim2:    opts.DisableTrim2,
+		DisableHybrid:   opts.DisableHybrid,
+		TraceTasks:      opts.TraceTasks,
+		PivotSample:     opts.PivotSample,
+		TraceSchedule:   opts.TraceSchedule,
+		DirOptBFS:       opts.DirOptBFS,
+		Trim2Iterations: opts.Trim2Iterations,
+		EnableTrim3:     opts.EnableTrim3,
+		UseStealing:     opts.UseStealing,
+		Observer:        opts.Observer,
+		StallTimeout:    opts.StallTimeout,
+		MemoryLimit:     opts.MemoryLimit,
+		Chaos:           opts.Chaos.injector(),
+	}
+}
+
+// engineErr maps an engine failure to the public typed errors: a
+// captured worker panic becomes a *PanicError, a watchdog abort wraps
+// ErrStalled, a rejected memory budget wraps ErrMemoryBudget, and
+// everything else is caller cancellation.
+func engineErr(op string, err error) error {
+	var wp *parallel.WorkerPanic
+	if errors.As(err, &wp) {
+		return &Error{Op: op, Err: &PanicError{Value: wp.Value, Stack: wp.Stack, Worker: wp.Worker}}
+	}
+	var se *core.StallError
+	if errors.As(err, &se) {
+		return &Error{Op: op, Err: fmt.Errorf("%w: %w", ErrStalled, se)}
+	}
+	var be *core.BudgetError
+	if errors.As(err, &be) {
+		return &Error{Op: op, Err: fmt.Errorf("%w: %w", ErrMemoryBudget, be)}
+	}
+	return canceledErr(op, err)
+}
+
+// EstimateMemory returns the parallel engine's estimated worst-case
+// scratch + engine footprint, in bytes, for an n-node graph under
+// opts — the quantity Options.MemoryLimit bounds. The estimate is a
+// deliberately pessimistic monotone upper bound (worst-case degree
+// skew, every retained buffer at full capacity); real usage is
+// usually far lower. Sequential and extension algorithms do not run
+// on the engine and report 0.
+func EstimateMemory(n int, opts Options) int64 {
+	switch opts.Algorithm {
+	case Baseline, Method1, Method2, FWBW:
+		return core.EstimateMemory(n, coreAlgorithm(opts.Algorithm), coreOptions(opts))
+	}
+	return 0
 }
 
 func coreAlgorithm(a Algorithm) core.Algorithm {
@@ -479,6 +567,7 @@ func fromCore(a Algorithm, r *core.Result) *Result {
 			Steals:        r.Metrics.Steals,
 			BuffersReused: r.Metrics.BuffersReused,
 			BytesReused:   r.Metrics.BytesReused,
+			DegradedMode:  r.Metrics.DegradedMode,
 		},
 	}
 	for p := 0; p < int(NumPhases); p++ {
