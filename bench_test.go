@@ -297,6 +297,58 @@ func BenchmarkAblationScheduler(b *testing.B) {
 	})
 }
 
+// --- Work-efficient kernels: counter-peeling Trim + union-find WCC ---
+
+// BenchmarkKernels compares the legacy round-based Par-Trim/Par-WCC
+// against the worklist kernels like-for-like on the dataset suite.
+// benchgate's -kernels flag keys off the kernels=<name> sub-benchmark
+// tag.
+func BenchmarkKernels(b *testing.B) {
+	for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy} {
+		b.Run("kernels="+kern.String(), func(b *testing.B) {
+			for _, name := range []string{"flickr", "patents", "ca-road"} {
+				b.Run(name, func(b *testing.B) {
+					benchDetect(b, name, scc.Method2, scc.Options{Seed: 1, Kernels: kern})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkKernelsDeepChain is the adversarial deep-peeling shape: a
+// path graph whose node ids zig-zag between the two ends of the id
+// range, so the round-based kernel's in-scan-order cascade (which
+// trims an id-sorted path in a handful of rounds) is defeated and it
+// pays Θ(n) rescan rounds, while counter-peeling still touches each
+// edge a constant number of times. This is the benchmark where the
+// O(N+M) bound separates from O(rounds × edges).
+func BenchmarkKernelsDeepChain(b *testing.B) {
+	n := int(40000 * benchScale())
+	id := func(pos int) graph.NodeID {
+		if pos%2 == 0 {
+			return graph.NodeID(pos / 2)
+		}
+		return graph.NodeID(n - 1 - pos/2)
+	}
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{From: id(i), To: id(i + 1)}
+	}
+	g := graph.FromEdges(n, edges)
+	for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy} {
+		b.Run("kernels="+kern.String(), func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Seed: 1, Kernels: kern}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- API overhead: context and observer layer ----------------------
 
 // BenchmarkDetect is the reference cost of the primary entry point

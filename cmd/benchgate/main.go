@@ -68,12 +68,43 @@ func trimProcSuffix(name string) string {
 	return name
 }
 
+// kernelsTag extracts the value of a "kernels=<name>" sub-benchmark
+// segment, or "" when the benchmark carries none.
+func kernelsTag(name string) string {
+	for _, seg := range strings.Split(name, "/") {
+		if v, ok := strings.CutPrefix(seg, "kernels="); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+// filterKernels restricts the gate to like-vs-like kernel runs:
+// benchmarks tagged with a kernels=<name> segment are kept only when
+// the tag matches kern, untagged benchmarks always compare. Comparison
+// itself is already like-vs-like (names match exactly, tag included);
+// the filter exists so a CI lane measuring one kernel set is not
+// failed by the other set's rows going missing or stale.
+func filterKernels(m map[string]float64, kern string) map[string]float64 {
+	if kern == "" {
+		return m
+	}
+	out := make(map[string]float64, len(m))
+	for name, v := range m {
+		if tag := kernelsTag(name); tag == "" || tag == kern {
+			out[name] = v
+		}
+	}
+	return out
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "max allowed relative regression (0.10 = +10%)")
 	metric := flag.String("metric", "allocs/op", "benchmark counter to gate on")
+	kernels := flag.String("kernels", "", "gate only benchmarks whose kernels=<name> tag matches (untagged benchmarks always compare); empty gates everything")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold 0.10] [-metric allocs/op] baseline.txt current.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold 0.10] [-metric allocs/op] [-kernels worklist] baseline.txt current.txt")
 		os.Exit(2)
 	}
 	base, err := parseBench(flag.Arg(0), *metric)
@@ -86,6 +117,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
+	base = filterKernels(base, *kernels)
+	cur = filterKernels(cur, *kernels)
 
 	names := make([]string, 0, len(base))
 	for name := range base {

@@ -60,6 +60,27 @@ func TestParseBenchOtherMetrics(t *testing.T) {
 	}
 }
 
+func TestFilterKernels(t *testing.T) {
+	in := map[string]float64{
+		"BenchmarkTrimKernels/kernels=worklist/chain": 0,
+		"BenchmarkTrimKernels/kernels=legacy/chain":   12,
+		"BenchmarkFigure6Method2/livej":               497,
+	}
+	got := filterKernels(in, "worklist")
+	if len(got) != 2 {
+		t.Fatalf("filtered to %d benchmarks, want 2: %v", len(got), got)
+	}
+	if _, ok := got["BenchmarkTrimKernels/kernels=worklist/chain"]; !ok {
+		t.Fatal("matching tag dropped")
+	}
+	if _, ok := got["BenchmarkFigure6Method2/livej"]; !ok {
+		t.Fatal("untagged benchmark dropped")
+	}
+	if same := filterKernels(in, ""); len(same) != len(in) {
+		t.Fatalf("empty filter changed the set: %v", same)
+	}
+}
+
 func TestTrimProcSuffix(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkX-8":        "BenchmarkX",

@@ -12,7 +12,8 @@
 //	sccbench -exp tasklog                        # §3.3 execution log
 //	sccbench -exp ablations [-data flickr]       # §3.4/§4.1/§4.3 claims
 //	sccbench -exp dist [-data flickr]            # §6 distributed extension
-//	sccbench -exp bench [-warmup 1] [-reps 5]    # JSON perf report (BENCH_scc.json)
+//	sccbench -exp bench [-warmup 1] [-reps 5] [-kernels worklist|legacy]
+//	                                             # JSON perf report (BENCH_scc.json)
 //	sccbench -exp all                            # everything except bench
 //
 // -scale shrinks the datasets (1.0 ≈ 40-250k nodes per graph; use
@@ -50,6 +51,7 @@ func main() {
 		warmup   = flag.Int("warmup", 1, "bench experiment: discarded warmup runs per dataset")
 		reps     = flag.Int("reps", 5, "bench experiment: measured repetitions per dataset")
 		workers  = flag.Int("workers", 0, "bench experiment: Detect workers (0 = GOMAXPROCS)")
+		kernSpec = flag.String("kernels", "worklist", "bench experiment: trim/WCC kernel set: worklist|legacy")
 	)
 	flag.Parse()
 
@@ -170,8 +172,13 @@ func main() {
 	// bench is deliberately not part of -exp all: it is the CI perf
 	// artifact, not a paper figure.
 	if *exp == "bench" {
+		kern, err := scc.ParseKernels(*kernSpec)
+		if err != nil {
+			fatal(err)
+		}
 		cfg := experiments.BenchConfig{
 			Scale: *scale, Workers: *workers, Warmup: *warmup, Reps: *reps, Seed: *seed,
+			Kernels: kern,
 		}
 		if *data != "" {
 			cfg.Datasets = strings.Split(*data, ",")

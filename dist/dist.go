@@ -32,6 +32,7 @@ import (
 	"repro/graph"
 	"repro/internal/events"
 	"repro/internal/parallel"
+	"repro/scc"
 )
 
 // Event is one structured progress event from a distributed run; it
@@ -53,6 +54,16 @@ type Options struct {
 	MaxPhase1Trials int
 	// Seed drives pivot selection.
 	Seed int64
+	// Kernels selects the trim kernel, mirroring scc.Options.Kernels:
+	// KernelsWorklist (the default) runs the BSP counter-peeling trim —
+	// counters seeded in one counting pass, each superstep draining its
+	// local queue to exhaustion and shipping decrements of remote
+	// counters as messages — while KernelsLegacy keeps the round-based
+	// fixpoint that rescans every alive node per round. Dist-WCC is BSP
+	// min-label propagation under both settings: the shared-memory
+	// union-find kernel hinges on CAS over a shared parent array, which
+	// has no message-passing counterpart.
+	Kernels scc.Kernels
 	// Transport carries the superstep exchanges; nil selects the
 	// in-memory transport. Use NewTCPTransport to run the identical
 	// pipeline over real loopback sockets.

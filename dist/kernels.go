@@ -7,6 +7,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/parallel"
 	"repro/internal/seq"
+	"repro/scc"
 )
 
 // removed is the tombstone color (same convention as the shared-memory
@@ -29,10 +30,22 @@ func (c *cluster) aliveDegrees(wk int, v graph.NodeID, col int32) (in, out int) 
 	return in, out
 }
 
-// distTrim runs BSP fixpoint trimming over each worker's alive list,
-// refreshing ghost colors between rounds. It mutates the alive lists
-// in place and accumulates stats.
+// distTrim trims trivial SCCs with the kernel selected by
+// Options.Kernels. Both variants mutate the alive lists in place and
+// accumulate stats, and both reach the same fixpoint with the same
+// comp assignments (comp[v] = v for every trimmed node).
 func (c *cluster) distTrim(alive [][]graph.NodeID, st *PhaseStats) {
+	if c.opt.Kernels == scc.KernelsLegacy {
+		c.distTrimRounds(alive, st)
+		return
+	}
+	c.distTrimPeel(alive, st)
+}
+
+// distTrimRounds runs BSP fixpoint trimming over each worker's alive
+// list, refreshing ghost colors between rounds. Every round rescans
+// every surviving node, so the total work is O(rounds × alive edges).
+func (c *cluster) distTrimRounds(alive [][]graph.NodeID, st *PhaseStats) {
 	changed := make([]int64, c.w)
 	round := 0
 	for {
@@ -74,6 +87,163 @@ func (c *cluster) distTrim(alive [][]graph.NodeID, st *PhaseStats) {
 			return
 		}
 	}
+}
+
+// distTrimPeel is the work-efficient counter-peeling trim, the BSP
+// counterpart of the shared-memory worklist kernel: one counting pass
+// seeds per-worker queues with zero-degree nodes, then each superstep
+// drains its local queue to exhaustion — claiming nodes and
+// decrementing neighbor counters in place — while decrements of
+// remote counters travel as (node, decIn|decOut) messages applied by
+// the owner after the exchange. Each alive edge is touched a constant
+// number of times, so the total work is O(N + M) regardless of how
+// many peeling waves the graph needs.
+//
+// Counters and queues are kernel-local and recomputed fresh on every
+// invocation, so the kernel stays confluent from any checkpoint: a
+// rollback re-enters the segment, the counting pass rebuilds the
+// counters from the restored colors, and the monotone fixpoint
+// converges to the same result.
+func (c *cluster) distTrimPeel(alive [][]graph.NodeID, st *PhaseStats) {
+	// Message values: which of the target's counters to decrement.
+	const decIn, decOut = int32(0), int32(1)
+	if c.sink.Err() != nil {
+		return
+	}
+	c.maybeCheckpoint(alive, nil)
+
+	n := c.g.NumNodes()
+	degIn := make([]int32, n)
+	degOut := make([]int32, n)
+	queue := make([][]graph.NodeID, c.w)
+	removedCnt := make([]int64, c.w)
+	outbox, inbox := c.newOutbox()
+
+	// Fresh ghost colors, then one counting pass seeds the queues.
+	// Counter entries, like the color array, are written only by their
+	// owner between barriers.
+	st.Messages += c.refreshGhostsCounted(st)
+	parallel.Run(c.w, func(wk int) {
+		for _, v := range alive[wk] {
+			col := c.color[v]
+			if col == removed {
+				continue
+			}
+			in, out := c.aliveDegrees(wk, v, col)
+			degIn[v], degOut[v] = int32(in), int32(out)
+			if in == 0 || out == 0 {
+				queue[wk] = append(queue[wk], v)
+			}
+		}
+	})
+	st.Supersteps++
+
+	round := 0
+	for {
+		if c.sink.Err() != nil {
+			return
+		}
+		// Drain to exhaustion: claim each queued node, decrement the
+		// counters of its same-color neighbors — local ones in place
+		// (newly-zero nodes join the queue), remote ones via messages.
+		// A node can be queued twice (both counters reaching zero); the
+		// tombstone check on pop deduplicates. Ghost colors are only
+		// stale in one direction during the peel — a remote neighbor
+		// may have since been removed — so a stale send merely
+		// decrements a dead node's counter, which no one reads.
+		parallel.Run(c.w, func(wk int) {
+			var nrem int64
+			q := queue[wk]
+			for len(q) > 0 {
+				v := q[len(q)-1]
+				q = q[:len(q)-1]
+				col := c.color[v]
+				if col == removed {
+					continue
+				}
+				c.color[v] = removed
+				c.comp[v] = int32(v)
+				nrem++
+				for _, k := range c.g.Out(v) {
+					if k == v {
+						continue
+					}
+					if c.owns(wk, k) {
+						if c.color[k] == col {
+							if degIn[k]--; degIn[k] == 0 {
+								q = append(q, k)
+							}
+						}
+					} else if c.ghost[wk][k] == col {
+						d := c.owner(k)
+						outbox[wk][d] = append(outbox[wk][d], message{k, decIn})
+					}
+				}
+				for _, k := range c.g.In(v) {
+					if k == v {
+						continue
+					}
+					if c.owns(wk, k) {
+						if c.color[k] == col {
+							if degOut[k]--; degOut[k] == 0 {
+								q = append(q, k)
+							}
+						}
+					} else if c.ghost[wk][k] == col {
+						d := c.owner(k)
+						outbox[wk][d] = append(outbox[wk][d], message{k, decOut})
+					}
+				}
+			}
+			queue[wk] = q[:0]
+			removedCnt[wk] = nrem
+		})
+		st.Supersteps++
+		var total int64
+		for _, nrem := range removedCnt {
+			total += nrem
+		}
+		round++
+		c.sink.Emit(events.Event{Type: events.TrimRound, Round: round, Nodes: total})
+		// Nothing removed means nothing was sent and nothing is
+		// pending: the fixpoint is reached without a final exchange.
+		if total == 0 {
+			break
+		}
+		st.Messages += c.exchangeVia(outbox, inbox)
+		st.Supersteps++
+		parallel.Run(c.w, func(wk int) {
+			for _, m := range inbox[wk] {
+				k := m.node
+				if c.color[k] == removed {
+					continue
+				}
+				switch m.value {
+				case decIn:
+					if degIn[k]--; degIn[k] == 0 {
+						queue[wk] = append(queue[wk], k)
+					}
+				default:
+					if degOut[k]--; degOut[k] == 0 {
+						queue[wk] = append(queue[wk], k)
+					}
+				}
+			}
+		})
+		c.maybeCheckpoint(alive, nil)
+	}
+	// One filtering sweep replaces the per-round kept-list rebuild of
+	// the legacy kernel.
+	parallel.Run(c.w, func(wk int) {
+		kept := alive[wk][:0]
+		for _, v := range alive[wk] {
+			if c.color[v] != removed {
+				kept = append(kept, v)
+			}
+		}
+		alive[wk] = kept
+	})
+	st.Supersteps++
 }
 
 // refreshGhostsCounted wraps refreshGhosts with superstep accounting.

@@ -27,6 +27,9 @@ type BenchConfig struct {
 	Reps int
 	// Seed drives pivot selection.
 	Seed int64
+	// Kernels selects the trim/WCC kernel set (scc.KernelsWorklist is
+	// the zero value and the default).
+	Kernels scc.Kernels
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -71,6 +74,7 @@ type BenchRow struct {
 type BenchReport struct {
 	Benchmark string     `json:"benchmark"`
 	Algorithm string     `json:"algorithm"`
+	Kernels   string     `json:"kernels"`
 	Scale     float64    `json:"scale"`
 	Workers   int        `json:"workers"`
 	Warmup    int        `json:"warmup"`
@@ -89,6 +93,7 @@ func BenchSweep(cfg BenchConfig) (BenchReport, error) {
 	rep := BenchReport{
 		Benchmark: "Figure6Method2",
 		Algorithm: scc.Method2.String(),
+		Kernels:   cfg.Kernels.String(),
 		Scale:     cfg.Scale,
 		Workers:   cfg.Workers,
 		Warmup:    cfg.Warmup,
@@ -102,7 +107,7 @@ func BenchSweep(cfg BenchConfig) (BenchReport, error) {
 			return rep, err
 		}
 		g := d.Build(cfg.Scale)
-		opts := scc.Options{Algorithm: scc.Method2, Workers: cfg.Workers, Seed: cfg.Seed}
+		opts := scc.Options{Algorithm: scc.Method2, Workers: cfg.Workers, Seed: cfg.Seed, Kernels: cfg.Kernels}
 		row := BenchRow{Dataset: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
 
 		for i := 0; i < cfg.Warmup; i++ {
@@ -161,8 +166,8 @@ func WriteBenchJSON(w io.Writer, rep BenchReport) error {
 
 // FormatBench renders the report as an aligned text table.
 func FormatBench(rep BenchReport) string {
-	out := fmt.Sprintf("Method2 bench (scale %.2g, %d warmup, %d reps, workers %d):\n",
-		rep.Scale, rep.Warmup, rep.Reps, rep.Workers)
+	out := fmt.Sprintf("Method2 bench (scale %.2g, %d warmup, %d reps, workers %d, kernels %s):\n",
+		rep.Scale, rep.Warmup, rep.Reps, rep.Workers, rep.Kernels)
 	out += fmt.Sprintf("%-10s %10s %12s %12s %12s %10s %8s\n",
 		"dataset", "nodes", "mean", "stddev", "allocs/op", "B/op", "SCCs")
 	for _, r := range rep.Rows {

@@ -29,16 +29,27 @@ const (
 	SiteBFS
 	// SiteTrim2 is hit once per Trim2 sweep (Alg. 3).
 	SiteTrim2
-	// SiteWCC is hit once per Par-WCC label-propagation round (Alg. 5).
+	// SiteWCC is hit once per Par-WCC label-propagation round (Alg. 5)
+	// under the legacy kernels, and once per union-find pass (sample,
+	// full, flatten) under the worklist kernels.
 	SiteWCC
 	// SiteTask is hit once per phase-2 recursive FW-BW task (§4.3).
 	SiteTask
+	// SitePeel is hit inside the counter-peeling trim kernel's drain
+	// loop: once per peel wave (per frontier chunk when parallel), so
+	// injected failures land inside the worklist peeling itself rather
+	// than at the round boundary SiteTrim covers.
+	SitePeel
+	// SiteUF is hit inside the union-find WCC kernel's hook loops
+	// (sampling and full passes), once per chunk, exercising failure
+	// capture mid-union rather than at the pass boundary.
+	SiteUF
 
-	numSites = 5
+	numSites = 7
 )
 
 // String returns the flag spelling of the site (trim, bfs, trim2,
-// wcc, task).
+// wcc, task, peel, uf).
 func (s Site) String() string {
 	switch s {
 	case SiteTrim:
@@ -51,13 +62,17 @@ func (s Site) String() string {
 		return "wcc"
 	case SiteTask:
 		return "task"
+	case SitePeel:
+		return "peel"
+	case SiteUF:
+		return "uf"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
 
 // Sites lists every injection site, in flag-spelling order.
 func Sites() []Site {
-	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask}
+	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF}
 }
 
 // ParseSite maps a flag spelling (see Site.String) to its Site.
@@ -67,7 +82,7 @@ func ParseSite(name string) (Site, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task)", name)
+	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf)", name)
 }
 
 // Panic is the value an injected panic panics with. Engine panic

@@ -64,6 +64,11 @@ func EstimateMemory(n int, alg Algorithm, opt Options) int64 {
 		// Par-WCC label array.
 		est += nn * 4
 	}
+	if opt.Kernels == KernelsWorklist {
+		// Counter-peeling trim state: in/out degree counters, claimed
+		// colors (int32 each) and the candidacy marks (1 byte).
+		est += nn * (3*4 + 1)
+	}
 	if opt.DirOptBFS {
 		// Bitmap frontier plus the remaining-candidates list the
 		// bottom-up sweeps maintain.

@@ -67,6 +67,32 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Kernels selects the trim and WCC kernel implementations.
+type Kernels int
+
+const (
+	// KernelsWorklist (the zero value, default) selects the
+	// work-efficient active-set kernels: counter-peeling trim (O(N+M)
+	// total, no per-round rescans) and union-find WCC (Afforest-style
+	// sampling + hooking instead of label-propagation rounds).
+	KernelsWorklist Kernels = iota
+	// KernelsLegacy selects the paper's round-based fixpoint kernels:
+	// Par-Trim (Algorithm 4) and Par-WCC (Algorithm 7).
+	KernelsLegacy
+)
+
+// String returns the flag spelling of the kernel selection.
+func (k Kernels) String() string {
+	switch k {
+	case KernelsWorklist:
+		return "worklist"
+	case KernelsLegacy:
+		return "legacy"
+	default:
+		return "unknown"
+	}
+}
+
 // Phase identifies one segment of the execution breakdown (Figure 7).
 type Phase int
 
@@ -125,6 +151,12 @@ type Options struct {
 	MaxPhase1Trials int
 	// Seed drives pivot selection, making runs reproducible.
 	Seed int64
+	// Kernels selects the trim and WCC kernel implementations: the
+	// work-efficient worklist kernels (the zero value) or the paper's
+	// round-based legacy kernels. Both produce identical partitions;
+	// the worklist kernels do O(N+M) total trim work and replace WCC
+	// propagation rounds with a constant number of union-find passes.
+	Kernels Kernels
 	// DisableTrim2 drops the Par-Trim2 step from Method 2 (ablation for
 	// the §3.4 claim that Trim2 halves WCC time).
 	DisableTrim2 bool

@@ -229,8 +229,12 @@ func (e *engine) timePhase(p Phase, fn func()) {
 // survivors are a distinct arena-owned buffer.
 func (e *engine) parTrim(p Phase, candidates []graph.NodeID) []graph.NodeID {
 	var out []graph.NodeID
+	kernel := trim.Peel
+	if e.opt.Kernels == KernelsLegacy {
+		kernel = trim.Par
+	}
 	e.timePhase(p, func() {
-		res, alive := trim.Par(e.sink, e.g, e.opt.Workers, e.color, e.comp, candidates, e.ar)
+		res, alive := kernel(e.sink, e.g, e.opt.Workers, e.color, e.comp, candidates, e.ar)
 		e.res.Phases[p].Nodes += res.Removed
 		e.res.Phases[p].SCCs += res.SCCs
 		e.res.Phases[p].Rounds += res.Rounds
@@ -418,7 +422,11 @@ func (e *engine) buildTasks(alive []graph.NodeID) []task {
 // sorted by WCC label.
 func (e *engine) wccTasks(alive []graph.NodeID) []task {
 	label := e.ar.Label(e.g.NumNodes())
-	res := wcc.Run(e.sink, e.g, e.opt.Workers, e.color, alive, label, e.ar)
+	wccKernel := wcc.RunUF
+	if e.opt.Kernels == KernelsLegacy {
+		wccKernel = wcc.Run
+	}
+	res := wccKernel(e.sink, e.g, e.opt.Workers, e.color, alive, label, e.ar)
 	e.res.WCCComponents = res.Components
 	e.res.WCCRounds = res.Rounds
 	e.res.Phases[PhaseParWCC].Rounds += res.Rounds

@@ -37,6 +37,21 @@ type Counters struct {
 	// WCC kernel: label-propagation rounds.
 	WCCRounds atomic.Int64
 
+	// Worklist trim kernel (counter peeling): nodes pushed onto the
+	// peel frontier and the number of peel waves drained. TrimPushes is
+	// bounded by the candidate count — the work-efficiency witness the
+	// legacy kernel's TrimRounds×|active| rescans lack.
+	TrimPushes atomic.Int64
+	PeelDepth  atomic.Int64
+
+	// Union-find WCC kernel: successful hooks, parent-pointer hops
+	// walked by find (including path halving), and nodes the full pass
+	// skipped because sampling already placed them in the most frequent
+	// component (the Afforest shortcut).
+	UFUnions     atomic.Int64
+	UFFindHops   atomic.Int64
+	SampledSkips atomic.Int64
+
 	// Phase-2 scheduler: tasks executed and (stealing ablation only)
 	// successful steals.
 	Tasks  atomic.Int64
@@ -94,6 +109,36 @@ func (c *Counters) AddWCCRound() {
 	c.WCCRounds.Add(1)
 }
 
+// AddPeelWave records one drained peel wave of the counter-peeling
+// trim kernel that removed n nodes. Waves are the kernel's progress
+// heartbeat, replacing the legacy kernel's TrimRounds.
+func (c *Counters) AddPeelWave(n int64) {
+	if c == nil {
+		return
+	}
+	c.PeelDepth.Add(1)
+	c.TrimmedNodes.Add(n)
+}
+
+// AddTrimPushes records n nodes pushed onto the peel frontier.
+func (c *Counters) AddTrimPushes(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.TrimPushes.Add(n)
+}
+
+// AddUFPass folds one union-find pass's per-worker totals into the
+// run counters: successful hooks, find hops and sampled skips.
+func (c *Counters) AddUFPass(unions, hops, skips int64) {
+	if c == nil {
+		return
+	}
+	c.UFUnions.Add(unions)
+	c.UFFindHops.Add(hops)
+	c.SampledSkips.Add(skips)
+}
+
 // AddTask records one executed phase-2 task.
 func (c *Counters) AddTask() {
 	if c == nil {
@@ -136,6 +181,10 @@ func (c *Counters) Progress() uint64 {
 		uint64(c.BFSLevels.Load()) +
 		uint64(c.FrontierNodes.Load()) +
 		uint64(c.WCCRounds.Load()) +
+		uint64(c.TrimPushes.Load()) +
+		uint64(c.PeelDepth.Load()) +
+		uint64(c.UFUnions.Load()) +
+		uint64(c.UFFindHops.Load()) +
 		uint64(c.Tasks.Load())
 }
 
@@ -158,6 +207,19 @@ type Snapshot struct {
 	BitmapLevels  int64
 	// WCCRounds is the number of WCC label-propagation rounds.
 	WCCRounds int64
+	// TrimPushes is the number of nodes pushed onto the worklist trim
+	// kernel's peel frontier; PeelDepth the number of peel waves
+	// drained (0 under the legacy kernels).
+	TrimPushes int64
+	PeelDepth  int64
+	// UFUnions is the union-find WCC kernel's successful hooks;
+	// UFFindHops the parent-pointer hops its finds walked; SampledSkips
+	// the nodes whose full pass was skipped because sampling already
+	// placed them in the most frequent component (0 under the legacy
+	// kernels).
+	UFUnions     int64
+	UFFindHops   int64
+	SampledSkips int64
 	// Tasks is the number of phase-2 tasks executed; Steals the
 	// successful steals under the work-stealing ablation.
 	Tasks  int64
@@ -187,6 +249,11 @@ func (c *Counters) Snapshot() Snapshot {
 		FrontierPeak:  c.FrontierPeak.Load(),
 		BitmapLevels:  c.BitmapLevels.Load(),
 		WCCRounds:     c.WCCRounds.Load(),
+		TrimPushes:    c.TrimPushes.Load(),
+		PeelDepth:     c.PeelDepth.Load(),
+		UFUnions:      c.UFUnions.Load(),
+		UFFindHops:    c.UFFindHops.Load(),
+		SampledSkips:  c.SampledSkips.Load(),
 		Tasks:         c.Tasks.Load(),
 		Steals:        c.Steals.Load(),
 		BuffersReused: c.BuffersReused.Load(),

@@ -50,6 +50,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/worklist"
 )
 
 // Arena owns one run's reusable scratch memory. Accessors other than
@@ -71,6 +72,13 @@ type Arena struct {
 	bits    *bitset.Atomic
 	backing []graph.NodeID // task node-list backing array
 	perW    []Worker
+
+	// Counter-peeling trim state (see Peel). peelI32 backs the three
+	// int32 arrays (deg-in, deg-out, orig) and comes back dirty; marks
+	// must be left all-zero by the previous holder.
+	peelI32  []int32
+	marks    []uint8
+	frontier worklist.Frontier[graph.NodeID]
 
 	inj *chaos.Injector
 }
@@ -327,6 +335,64 @@ func (a *Arena) TaskBacking(n int) []graph.NodeID {
 		a.backing = make([]graph.NodeID, n)
 	}
 	return a.backing[:n]
+}
+
+// PeelScratch is the counter-peeling trim kernel's retained per-node
+// state: the alive in/out degree counters, the pre-removal color of
+// claimed nodes, and the candidacy marks.
+type PeelScratch struct {
+	// DegIn and DegOut are the alive same-color degree counters. NOT
+	// zeroed on reuse; the kernel initializes the candidate entries.
+	DegIn, DegOut []int32
+	// Orig records a claimed node's pre-removal color so the drain
+	// loop knows which neighbors shared it. NOT zeroed on reuse.
+	Orig []int32
+	// Marks flags the kernel's candidate nodes. Contract: all-zero
+	// between invocations — the kernel clears exactly the entries it
+	// set before returning, so reuse needs no O(n) wipe.
+	Marks []uint8
+}
+
+// Peel returns the retained counter-peeling state sized for n nodes.
+// Only one kernel may hold it at a time. The three int32 arrays share
+// one backing allocation — they are always sized together, and one
+// malloc instead of three keeps the arena-construction overhead of
+// the worklist kernels off the per-Detect allocation budget.
+func (a *Arena) Peel(n int) PeelScratch {
+	if a == nil {
+		backing := make([]int32, 3*n)
+		return PeelScratch{
+			DegIn:  backing[:n:n],
+			DegOut: backing[n : 2*n : 2*n],
+			Orig:   backing[2*n : 3*n : 3*n],
+			Marks:  make([]uint8, n),
+		}
+	}
+	if cap(a.peelI32) < 3*n {
+		a.peelI32 = make([]int32, 3*n)
+		a.marks = make([]uint8, n)
+	}
+	c := cap(a.peelI32) / 3
+	backing := a.peelI32[:3*c]
+	return PeelScratch{
+		DegIn:  backing[:n:c],
+		DegOut: backing[c : c+n : 2*c],
+		Orig:   backing[2*c : 2*c+n : 3*c],
+		Marks:  a.marks[:n],
+	}
+}
+
+// Frontier returns the retained wave-synchronous worklist the
+// counter-peeling kernels drive their waves through. It lives inside
+// the (heap-resident) arena by design: the kernels hand its pointer
+// into gang closures, which would force a stack-allocated frontier to
+// escape every invocation. State is fully overwritten by
+// Frontier.Init; only one kernel may hold it at a time.
+func (a *Arena) Frontier() *worklist.Frontier[graph.NodeID] {
+	if a == nil {
+		return new(worklist.Frontier[graph.NodeID])
+	}
+	return &a.frontier
 }
 
 // Worker returns worker w's scratch state. Only worker w may use it

@@ -46,6 +46,36 @@ func TestParSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestPeelSteadyStateAllocs pins the zero-allocation contract of the
+// single-worker counter-peeling kernel: with a warmed arena, a full
+// Peel invocation (counting pass plus every drain wave) performs no
+// heap allocations.
+func TestPeelSteadyStateAllocs(t *testing.T) {
+	g := chainGraph(64)
+	n := g.NumNodes()
+	ar := scratch.New(1, nil)
+	defer ar.Close()
+	color := make([]int32, n)
+	comp := make([]int32, n)
+	candidates := make([]graph.NodeID, n)
+	for i := range candidates {
+		candidates[i] = graph.NodeID(i)
+	}
+	run := func() {
+		for i := range color {
+			color[i] = 0
+			comp[i] = -1
+		}
+		_, alive := Peel(nil, g, 1, color, comp, candidates, ar)
+		ar.PutNodes(alive)
+	}
+	run() // warm the arena pools beyond AllocsPerRun's own warmup run
+	run()
+	if avg := testing.AllocsPerRun(100, run); avg != 0 {
+		t.Fatalf("Peel allocates %.2f objects/run in steady state, want 0", avg)
+	}
+}
+
 // TestPar2SteadyStateAllocs pins the same contract for the Trim2
 // size-2 pattern pass.
 func TestPar2SteadyStateAllocs(t *testing.T) {

@@ -108,6 +108,101 @@ func TestDifferentialAlgorithms(t *testing.T) {
 	}
 }
 
+// chainOfTwoCycles builds pairs of mutually-linked nodes chained
+// head-to-tail: pair i is the 2-cycle {2i, 2i+1}, with a chain edge
+// 2i+1 → 2i+2. Every pair is an SCC, and trimming it only exposes the
+// next pair — the adversarial deep-peeling shape where round-based
+// trim does Θ(pairs) full rescans while the counter-peeling kernel
+// touches each edge once.
+func chainOfTwoCycles(pairs int) *graph.Graph {
+	b := graph.NewBuilder(2 * pairs)
+	for i := 0; i < pairs; i++ {
+		a, bb := graph.NodeID(2*i), graph.NodeID(2*i+1)
+		b.AddEdge(a, bb)
+		b.AddEdge(bb, a)
+		if i+1 < pairs {
+			b.AddEdge(bb, graph.NodeID(2*i+2))
+		}
+	}
+	return b.Build()
+}
+
+// TestDifferentialKernels runs every parallel algorithm under both
+// kernel sets — the legacy round-based Par-Trim/Par-WCC and the
+// work-efficient worklist kernels — and requires canonically identical
+// partitions against Tarjan, on random, planted-oracle and
+// deep-peeling graphs. The distributed pipeline is held to the same
+// bar under both Kernels settings.
+func TestDifferentialKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	graphs := map[string]*graph.Graph{
+		"chain-of-2-cycles": chainOfTwoCycles(400),
+		"planted": gen.PlantedSCCs(gen.PlantedConfig{
+			Sizes:      gen.PowerLawSizes(180, 2.1, 60, 700, 21),
+			IntraExtra: 1.2,
+			InterEdges: 1000,
+			Shuffle:    true,
+			Seed:       21,
+		}).Graph,
+		"rmat-tail": gen.WithTail(gen.RMAT(gen.DefaultRMAT(10, 8, 5)), gen.TailConfig{
+			Components:  96,
+			Alpha:       2.2,
+			MaxSize:     40,
+			AttachEdges: 2,
+			ChainProb:   0.4,
+			Seed:        5,
+		}),
+	}
+	for trial := 0; trial < 3; trial++ {
+		n := 1 + rng.Intn(250)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+		}
+		graphs[fmt.Sprintf("random-%d", trial)] = b.Build()
+	}
+
+	kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy}
+	algs := []scc.Algorithm{scc.Baseline, scc.Method1, scc.Method2}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			ref, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan, Validate: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := canonical(t, ref.Comp)
+			for _, alg := range algs {
+				for _, kern := range kernels {
+					for _, workers := range []int{1, 4} {
+						res, err := scc.Detect(g, scc.Options{
+							Algorithm: alg, Workers: workers, Seed: 5,
+							Kernels: kern, Validate: true,
+						})
+						if err != nil {
+							t.Fatalf("%v/%v/w=%d: %v", alg, kern, workers, err)
+						}
+						if res.NumSCCs != ref.NumSCCs {
+							t.Fatalf("%v/%v/w=%d: NumSCCs %d, want %d", alg, kern, workers, res.NumSCCs, ref.NumSCCs)
+						}
+						if !sameCanonical(want, canonical(t, res.Comp)) {
+							t.Fatalf("%v/%v/w=%d: partition differs from Tarjan", alg, kern, workers)
+						}
+					}
+				}
+			}
+			for _, kern := range kernels {
+				dres := dist.Run(g, dist.Options{Workers: 3, Seed: 9, Kernels: kern})
+				if dres.NumSCCs != ref.NumSCCs {
+					t.Fatalf("dist/%v: NumSCCs %d, want %d", kern, dres.NumSCCs, ref.NumSCCs)
+				}
+				if !sameCanonical(want, canonical(t, dres.Comp)) {
+					t.Fatalf("dist/%v: partition differs from Tarjan", kern)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialPlantedOracle checks Method2 against the planted
 // ground truth directly (not just against Tarjan): the canonical form
 // of the detected partition must equal the canonical form of the

@@ -44,45 +44,54 @@ func TestChaosPanicMatrix(t *testing.T) {
 	base := runtime.NumGoroutine()
 
 	for _, site := range scc.ChaosSites() {
-		for _, workers := range []int{1, 4} {
-			t.Run(fmt.Sprintf("%s/w%d", site, workers), func(t *testing.T) {
-				res, err := scc.Detect(g, scc.Options{
-					Algorithm: scc.Method2,
-					Workers:   workers,
-					Seed:      5,
-					Chaos:     &scc.ChaosConfig{PanicAt: map[string]int64{site: 1}},
-				})
-				if res != nil {
-					t.Fatalf("panicking run returned a result: %+v", res)
-				}
-				var pe *scc.PanicError
-				if !errors.As(err, &pe) {
-					t.Fatalf("want *PanicError, got %v", err)
-				}
-				if !strings.Contains(fmt.Sprint(pe.Value), "chaos: injected panic at "+site) {
-					t.Fatalf("panic value %v does not name site %s", pe.Value, site)
-				}
-				if len(pe.Stack) == 0 {
-					t.Fatal("PanicError carries no stack")
-				}
-				var se *scc.Error
-				if !errors.As(err, &se) || se.Op != "detect" {
-					t.Fatalf("want *scc.Error with Op=detect, got %v", err)
-				}
-				waitGoroutines(t, base)
+		// The shared sites fire under both kernel sets; "peel" and "uf"
+		// exist only inside the worklist kernels.
+		kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy}
+		if site == "peel" || site == "uf" {
+			kernels = []scc.Kernels{scc.KernelsWorklist}
+		}
+		for _, kern := range kernels {
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%s/w%d", site, kern, workers), func(t *testing.T) {
+					res, err := scc.Detect(g, scc.Options{
+						Algorithm: scc.Method2,
+						Workers:   workers,
+						Seed:      5,
+						Kernels:   kern,
+						Chaos:     &scc.ChaosConfig{PanicAt: map[string]int64{site: 1}},
+					})
+					if res != nil {
+						t.Fatalf("panicking run returned a result: %+v", res)
+					}
+					var pe *scc.PanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("want *PanicError, got %v", err)
+					}
+					if !strings.Contains(fmt.Sprint(pe.Value), "chaos: injected panic at "+site) {
+						t.Fatalf("panic value %v does not name site %s", pe.Value, site)
+					}
+					if len(pe.Stack) == 0 {
+						t.Fatal("PanicError carries no stack")
+					}
+					var se *scc.Error
+					if !errors.As(err, &se) || se.Op != "detect" {
+						t.Fatalf("want *scc.Error with Op=detect, got %v", err)
+					}
+					waitGoroutines(t, base)
 
-				// The engine must be reusable after the panic tore a run
-				// down: same graph, same options, no chaos.
-				clean, err := scc.Detect(g, scc.Options{
-					Algorithm: scc.Method2, Workers: workers, Seed: 5,
+					// The engine must be reusable after the panic tore a run
+					// down: same graph, same options, no chaos.
+					clean, err := scc.Detect(g, scc.Options{
+						Algorithm: scc.Method2, Workers: workers, Seed: 5, Kernels: kern,
+					})
+					if err != nil {
+						t.Fatalf("clean run after panic failed: %v", err)
+					}
+					if !scc.SamePartition(clean.Comp, want.Comp) {
+						t.Fatal("clean run after panic diverges from Tarjan")
+					}
 				})
-				if err != nil {
-					t.Fatalf("clean run after panic failed: %v", err)
-				}
-				if !scc.SamePartition(clean.Comp, want.Comp) {
-					t.Fatal("clean run after panic diverges from Tarjan")
-				}
-			})
+			}
 		}
 	}
 }
@@ -301,7 +310,7 @@ func TestParseChaosSpec(t *testing.T) {
 		t.Fatal("bad ordinal accepted")
 	}
 	sites := scc.ChaosSites()
-	if len(sites) != 5 {
+	if len(sites) != 7 {
 		t.Fatalf("ChaosSites = %v", sites)
 	}
 	for _, s := range sites {

@@ -117,6 +117,43 @@ func (a Algorithm) String() string {
 	}
 }
 
+// Kernels selects the trim and WCC kernel implementations used by the
+// parallel algorithms. Both choices produce identical SCC partitions;
+// they differ only in how much work the fixpoints cost.
+type Kernels int
+
+const (
+	// KernelsWorklist (the zero value, and the default) selects the
+	// work-efficient active-set kernels: counter-peeling trim — degree
+	// counters computed once, zero-degree nodes peeled through a
+	// frontier worklist, O(N+M) total work regardless of chain depth —
+	// and union-find WCC (lock-free union by minimum representative
+	// with path halving, Afforest-style neighbor sampling, and a full
+	// pass that skips the most frequent sampled component).
+	KernelsWorklist Kernels = iota
+	// KernelsLegacy selects the paper's round-based fixpoint kernels:
+	// Par-Trim (Algorithm 4) rescans every candidate's adjacency each
+	// round, and Par-WCC (Algorithm 7) runs min-label propagation
+	// rounds. Kept for ablation and as the reference the differential
+	// suite compares against.
+	KernelsLegacy
+)
+
+// String returns the flag spelling ("worklist", "legacy").
+func (k Kernels) String() string { return core.Kernels(k).String() }
+
+// ParseKernels maps a flag spelling (see Kernels.String) to its
+// Kernels value.
+func ParseKernels(s string) (Kernels, error) {
+	switch s {
+	case "worklist":
+		return KernelsWorklist, nil
+	case "legacy":
+		return KernelsLegacy, nil
+	}
+	return 0, fmt.Errorf("scc: unknown kernels %q (want worklist|legacy)", s)
+}
+
 // Phase identifies one segment of a parallel run's execution
 // breakdown (Figure 7 of the paper).
 type Phase int
@@ -160,6 +197,11 @@ type Options struct {
 	MaxPhase1Trials int
 	// Seed makes pivot selection reproducible.
 	Seed int64
+	// Kernels selects the trim and WCC kernel implementations; the
+	// zero value is KernelsWorklist (work-efficient counter peeling +
+	// union-find). KernelsLegacy restores the paper's round-based
+	// fixpoints. The partition is identical either way.
+	Kernels Kernels
 	// DisableTrim2 removes the Trim2 step from Method2 (ablation).
 	DisableTrim2 bool
 	// DisableHybrid disables the §4.1 hybrid set representation
@@ -322,8 +364,24 @@ type MetricsSnapshot struct {
 	FrontierNodes int64
 	FrontierPeak  int64
 	BitmapLevels  int64
-	// WCCRounds is the number of WCC label-propagation rounds.
+	// WCCRounds is the number of WCC barrier rounds: label-propagation
+	// rounds under KernelsLegacy, the constant union-find pass count
+	// under KernelsWorklist.
 	WCCRounds int64
+	// TrimPushes is the number of nodes the counter-peeling trim
+	// kernel pushed onto its frontier (bounded by the candidate
+	// count); PeelDepth the number of peel waves it drained. Both are
+	// 0 under KernelsLegacy.
+	TrimPushes int64
+	PeelDepth  int64
+	// UFUnions is the union-find WCC kernel's successful hooks;
+	// UFFindHops the parent-pointer hops its finds walked (including
+	// path halving); SampledSkips the nodes whose full pass was
+	// skipped because sampling already placed them in the most
+	// frequent component. All 0 under KernelsLegacy.
+	UFUnions     int64
+	UFFindHops   int64
+	SampledSkips int64
 	// Tasks is the number of recursive-phase tasks executed; Steals
 	// the successful steals under the work-stealing ablation.
 	Tasks  int64
@@ -367,6 +425,8 @@ func validateOptions(opts Options) error {
 		return &OptionError{Field: "StallTimeout", Value: opts.StallTimeout, Reason: "must be >= 0"}
 	case opts.MemoryLimit < 0:
 		return &OptionError{Field: "MemoryLimit", Value: opts.MemoryLimit, Reason: "must be >= 0"}
+	case opts.Kernels != KernelsWorklist && opts.Kernels != KernelsLegacy:
+		return &OptionError{Field: "Kernels", Value: opts.Kernels, Reason: "unknown kernel selection"}
 	}
 	return opts.Chaos.validate()
 }
@@ -477,6 +537,7 @@ func coreOptions(opts Options) core.Options {
 		GiantThreshold:  opts.GiantThreshold,
 		MaxPhase1Trials: opts.MaxPhase1Trials,
 		Seed:            opts.Seed,
+		Kernels:         core.Kernels(opts.Kernels),
 		DisableTrim2:    opts.DisableTrim2,
 		DisableHybrid:   opts.DisableHybrid,
 		TraceTasks:      opts.TraceTasks,
@@ -563,6 +624,11 @@ func fromCore(a Algorithm, r *core.Result) *Result {
 			FrontierPeak:  r.Metrics.FrontierPeak,
 			BitmapLevels:  r.Metrics.BitmapLevels,
 			WCCRounds:     r.Metrics.WCCRounds,
+			TrimPushes:    r.Metrics.TrimPushes,
+			PeelDepth:     r.Metrics.PeelDepth,
+			UFUnions:      r.Metrics.UFUnions,
+			UFFindHops:    r.Metrics.UFFindHops,
+			SampledSkips:  r.Metrics.SampledSkips,
 			Tasks:         r.Metrics.Tasks,
 			Steals:        r.Metrics.Steals,
 			BuffersReused: r.Metrics.BuffersReused,
