@@ -7,11 +7,18 @@
 // Usage:
 //
 //	benchgate [-threshold 0.10] [-metric allocs/op] baseline.txt current.txt
+//	benchgate -engine [-min-speedup 2.0] BENCH_scc.json
 //
 // Benchmarks present in only one file are reported but do not fail the
 // gate (datasets and benchmarks may be added or removed); a run with
 // zero common benchmarks fails, since that means the gate matched
 // nothing at all.
+//
+// The -engine mode gates the engine-amortization section written by
+// `sccbench -exp engine`: the engine's stream throughput
+// (DetectBatch) must be at least -min-speedup times the per-call
+// oneshot throughput, and a warm engine's Detect must not allocate
+// more per run than a one-shot Detect.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/experiments"
 )
 
 // parseBench extracts metric values (e.g. allocs/op) per benchmark
@@ -98,11 +107,57 @@ func filterKernels(m map[string]float64, kern string) map[string]float64 {
 	return out
 }
 
+// gateEngine verifies the engine section of a BENCH json report: the
+// stream (batch) throughput multiple over per-call detection, and that
+// the warm engine's per-run allocations do not exceed one-shot's.
+// Returns an error describing the first failed check.
+func gateEngine(path string, minSpeedup float64) error {
+	rep, err := experiments.ReadBenchJSON(path)
+	if err != nil {
+		return err
+	}
+	if rep.Engine == nil {
+		return fmt.Errorf("%s has no engine section (run sccbench -exp engine first)", path)
+	}
+	eng := rep.Engine
+	oneshot, engine, batch := eng.Row("oneshot"), eng.Row("engine"), eng.Row("batch")
+	if oneshot == nil || engine == nil || batch == nil {
+		return fmt.Errorf("%s: engine section is missing a mode row", path)
+	}
+	for _, r := range eng.Rows {
+		fmt.Printf("%-8s %12.0f runs/sec %8d allocs/run\n", r.Mode, r.RunsPerSec, r.AllocsPerRun)
+	}
+	fmt.Printf("engine/oneshot %.2fx, batch/oneshot %.2fx (gate: >= %.1fx)\n",
+		eng.Speedup, eng.BatchSpeedup, minSpeedup)
+	if eng.BatchSpeedup < minSpeedup {
+		return fmt.Errorf("engine stream throughput %.2fx oneshot, want >= %.1fx", eng.BatchSpeedup, minSpeedup)
+	}
+	if engine.AllocsPerRun > oneshot.AllocsPerRun {
+		return fmt.Errorf("warm engine allocates %d/run, more than oneshot's %d/run",
+			engine.AllocsPerRun, oneshot.AllocsPerRun)
+	}
+	return nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "max allowed relative regression (0.10 = +10%)")
 	metric := flag.String("metric", "allocs/op", "benchmark counter to gate on")
 	kernels := flag.String("kernels", "", "gate only benchmarks whose kernels=<name> tag matches (untagged benchmarks always compare); empty gates everything")
+	engineMode := flag.Bool("engine", false, "gate the engine section of a BENCH json report instead of comparing bench output files")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "engine mode: minimum stream-vs-oneshot throughput multiple")
 	flag.Parse()
+	if *engineMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -engine [-min-speedup 2.0] BENCH_scc.json")
+			os.Exit(2)
+		}
+		if err := gateEngine(flag.Arg(0), *minSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: engine amortization within bounds")
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [-threshold 0.10] [-metric allocs/op] [-kernels worklist] baseline.txt current.txt")
 		os.Exit(2)

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/experiments"
 )
 
 const sample = `goos: linux
@@ -93,5 +95,57 @@ func TestTrimProcSuffix(t *testing.T) {
 		if got := trimProcSuffix(in); got != want {
 			t.Fatalf("trimProcSuffix(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// engineJSON builds a minimal BENCH json document with an engine
+// section for gate tests.
+func engineJSON(t *testing.T, batchSpeedup float64, engineAllocs, oneshotAllocs uint64) string {
+	t.Helper()
+	rep := experiments.BenchReport{
+		Engine: &experiments.EngineReport{
+			Rows: []experiments.EngineRow{
+				{Mode: "oneshot", RunsPerSec: 1000, AllocsPerRun: oneshotAllocs},
+				{Mode: "engine", RunsPerSec: 2500, AllocsPerRun: engineAllocs},
+				{Mode: "batch", RunsPerSec: 1000 * batchSpeedup},
+			},
+			Speedup:      2.5,
+			BatchSpeedup: batchSpeedup,
+		},
+	}
+	p := filepath.Join(t.TempDir(), "bench.json")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := experiments.WriteBenchJSON(f, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGateEngine(t *testing.T) {
+	if err := gateEngine(engineJSON(t, 5.0, 0, 35), 2.0); err != nil {
+		t.Fatalf("passing report failed the gate: %v", err)
+	}
+	if err := gateEngine(engineJSON(t, 1.5, 0, 35), 2.0); err == nil {
+		t.Fatal("speedup 1.5x passed a 2.0x gate")
+	}
+	if err := gateEngine(engineJSON(t, 5.0, 99, 35), 2.0); err == nil {
+		t.Fatal("warm engine allocating more than oneshot passed the gate")
+	}
+	if err := gateEngine(filepath.Join(t.TempDir(), "missing.json"), 2.0); err == nil {
+		t.Fatal("missing file passed the gate")
+	}
+	// A report with no engine section (plain bench output) must fail.
+	p := filepath.Join(t.TempDir(), "plain.json")
+	if err := os.WriteFile(p, []byte(`{"rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := gateEngine(p, 2.0); err == nil {
+		t.Fatal("report without engine section passed the gate")
 	}
 }

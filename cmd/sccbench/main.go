@@ -14,7 +14,9 @@
 //	sccbench -exp dist [-data flickr]            # §6 distributed extension
 //	sccbench -exp bench [-warmup 1] [-reps 5] [-kernels worklist|legacy]
 //	                                             # JSON perf report (BENCH_scc.json)
-//	sccbench -exp all                            # everything except bench
+//	sccbench -exp engine [-stream 64] [-engine-workers 4]
+//	                                             # engine-amortization report
+//	sccbench -exp all                            # everything except bench/engine
 //
 // -scale shrinks the datasets (1.0 ≈ 40-250k nodes per graph; use
 // 0.25 for quick runs). -mode modeled (default) projects thread sweeps
@@ -38,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|figure2|figure6|figure7|figure8|figure9|tasklog|ablations|dist|related|smallworld|bench|all")
+		exp      = flag.String("exp", "all", "experiment: table1|figure2|figure6|figure7|figure8|figure9|tasklog|ablations|dist|related|smallworld|bench|engine|all")
 		data     = flag.String("data", "", "restrict figure6/figure7/tasklog/ablations to one dataset (default: all for figure6, flickr otherwise)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor (halving repeatedly shrinks node counts)")
 		mode     = flag.String("mode", "modeled", "thread-sweep mode: modeled|measured")
@@ -52,6 +54,9 @@ func main() {
 		reps     = flag.Int("reps", 5, "bench experiment: measured repetitions per dataset")
 		workers  = flag.Int("workers", 0, "bench experiment: Detect workers (0 = GOMAXPROCS)")
 		kernSpec = flag.String("kernels", "worklist", "bench experiment: trim/WCC kernel set: worklist|legacy")
+
+		stream     = flag.Int("stream", 64, "engine experiment: graphs per stream pass")
+		engWorkers = flag.Int("engine-workers", 0, "engine experiment: fixed Detect worker count (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -187,20 +192,36 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(experiments.FormatBench(rep))
+		// Preserve the engine section a previous -exp engine run wrote.
 		if *jsonPath != "" {
-			f, err := os.Create(*jsonPath)
+			if old, err := experiments.ReadBenchJSON(*jsonPath); err == nil {
+				rep.Engine = old.Engine
+			}
+		}
+		fmt.Print(experiments.FormatBench(rep))
+		writeBenchReport(*jsonPath, rep)
+	}
+
+	// engine is the amortization perf artifact: a small-graph detection
+	// stream measured one-shot vs warm-engine vs batched, merged into
+	// the bench report's "engine" section.
+	if *exp == "engine" {
+		engRep, err := experiments.EngineSweep(experiments.EngineBenchConfig{
+			Workers: *engWorkers, Stream: *stream, Warmup: *warmup, Reps: *reps, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatEngine(engRep))
+		if *jsonPath != "" {
+			rep, err := experiments.ReadBenchJSON(*jsonPath)
 			if err != nil {
-				fatal(err)
+				// No existing bench report to merge into: write a shell
+				// document holding only the engine section.
+				rep = experiments.BenchReport{GoVersion: engRep.GoVersion}
 			}
-			if err := experiments.WriteBenchJSON(f, rep); err != nil {
-				f.Close()
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *jsonPath)
+			rep.Engine = &engRep
+			writeBenchReport(*jsonPath, rep)
 		}
 	}
 
@@ -211,6 +232,25 @@ func main() {
 		ks := experiments.AblationK(d, *scale, *seed, []int{1, 2, 4, 8, 16, 32})
 		fmt.Print(experiments.FormatAblations(h, t2, ks))
 	})
+}
+
+// writeBenchReport writes the merged report to path ("" = stdout only).
+func writeBenchReport(path string, rep experiments.BenchReport) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteBenchJSON(f, rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"time"
 
@@ -82,6 +83,11 @@ type BenchReport struct {
 	Seed      int64      `json:"seed"`
 	GoVersion string     `json:"go_version"`
 	Rows      []BenchRow `json:"rows"`
+
+	// Engine is the engine-amortization section (sccbench -exp engine).
+	// The bench and engine experiments each rewrite only their own
+	// section, preserving the other's from the existing file.
+	Engine *EngineReport `json:"engine,omitempty"`
 }
 
 // BenchSweep measures Method2 over the configured datasets and
@@ -155,6 +161,19 @@ func BenchSweep(cfg BenchConfig) (BenchReport, error) {
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
+}
+
+// ReadBenchJSON loads an existing report, for merging a freshly
+// measured section into the other sections' previous values.
+func ReadBenchJSON(path string) (BenchReport, error) {
+	var rep BenchReport
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	err = json.NewDecoder(f).Decode(&rep)
+	return rep, err
 }
 
 // WriteBenchJSON writes the report as indented JSON.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestEngineSweepShape runs a minimal engine sweep and checks the
+// report's structure; throughput magnitudes are machine-dependent and
+// asserted only to be positive.
+func TestEngineSweepShape(t *testing.T) {
+	rep, err := EngineSweep(EngineBenchConfig{Stream: 8, GraphScale: 3, Warmup: 1, Reps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rep.Rows))
+	}
+	for _, mode := range []string{"oneshot", "engine", "batch"} {
+		r := rep.Row(mode)
+		if r == nil {
+			t.Fatalf("missing %s row", mode)
+		}
+		if r.RunsPerSec <= 0 || r.NsPerRun <= 0 {
+			t.Fatalf("%s: non-positive throughput: %+v", mode, r)
+		}
+	}
+	if rep.Speedup <= 0 || rep.BatchSpeedup <= 0 {
+		t.Fatalf("speedups not computed: %.2f / %.2f", rep.Speedup, rep.BatchSpeedup)
+	}
+	if got := rep.Row("nope"); got != nil {
+		t.Fatalf("Row(nope) = %+v, want nil", got)
+	}
+	if out := FormatEngine(rep); out == "" {
+		t.Fatal("empty FormatEngine output")
+	}
+}
+
+// TestEngineSweepEnginePinsAllocs asserts the warm engine's defining
+// property on the stream: strictly fewer allocations per run than the
+// one-shot mode (zero at the default single-worker configuration).
+func TestEngineSweepEnginePinsAllocs(t *testing.T) {
+	rep, err := EngineSweep(EngineBenchConfig{Stream: 16, GraphScale: 3, Warmup: 1, Reps: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, e := rep.Row("oneshot"), rep.Row("engine")
+	if e.AllocsPerRun >= o.AllocsPerRun {
+		t.Fatalf("warm engine allocates %d/run vs oneshot %d/run", e.AllocsPerRun, o.AllocsPerRun)
+	}
+	if e.AllocsPerRun != 0 {
+		t.Fatalf("warm single-worker engine allocates %d/run, want 0", e.AllocsPerRun)
+	}
+}

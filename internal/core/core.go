@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/graph"
+	"repro/internal/bfs"
 	"repro/internal/chaos"
 	"repro/internal/events"
 	"repro/internal/metrics"
@@ -389,6 +390,38 @@ type engine struct {
 	// largestPartition (cleared, not reallocated, per trial).
 	partCounts map[int32]int
 
+	// pq, when non-nil, is the persistent two-level queue phase 2
+	// reuses instead of allocating one; set by Engine runs whose
+	// effective workers and K match the queue's construction shape.
+	pq *worklist.Queue[task]
+
+	// Per-trial phase-1 scratch and the phase-2 task build buffer,
+	// hoisted onto the engine so repeated trials — and repeated runs on
+	// a persistent Engine — construct their transition, seed and task
+	// slices without allocating.
+	fwTrans [1]bfs.Transition
+	bwTrans [2]bfs.Transition
+	seedBuf [1]graph.NodeID
+	taskBuf []task
+
+	// taskFn is the phase-2 task body, bound once (first phase2 call)
+	// and retained across runs so the steady state never rebuilds the
+	// closure; its per-run inputs live in the fields below. runQ is
+	// the dispatch queue taskFn executes against, published before the
+	// queue starts (the queue's own start is the synchronization
+	// point); p2Nodes/p2SCCs accumulate the phase's totals; logMu
+	// serializes TaskLog/TaskTrace appends.
+	taskFn  func(worker int, t task)
+	runQ    taskQueue
+	p2Nodes atomic.Int64
+	p2SCCs  atomic.Int64
+	logMu   sync.Mutex
+
+	// barriersAborted records that the watchdog force-abandoned the
+	// gang/queue barriers; the gang (and any Engine pinning it) is dead
+	// afterwards.
+	barriersAborted atomic.Bool
+
 	taskCount atomic.Int64 // phase-2 tasks executed (for TraceTasks)
 	obsTasks  atomic.Int64 // phase-2 tasks observed (QueueSample pacing)
 	rngState  atomic.Uint64
@@ -417,6 +450,7 @@ func (e *engine) setQueue(q taskQueue) {
 // panics parallel.ErrBarrierAbandoned, which RunContext's recover
 // turns into the run's error.
 func (e *engine) abortBarriers() {
+	e.barriersAborted.Store(true)
 	e.ar.Abort()
 	e.qmu.Lock()
 	q := e.curQ

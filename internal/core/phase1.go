@@ -38,24 +38,30 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 			e.ar.PutNodes(members)
 			continue // pivot raced away (cannot happen single-threaded here; defensive)
 		}
-		fwTrans := []bfs.Transition{{From: c, To: cfw}}
+		// The transition tables and the one-element seed slice live in
+		// engine-resident arrays (fwTrans/bwTrans/seedBuf), so building
+		// them per trial allocates nothing.
+		e.seedBuf[0] = pivot
+		seeds := e.seedBuf[:]
+		e.fwTrans[0] = bfs.Transition{From: c, To: cfw}
 		var fwRes bfs.Result
 		if e.opt.DirOptBFS {
-			fwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color,
-				fwTrans, members, bfs.DirOptConfig{}, e.ar)
+			fwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, false, seeds, e.color,
+				e.fwTrans[:], members, bfs.DirOptConfig{}, e.ar)
 		} else {
-			fwRes = bfs.Run(e.sink, e.g, e.opt.Workers, false, []graph.NodeID{pivot}, e.color, fwTrans, e.ar)
+			fwRes = bfs.Run(e.sink, e.g, e.opt.Workers, false, seeds, e.color, e.fwTrans[:], e.ar)
 		}
 		// Backward sweep: unvisited partition nodes become BW; nodes
 		// already in FW are the SCC (Lemma 1: FW ∩ BW).
 		atomic.StoreInt32(&e.color[pivot], cscc)
-		bwTrans := []bfs.Transition{{From: c, To: cbw}, {From: cfw, To: cscc}}
+		e.bwTrans[0] = bfs.Transition{From: c, To: cbw}
+		e.bwTrans[1] = bfs.Transition{From: cfw, To: cscc}
 		var bwRes bfs.Result
 		if e.opt.DirOptBFS {
-			bwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color,
-				bwTrans, members, bfs.DirOptConfig{}, e.ar)
+			bwRes = bfs.RunDirOpt(e.sink, e.g, e.opt.Workers, true, seeds, e.color,
+				e.bwTrans[:], members, bfs.DirOptConfig{}, e.ar)
 		} else {
-			bwRes = bfs.Run(e.sink, e.g, e.opt.Workers, true, []graph.NodeID{pivot}, e.color, bwTrans, e.ar)
+			bwRes = bfs.Run(e.sink, e.g, e.opt.Workers, true, seeds, e.color, e.bwTrans[:], e.ar)
 		}
 		e.ar.PutNodes(members)
 		if e.stopped() {
@@ -70,16 +76,31 @@ func (e *engine) parFWBW(alive []graph.NodeID) []graph.NodeID {
 
 		sccSize := bwRes.Claimed[1] + 1 // + pivot
 		// Publish the SCC: every cscc node is marked removed with the
-		// pivot as representative.
-		parallel.ForRange(e.opt.Workers, len(alive), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				v := alive[i]
+		// pivot as representative. The single-worker loop is spelled
+		// out (not a workers==1 ForRange) so no publication closure is
+		// ever built on the zero-allocation path.
+		if e.opt.Workers == 1 {
+			for _, v := range alive {
 				if atomic.LoadInt32(&e.color[v]) == cscc {
 					e.comp[v] = int32(pivot)
 					atomic.StoreInt32(&e.color[v], Removed)
 				}
 			}
-		})
+		} else {
+			// pub shadows alive: capturing the reassigned loop variable
+			// directly would box it at function entry on every call,
+			// single-worker runs included.
+			pub := alive
+			parallel.ForRange(e.opt.Workers, len(pub), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v := pub[i]
+					if atomic.LoadInt32(&e.color[v]) == cscc {
+						e.comp[v] = int32(pivot)
+						atomic.StoreInt32(&e.color[v], Removed)
+					}
+				}
+			})
+		}
 		e.res.Phases[PhaseParFWBW].Nodes += sccSize
 		e.res.Phases[PhaseParFWBW].SCCs++
 		if sccSize > e.res.GiantSCC {

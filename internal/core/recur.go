@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,11 +60,23 @@ func (q stealingQueue) abandon()              { q.StealingQueue.Abandon() }
 // Algorithms 3, 6 and 9).
 func (e *engine) phase2(tasks []task) {
 	e.res.InitialTasks = len(tasks)
+	// Scheduler selection. The persistent queue (e.pq, set by Engine
+	// runs whose shape matches) is reset and reused; otherwise a fresh
+	// queue is built for this run. pq stays nil under the stealing
+	// ablation so the dispatch switch below knows to use the generic
+	// goroutine-spawning Run.
 	var q taskQueue
-	if e.opt.UseStealing {
+	pq := e.pq
+	switch {
+	case e.opt.UseStealing:
+		pq = nil
 		q = stealingQueue{worklist.NewStealing[task](e.opt.Workers)}
-	} else {
-		q = twoLevelQueue{worklist.New[task](e.opt.Workers, e.opt.K)}
+	case pq != nil:
+		pq.Reset()
+		q = twoLevelQueue{pq}
+	default:
+		pq = worklist.New[task](e.opt.Workers, e.opt.K)
+		q = twoLevelQueue{pq}
 	}
 	q.Seed(tasks)
 	// Cooperative cancellation: the queue's dequeue loop is phase 2's
@@ -79,58 +90,92 @@ func (e *engine) phase2(tasks []task) {
 	// task that never finishes.
 	e.setQueue(q)
 	defer e.setQueue(nil)
-	var (
-		nodes atomic.Int64
-		sccs  atomic.Int64
-		logMu sync.Mutex
-	)
-	trace := e.opt.TraceSchedule
-	inj := e.ar.Chaos()
-	q.Run(func(w int, t task) {
-		inj.Hit(chaos.SiteTask)
-		e.ctr.AddTask()
-		var id int32
-		var t0 time.Time
-		if trace {
-			logMu.Lock()
-			id = int32(len(e.res.TaskTrace))
-			e.res.TaskTrace = append(e.res.TaskTrace, TaskTrace{Parent: t.parent})
-			logMu.Unlock()
-			t.parent = id // children hang off this execution
-			t0 = time.Now()
+	// The task body is a closure bound once per engine and retained
+	// across runs (a per-run closure — and every local it captures —
+	// would heap-allocate on each run, since the goroutine-dispatch
+	// vehicles make it escape). Its per-run inputs travel through
+	// engine fields instead: runQ is read by workers only after the
+	// queue's start synchronizes with this write.
+	e.runQ = q
+	defer func() { e.runQ = nil }()
+	e.p2Nodes.Store(0)
+	e.p2SCCs.Store(0)
+	if e.taskFn == nil {
+		e.taskFn = e.runTask
+	}
+	fn := e.taskFn
+	// Dispatch. The two-level queue has three execution vehicles:
+	// inline on this goroutine (single worker, no watchdog to force an
+	// abort — the zero-allocation steady-state path), on the arena's
+	// pinned gang (matching multi-worker runs; the watchdog's
+	// force-abort reaches it through Arena.Abort), or on freshly
+	// spawned goroutines (shape-mismatched fallback, and the only
+	// vehicle Abandon alone can release, which the single-worker
+	// watchdog path needs). The stealing ablation keeps its own Run.
+	switch {
+	case pq == nil:
+		q.Run(fn)
+	case e.opt.Workers == 1 && e.opt.StallTimeout == 0:
+		pq.RunSerial(fn)
+	default:
+		if gang := e.ar.Gang(); gang != nil && gang.Workers() == e.opt.Workers {
+			pq.RunOn(gang, fn)
+		} else {
+			pq.Run(fn)
 		}
-		rec, ok := e.recurFWBW(e.ar.Worker(w), t, q, w)
-		if trace {
-			d := time.Since(t0)
-			logMu.Lock()
-			e.res.TaskTrace[id].Duration = d
-			logMu.Unlock()
-		}
-		if !ok {
-			return
-		}
-		nodes.Add(int64(rec.SCC))
-		sccs.Add(1)
-		if e.sink.Active() {
-			e.sink.Emit(events.Event{Type: events.TaskDone, Nodes: int64(rec.SCC)})
-			// Periodic queue-depth samples (every 64th task) expose the
-			// paper's task-level-parallelism measure live.
-			if e.obsTasks.Add(1)%64 == 0 {
-				st := q.stats()
-				e.sink.Emit(events.Event{Type: events.QueueSample,
-					Queued: st.Total - st.Executed, Executed: st.Executed})
-			}
-		}
-		if e.opt.TraceTasks > 0 && e.taskCount.Add(1) <= int64(e.opt.TraceTasks) {
-			logMu.Lock()
-			e.res.TaskLog = append(e.res.TaskLog, rec)
-			logMu.Unlock()
-		}
-	})
-	e.res.Phases[PhaseRecurFWBW].Nodes += nodes.Load()
-	e.res.Phases[PhaseRecurFWBW].SCCs += sccs.Load()
+	}
+	e.res.Phases[PhaseRecurFWBW].Nodes += e.p2Nodes.Load()
+	e.res.Phases[PhaseRecurFWBW].SCCs += e.p2SCCs.Load()
 	e.res.Queue = q.stats()
 	e.ctr.AddSteals(q.steals())
+}
+
+// runTask is the phase-2 task body dispatched by every execution
+// vehicle (inline, gang, spawned goroutines, stealing). It reads its
+// per-run inputs — the dispatch queue, chaos injector, trace flags —
+// from the engine so the bound e.taskFn closure survives across runs.
+func (e *engine) runTask(w int, t task) {
+	q := e.runQ
+	e.ar.Chaos().Hit(chaos.SiteTask)
+	e.ctr.AddTask()
+	trace := e.opt.TraceSchedule
+	var id int32
+	var t0 time.Time
+	if trace {
+		e.logMu.Lock()
+		id = int32(len(e.res.TaskTrace))
+		e.res.TaskTrace = append(e.res.TaskTrace, TaskTrace{Parent: t.parent})
+		e.logMu.Unlock()
+		t.parent = id // children hang off this execution
+		t0 = time.Now()
+	}
+	rec, ok := e.recurFWBW(e.ar.Worker(w), t, q, w)
+	if trace {
+		d := time.Since(t0)
+		e.logMu.Lock()
+		e.res.TaskTrace[id].Duration = d
+		e.logMu.Unlock()
+	}
+	if !ok {
+		return
+	}
+	e.p2Nodes.Add(int64(rec.SCC))
+	e.p2SCCs.Add(1)
+	if e.sink.Active() {
+		e.sink.Emit(events.Event{Type: events.TaskDone, Nodes: int64(rec.SCC)})
+		// Periodic queue-depth samples (every 64th task) expose the
+		// paper's task-level-parallelism measure live.
+		if e.obsTasks.Add(1)%64 == 0 {
+			st := q.stats()
+			e.sink.Emit(events.Event{Type: events.QueueSample,
+				Queued: st.Total - st.Executed, Executed: st.Executed})
+		}
+	}
+	if e.opt.TraceTasks > 0 && e.taskCount.Add(1) <= int64(e.opt.TraceTasks) {
+		e.logMu.Lock()
+		e.res.TaskLog = append(e.res.TaskLog, rec)
+		e.logMu.Unlock()
+	}
 }
 
 // recurFWBW executes one task: Algorithm 5. It finds the SCC of a

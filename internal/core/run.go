@@ -11,11 +11,8 @@ import (
 	"repro/graph"
 	"repro/internal/chaos"
 	"repro/internal/events"
-	"repro/internal/metrics"
 	"repro/internal/parallel"
-	"repro/internal/scratch"
 	"repro/internal/trim"
-	"repro/internal/watchdog"
 	"repro/internal/wcc"
 )
 
@@ -52,102 +49,13 @@ func Run(g *graph.Graph, alg Algorithm, opt Options) *Result {
 // internal/events); with no observer and a never-canceled context the
 // instrumentation adds no measurable cost.
 func RunContext(ctx context.Context, g *graph.Graph, alg Algorithm, opt Options) (res *Result, err error) {
-	opt = opt.withDefaults(alg)
-	n := g.NumNodes()
-	opt, degraded, err := applyBudget(n, alg, opt)
-	if err != nil {
-		return nil, err
-	}
-
-	// The run context separates stall aborts from caller cancellation:
-	// the watchdog cancels it with a *StallError cause, and the chaos
-	// injector's stalls unwind when it fires. Only materialized when
-	// one of those facilities is active, so the default path keeps the
-	// caller's context (and the nil-sink fast path) untouched.
-	runCtx := ctx
-	var cancel context.CancelCauseFunc
-	if opt.StallTimeout > 0 || opt.Chaos != nil {
-		runCtx, cancel = context.WithCancelCause(ctx)
-		defer cancel(nil)
-	}
-
-	e := &engine{
-		g:     g,
-		opt:   opt,
-		alg:   alg,
-		color: make([]int32, n),
-		comp:  make([]int32, n),
-		res:   &Result{Degraded: degraded},
-		sink:  events.NewSink(runCtx, opt.Observer),
-	}
-	for i := range e.comp {
-		e.comp[i] = -1
-	}
-	e.rngState.Store(uint64(opt.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
-	e.res.Comp = e.comp
-	// One arena per run: every kernel's scratch memory comes from it
-	// and is recycled across rounds and phases; Close releases its
-	// persistent worker gang when the run ends.
-	e.ctr = &metrics.Counters{}
-	e.ar = scratch.New(opt.Workers, e.ctr)
-	defer e.ar.Close()
-	if opt.Chaos != nil {
-		e.ar.SetChaos(opt.Chaos)
-		opt.Chaos.Bind(runCtx.Done())
-	}
-
-	if opt.StallTimeout > 0 {
-		wd := watchdog.Start(runCtx, watchdog.Config{
-			Window:   opt.StallTimeout,
-			Clock:    opt.WatchClock,
-			Progress: e.ctr.Progress,
-			OnStall: func() {
-				e.sink.EmitPhase(events.Event{Type: events.Stalled,
-					Phase: int(e.curPhase.Load()), Round: int(e.ctr.Progress())})
-				cancel(&StallError{Phase: Phase(e.curPhase.Load()), Window: opt.StallTimeout})
-			},
-			OnAbort: e.abortBarriers,
-		})
-		defer wd.Stop()
-	}
-
-	// The recover defer is registered last so it runs first on a
-	// panic: the watchdog is still live while the error is classified,
-	// then Stop joins it, then the arena closes.
-	defer func() {
-		if v := recover(); v != nil {
-			res, err = nil, e.recoverErr(runCtx, v)
-		}
-	}()
-
-	start := time.Now()
-	switch alg {
-	case Baseline:
-		e.runBaseline()
-	case Method1:
-		e.runMethod1()
-	case Method2:
-		e.runMethod2()
-	case FWBW:
-		e.runFWBW()
-	default:
-		panic("core: unknown algorithm")
-	}
-	e.res.Total = time.Since(start)
-	if e.sink.Err() != nil {
-		return nil, teardownErr(runCtx)
-	}
-	for p := Phase(0); p < NumPhases; p++ {
-		e.res.NumSCCs += e.res.Phases[p].SCCs
-	}
-	e.res.Metrics = e.ctr.Snapshot()
-	e.res.Metrics.DegradedMode = degraded
-	if e.sink.Active() {
-		m := e.res.Metrics
-		e.sink.Emit(events.Event{Type: events.RunMetrics, Steals: m.Steals,
-			BuffersReused: m.BuffersReused, BytesReused: m.BytesReused})
-	}
-	return e.res, nil
+	// One-shot semantics via a throwaway Engine: the arena, counters
+	// and queue live for exactly this run and the gang is released on
+	// return, exactly as this entry point always behaved. Callers that
+	// want the engine state amortized across runs hold an Engine.
+	en := NewEngine(alg, opt)
+	defer en.Close()
+	return en.Run(ctx, g, Overrides{})
 }
 
 // teardownErr resolves the error a torn-down run should report: the
@@ -268,13 +176,16 @@ func (e *engine) runBaseline() {
 // with two traversals) is what motivated the Trim step.
 func (e *engine) runFWBW() {
 	n := e.g.NumNodes()
-	all := e.ar.TaskBacking(n)
-	for i := range all {
-		all[i] = graph.NodeID(i)
+	// The seed list is a pool buffer, not the retained task backing
+	// array, for the same recycling-safety reason as buildTasks.
+	all := e.ar.Worker(0).GetNodes(n)
+	for i := 0; i < n; i++ {
+		all = append(all, graph.NodeID(i))
 	}
 	e.phaseStart(PhaseRecurFWBW)
 	e.timePhase(PhaseRecurFWBW, func() {
-		e.phase2([]task{{c: 0, nodes: all[0:n:n], parent: -1}})
+		e.taskBuf = append(e.taskBuf[:0], task{c: 0, nodes: all, parent: -1})
+		e.phase2(e.taskBuf)
 	})
 	e.phaseEnd(PhaseRecurFWBW)
 }
@@ -386,11 +297,15 @@ func (e *engine) runMethod2() {
 // buildTasks groups the alive nodes by their current color into
 // phase-2 tasks — the §4.1 "scan of non-marked nodes to construct the
 // initial work items". The nodes are copied into the arena's task
-// backing array and sorted by color, so each task's node list is a
-// contiguous capped subslice of one shared array (no per-group
-// allocations, and a task appending past its list reallocates instead
-// of clobbering its neighbor). Under DisableHybrid the node lists are
-// dropped.
+// backing array and sorted by color to find the groups; each group is
+// then copied into a buffer from worker 0's pool. Seed lists must be
+// pool buffers, never subslices of the retained backing array: phase 2
+// recycles consumed lists into the worker pools, and on a persistent
+// engine a pooled backing alias would be handed out as a "free" buffer
+// while the next run's seeds still live in that same array. Under
+// DisableHybrid the node lists are dropped. The task slice itself is
+// the engine-retained taskBuf — safe to reuse per run because phase
+// 2's queue copies the seeds out.
 func (e *engine) buildTasks(alive []graph.NodeID) []task {
 	backing := e.ar.TaskBacking(len(alive))
 	copy(backing, alive)
@@ -398,7 +313,8 @@ func (e *engine) buildTasks(alive []graph.NodeID) []task {
 	slices.SortFunc(backing, func(a, b graph.NodeID) int {
 		return cmp.Compare(color[a], color[b])
 	})
-	tasks := make([]task, 0, 16)
+	ws := e.ar.Worker(0)
+	tasks := e.taskBuf[:0]
 	for i := 0; i < len(backing); {
 		c := color[backing[i]]
 		j := i + 1
@@ -408,18 +324,21 @@ func (e *engine) buildTasks(alive []graph.NodeID) []task {
 		if e.opt.DisableHybrid {
 			tasks = append(tasks, task{c: c, parent: -1})
 		} else {
-			tasks = append(tasks, task{c: c, nodes: backing[i:j:j], parent: -1})
+			nodes := append(ws.GetNodes(j-i), backing[i:j]...)
+			tasks = append(tasks, task{c: c, nodes: nodes, parent: -1})
 		}
 		i = j
 	}
+	e.taskBuf = tasks
 	return tasks
 }
 
 // wccTasks labels weakly connected components among the alive nodes
 // (Algorithm 7), recolors each component with a fresh color, and
-// returns one task per component. Like buildTasks, the component node
-// lists are capped subslices of the arena's task backing array, here
-// sorted by WCC label.
+// returns one task per component. Like buildTasks, the backing array
+// is only a sort staging area (here sorted by WCC label) and each
+// component's node list is copied into a pool buffer, so phase 2's
+// list recycling never pools an alias of the retained backing array.
 func (e *engine) wccTasks(alive []graph.NodeID) []task {
 	label := e.ar.Label(e.g.NumNodes())
 	wccKernel := wcc.RunUF
@@ -438,7 +357,8 @@ func (e *engine) wccTasks(alive []graph.NodeID) []task {
 	slices.SortFunc(backing, func(a, b graph.NodeID) int {
 		return cmp.Compare(label[a], label[b])
 	})
-	tasks := make([]task, 0, res.Components)
+	ws := e.ar.Worker(0)
+	tasks := e.taskBuf[:0]
 	for i := 0; i < len(backing); {
 		root := label[backing[i]]
 		j := i + 1
@@ -452,9 +372,11 @@ func (e *engine) wccTasks(alive []graph.NodeID) []task {
 		if e.opt.DisableHybrid {
 			tasks = append(tasks, task{c: c, parent: -1})
 		} else {
-			tasks = append(tasks, task{c: c, nodes: backing[i:j:j], parent: -1})
+			nodes := append(ws.GetNodes(j-i), backing[i:j]...)
+			tasks = append(tasks, task{c: c, nodes: nodes, parent: -1})
 		}
 		i = j
 	}
+	e.taskBuf = tasks
 	return tasks
 }

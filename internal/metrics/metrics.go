@@ -166,6 +166,35 @@ func (c *Counters) AddReuse(capBytes int64) {
 	c.BytesReused.Add(capBytes)
 }
 
+// Reset zeroes every counter so a persistent engine can reuse one
+// Counters value across runs (the per-run Snapshot stays per-run).
+// It must only be called between runs, with no kernel workers live;
+// the stores are atomic only so Reset is race-detector-clean against
+// stray readers such as a watchdog that has not observed shutdown yet.
+// A nil receiver is a no-op.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.TrimRounds.Store(0)
+	c.TrimmedNodes.Store(0)
+	c.Trim2Pairs.Store(0)
+	c.BFSLevels.Store(0)
+	c.FrontierNodes.Store(0)
+	c.FrontierPeak.Store(0)
+	c.BitmapLevels.Store(0)
+	c.WCCRounds.Store(0)
+	c.TrimPushes.Store(0)
+	c.PeelDepth.Store(0)
+	c.UFUnions.Store(0)
+	c.UFFindHops.Store(0)
+	c.SampledSkips.Store(0)
+	c.Tasks.Store(0)
+	c.Steals.Store(0)
+	c.BuffersReused.Store(0)
+	c.BytesReused.Store(0)
+}
+
 // Progress folds the monotone round-granularity counters into a
 // single heartbeat value for the stall watchdog: it changes whenever
 // any kernel completes a round, level, or task. Counters that can hold

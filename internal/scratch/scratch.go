@@ -11,9 +11,12 @@
 //
 // # Lifetime and ownership rules
 //
-// The arena is created by the engine at the start of a run and closed
-// (releasing its worker gang) when the run ends; nothing inside it
-// survives the run. Within a run:
+// The arena is created by the engine and closed (releasing its worker
+// gang) when its owner is done with it: at the end of the run for the
+// one-shot path, at Engine.Close for a persistent engine, which keeps
+// one arena across runs so the retained buffers act as a high-water
+// pool (Shrink sheds them when a memory budget demands it). Within a
+// run:
 //
 //   - Node buffers obtained with GetNodes are caller-owned until
 //     returned with PutNodes. Kernels return their survivor lists as
@@ -109,6 +112,85 @@ func (a *Arena) Close() {
 	}
 	a.gang.Close()
 	a.gang = nil
+}
+
+// Gang returns the arena's persistent worker gang, or nil for a
+// single-worker (or nil) arena. The engine uses it to drive the
+// phase-2 work queue on the pinned workers instead of spawning fresh
+// goroutines per run.
+func (a *Arena) Gang() *parallel.Gang {
+	if a == nil {
+		return nil
+	}
+	return a.gang
+}
+
+// Shrink drops every retained buffer — pools, singletons, peel state,
+// per-worker stacks and free lists — while keeping the worker gang, so
+// a persistent engine can shed a high-water footprint that no longer
+// fits a memory budget. The next run re-grows buffers to its own
+// graph's size. Must not be called while a kernel holds arena memory.
+// Nil-safe.
+func (a *Arena) Shrink() {
+	if a == nil {
+		return
+	}
+	a.free = nil
+	a.lists = nil
+	a.claims = nil
+	a.rows = [2][]int64{}
+	a.counts = nil
+	a.flags = nil
+	a.label = nil
+	a.bits = nil
+	a.backing = nil
+	a.peelI32 = nil
+	a.marks = nil
+	a.frontier.Init(nil, nil, nil)
+	for w := range a.perW {
+		a.perW[w].Stack = nil
+		a.perW[w].free = nil
+	}
+}
+
+// RetainedBytes reports the capacity, in bytes, of the buffers the
+// arena currently retains — the high-water scratch footprint a
+// persistent engine holds between runs. The frontier's swap buffers
+// are excluded: between runs they have been recycled into the node
+// pool and would double-count. Nil-safe (0).
+func (a *Arena) RetainedBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	const nodeB = 4
+	var b int64
+	for _, buf := range a.free {
+		b += int64(cap(buf)) * nodeB
+	}
+	for _, set := range a.lists {
+		for _, buf := range set {
+			b += int64(cap(buf)) * nodeB
+		}
+	}
+	for _, row := range a.claims {
+		b += int64(cap(row)) * 8
+	}
+	b += int64(cap(a.rows[0])+cap(a.rows[1])) * 8
+	b += int64(cap(a.counts)) * 8
+	b += int64(cap(a.flags))
+	b += int64(cap(a.label)) * 4
+	if a.bits != nil {
+		b += int64((a.bits.Len() + 63) / 64 * 8)
+	}
+	b += int64(cap(a.backing)) * nodeB
+	b += int64(cap(a.peelI32))*4 + int64(cap(a.marks))
+	for w := range a.perW {
+		b += int64(cap(a.perW[w].Stack)) * nodeB
+		for _, buf := range a.perW[w].free {
+			b += int64(cap(buf)) * nodeB
+		}
+	}
+	return b
 }
 
 // Counters returns the arena's metrics counters (nil for a nil arena

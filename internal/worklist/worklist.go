@@ -154,6 +154,76 @@ func (q *Queue[T]) Run(fn func(worker int, item T)) {
 	q.trap.Rethrow()
 }
 
+// RunSerial is Run for a single-worker queue, executed inline on the
+// calling goroutine: no goroutine is spawned and no completion channel
+// is allocated, which is what keeps a persistent engine's steady state
+// at zero allocations per run. The panic contract matches Run — the
+// first task panic re-raises as a *parallel.WorkerPanic — but Abandon
+// cannot release a RunSerial blocked in a wedged task (there is no
+// coordinating goroutine to release), so callers must only use it when
+// no force-abort facility (watchdog) is armed. Panics if the queue was
+// built with more than one worker.
+func (q *Queue[T]) RunSerial(fn func(worker int, item T)) {
+	if q.workers != 1 {
+		panic("worklist: RunSerial requires a single-worker queue")
+	}
+	q.mu.Lock()
+	q.done = q.canceled.Load()
+	q.idle = 0
+	q.mu.Unlock()
+	q.worker(0, fn)
+	q.trap.Rethrow()
+}
+
+// RunOn is Run executed on a caller-provided worker gang instead of
+// freshly spawned goroutines: gang worker w drives queue worker w. The
+// gang must have exactly the queue's worker count. The panic and
+// abandon contracts match Run — a task panic re-raises as a
+// *parallel.WorkerPanic once the gang barrier completes, and aborting
+// the gang (parallel.Gang.Abort) makes RunOn panic
+// parallel.ErrBarrierAbandoned just like Abandon does for Run. Callers
+// pairing RunOn with Abandon should abort the gang too, else wedged
+// gang workers keep the barrier from completing.
+func (q *Queue[T]) RunOn(g *parallel.Gang, fn func(worker int, item T)) {
+	if g.Workers() != q.workers {
+		panic("worklist: RunOn gang size mismatch")
+	}
+	q.mu.Lock()
+	q.done = q.canceled.Load()
+	q.idle = 0
+	q.mu.Unlock()
+	g.Run(func(w int) { q.worker(w, fn) })
+	q.trap.Rethrow()
+}
+
+// Reset returns the queue to its pre-Run state while keeping the
+// global and local queues' grown capacity, so a persistent engine can
+// reuse one queue across runs without reallocating: pending items are
+// dropped, cancellation is cleared, and the statistics start over
+// (unlike back-to-back Run calls, which accumulate). It must not be
+// called concurrently with Run, and an abandoned queue stays
+// unusable — wedged workers may still hold its locals.
+func (q *Queue[T]) Reset() {
+	if q.abandoned.Load() {
+		panic("worklist: Reset on abandoned queue")
+	}
+	q.mu.Lock()
+	q.global = q.global[:0]
+	q.idle = 0
+	q.done = false
+	q.mu.Unlock()
+	for w := range q.local {
+		q.local[w] = q.local[w][:0]
+	}
+	q.ready.Store(0)
+	q.readyPeak.Store(0)
+	q.total.Store(0)
+	q.executed.Store(0)
+	q.canceled.Store(false)
+	// The trap needs no reset: Rethrow already cleared it on the Run
+	// that captured the panic, and an abandoned queue never gets here.
+}
+
 // runItem executes one task, capturing a panic instead of crashing:
 // the first panic wins the trap and cancels the queue so the other
 // workers stop dispatching.

@@ -33,6 +33,15 @@ var (
 	// work was started. The underlying error carries the limit and the
 	// minimum estimate.
 	ErrMemoryBudget = errors.New("memory budget too small")
+	// ErrEngineBusy reports a call on an Engine while another
+	// Detect/DetectBatch was in flight. Engines serve one run at a
+	// time and fail fast rather than queue; callers that want queueing
+	// serialize with their own mutex.
+	ErrEngineBusy = errors.New("engine busy")
+	// ErrEngineClosed reports a call on an Engine after Close, or
+	// after a watchdog force-abort destroyed the engine's worker gang
+	// (which closes the engine; see Options.StallTimeout).
+	ErrEngineClosed = errors.New("engine closed")
 )
 
 // Error is the error type returned by Detect, DetectContext and the

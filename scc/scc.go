@@ -40,7 +40,6 @@ import (
 	"repro/internal/multistep"
 	"repro/internal/obf"
 	"repro/internal/parallel"
-	"repro/internal/seq"
 	"repro/internal/verify"
 )
 
@@ -235,6 +234,11 @@ type Options struct {
 	// boundaries, kernel rounds, task completions) during the parallel
 	// algorithms' runs; see the Observer type. Sequential algorithms
 	// emit no events. A nil Observer costs nothing.
+	//
+	// Deprecated: prefer the per-run WithObserver RunOption on
+	// Engine.Detect. This field keeps working as the engine-level
+	// default that WithObserver overrides, and remains the only way to
+	// attach an observer to the one-shot Detect/DetectContext.
 	Observer Observer
 	// StallTimeout, when > 0, arms a per-run watchdog on the parallel
 	// algorithms: if no kernel completes a round (trim iteration, BFS
@@ -253,11 +257,22 @@ type Options struct {
 	// batch K=1 — and the applied steps are recorded in
 	// Result.Metrics.DegradedMode. If even the floor configuration does
 	// not fit, detection fails up front with an error wrapping
-	// ErrMemoryBudget. 0 disables the budget.
+	// ErrMemoryBudget. 0 disables the budget. On a reusable Engine the
+	// budget also bounds scratch retained across runs (the high-water
+	// pool is shed before a run that would exceed it).
+	//
+	// Deprecated: prefer the per-run WithMemoryLimit RunOption on
+	// Engine.Detect. This field keeps working as the engine-level
+	// default that WithMemoryLimit overrides.
 	MemoryLimit int64
 	// Chaos, if non-nil, injects deterministic failures into the
 	// parallel engine's kernels for robustness testing; see
 	// ChaosConfig. Nil costs nothing.
+	//
+	// Deprecated: prefer the per-run WithChaos RunOption on
+	// Engine.Detect. This field keeps working as the engine-level
+	// default that WithChaos overrides; hit ordinals are counted per
+	// run in either form.
 	Chaos *ChaosConfig
 }
 
@@ -427,6 +442,8 @@ func validateOptions(opts Options) error {
 		return &OptionError{Field: "MemoryLimit", Value: opts.MemoryLimit, Reason: "must be >= 0"}
 	case opts.Kernels != KernelsWorklist && opts.Kernels != KernelsLegacy:
 		return &OptionError{Field: "Kernels", Value: opts.Kernels, Reason: "unknown kernel selection"}
+	case opts.Algorithm < Method2 || opts.Algorithm > Gabow:
+		return &OptionError{Field: "Algorithm", Value: opts.Algorithm, Reason: "unknown algorithm"}
 	}
 	return opts.Chaos.validate()
 }
@@ -456,34 +473,32 @@ func validateOptions(opts Options) error {
 //
 // Progress events stream to opts.Observer as the run executes; a nil
 // observer adds no overhead.
+//
+// DetectContext is a thin wrapper over a throwaway Engine: it builds
+// one, runs once, and closes it. Repeated detection should construct
+// the Engine once with New and call Engine.Detect per run — the warm
+// path skips gang startup, option re-validation and all steady-state
+// allocations.
 func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if g == nil {
 		return nil, detectErr("detect", ErrNilGraph)
 	}
-	if err := validateOptions(opts); err != nil {
+	e, err := newEngine(opts)
+	if err != nil {
 		return nil, detectErr("detect", err)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, canceledErr("detect", err)
-	}
-	var res *Result
+	defer e.Close()
+	return e.detectLocked(ctx, g, nil)
+}
+
+// runExtension runs the extension algorithms (OBF, Coloring,
+// MultiStep), which execute outside the parallel engine.
+func runExtension(g *graph.Graph, opts Options) *Result {
+	start := time.Now()
 	switch opts.Algorithm {
-	case Tarjan:
-		start := time.Now()
-		comp, n := seq.Tarjan(g)
-		res = &Result{Comp: comp, NumSCCs: int64(n), Algorithm: Tarjan, Total: time.Since(start)}
-	case Kosaraju:
-		start := time.Now()
-		comp, n := seq.Kosaraju(g)
-		res = &Result{Comp: comp, NumSCCs: int64(n), Algorithm: Kosaraju, Total: time.Since(start)}
-	case Gabow:
-		start := time.Now()
-		comp, n := seq.Gabow(g)
-		res = &Result{Comp: comp, NumSCCs: int64(n), Algorithm: Gabow, Total: time.Since(start)}
 	case OBF:
-		start := time.Now()
 		r := obf.Run(g, obf.Options{Workers: opts.Workers, K: opts.K, Seed: opts.Seed})
-		res = &Result{
+		return &Result{
 			Comp:      r.Comp,
 			NumSCCs:   r.NumSCCs,
 			Algorithm: OBF,
@@ -491,40 +506,23 @@ func DetectContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, 
 			Queue:     QueueStats{PeakReady: r.Queue.PeakReady, Total: r.Queue.Total},
 		}
 	case Coloring:
-		start := time.Now()
 		r := coloring.Run(g, coloring.Options{Workers: opts.Workers})
-		res = &Result{
+		return &Result{
 			Comp:      r.Comp,
 			NumSCCs:   r.NumSCCs,
 			Algorithm: Coloring,
 			Total:     time.Since(start),
 		}
-	case MultiStep:
-		start := time.Now()
+	default: // MultiStep
 		r := multistep.Run(g, multistep.Options{Workers: opts.Workers, Seed: opts.Seed})
-		res = &Result{
+		return &Result{
 			Comp:      r.Comp,
 			NumSCCs:   r.NumSCCs,
 			Algorithm: MultiStep,
 			Total:     time.Since(start),
 			GiantSCC:  r.GiantSCC,
 		}
-	case Baseline, Method1, Method2, FWBW:
-		r, err := core.RunContext(ctx, g, coreAlgorithm(opts.Algorithm), coreOptions(opts))
-		if err != nil {
-			return nil, engineErr("detect", err)
-		}
-		res = fromCore(opts.Algorithm, r)
-	default:
-		return nil, detectErr("detect",
-			&OptionError{Field: "Algorithm", Value: opts.Algorithm, Reason: "unknown algorithm"})
 	}
-	if opts.Validate {
-		if err := verify.CheckDecomposition(g, res.Comp); err != nil {
-			return nil, detectErr("validate", fmt.Errorf("%w: %w", ErrValidation, err))
-		}
-	}
-	return res, nil
 }
 
 // coreOptions translates the public Options into the engine's; shared
@@ -550,7 +548,9 @@ func coreOptions(opts Options) core.Options {
 		Observer:        opts.Observer,
 		StallTimeout:    opts.StallTimeout,
 		MemoryLimit:     opts.MemoryLimit,
-		Chaos:           opts.Chaos.injector(),
+		// Chaos is deliberately absent: injectors hold per-run hit
+		// counters, so a fresh one is built per run and delivered via
+		// core.Overrides rather than baked into engine construction.
 	}
 }
 
@@ -600,53 +600,6 @@ func coreAlgorithm(a Algorithm) core.Algorithm {
 	default:
 		return core.Method2
 	}
-}
-
-func fromCore(a Algorithm, r *core.Result) *Result {
-	res := &Result{
-		Comp:          r.Comp,
-		NumSCCs:       r.NumSCCs,
-		Algorithm:     a,
-		Total:         r.Total,
-		Queue:         QueueStats{PeakReady: r.Queue.PeakReady, Total: r.Queue.Total},
-		GiantSCC:      r.GiantSCC,
-		Phase1Trials:  r.Phase1Trials,
-		Phase1Levels:  r.Phase1Levels,
-		WCCComponents: r.WCCComponents,
-		WCCRounds:     r.WCCRounds,
-		InitialTasks:  r.InitialTasks,
-		Metrics: MetricsSnapshot{
-			TrimRounds:    r.Metrics.TrimRounds,
-			TrimmedNodes:  r.Metrics.TrimmedNodes,
-			Trim2Pairs:    r.Metrics.Trim2Pairs,
-			BFSLevels:     r.Metrics.BFSLevels,
-			FrontierNodes: r.Metrics.FrontierNodes,
-			FrontierPeak:  r.Metrics.FrontierPeak,
-			BitmapLevels:  r.Metrics.BitmapLevels,
-			WCCRounds:     r.Metrics.WCCRounds,
-			TrimPushes:    r.Metrics.TrimPushes,
-			PeelDepth:     r.Metrics.PeelDepth,
-			UFUnions:      r.Metrics.UFUnions,
-			UFFindHops:    r.Metrics.UFFindHops,
-			SampledSkips:  r.Metrics.SampledSkips,
-			Tasks:         r.Metrics.Tasks,
-			Steals:        r.Metrics.Steals,
-			BuffersReused: r.Metrics.BuffersReused,
-			BytesReused:   r.Metrics.BytesReused,
-			DegradedMode:  r.Metrics.DegradedMode,
-		},
-	}
-	for p := 0; p < int(NumPhases); p++ {
-		cp := r.Phases[p]
-		res.Phases[p] = PhaseStats{Time: cp.Time, Nodes: cp.Nodes, SCCs: cp.SCCs, Rounds: cp.Rounds}
-	}
-	for _, rec := range r.TaskLog {
-		res.TaskLog = append(res.TaskLog, TaskRecord(rec))
-	}
-	for _, tr := range r.TaskTrace {
-		res.TaskTrace = append(res.TaskTrace, TaskTrace(tr))
-	}
-	return res
 }
 
 // Validate checks that comp is exactly the SCC decomposition of g:
