@@ -8,6 +8,7 @@
 //
 //	benchgate [-threshold 0.10] [-metric allocs/op] baseline.txt current.txt
 //	benchgate -engine [-min-speedup 2.0] BENCH_scc.json
+//	benchgate -serve [-min-qps 50] [-max-p99 2s] BENCH_serve.json
 //
 // Benchmarks present in only one file are reported but do not fail the
 // gate (datasets and benchmarks may be added or removed); a run with
@@ -19,6 +20,12 @@
 // (DetectBatch) must be at least -min-speedup times the per-call
 // oneshot throughput, and a warm engine's Detect must not allocate
 // more per run than a one-shot Detect.
+//
+// The -serve mode gates the serving report written by `sccbench -exp
+// serve`: zero non-shedding 5xx in every scenario, real load shedding
+// under overload, a rolled-back-then-republished epoch in the chaos
+// scenario, a clean drain, and steady-state QPS / p99 inside the
+// -min-qps / -max-p99 bounds.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/experiments"
 )
@@ -139,13 +147,80 @@ func gateEngine(path string, minSpeedup float64) error {
 	return nil
 }
 
+// gateServe verifies the serving report: every scenario kept the
+// query path free of non-shedding 5xx; the overload scenario actually
+// shed (the admission control is live, not vestigial); the chaos
+// scenario survived at least one rebuild failure AND still advanced
+// the epoch (rollback then retry, not silent loss); the drain
+// completed every accepted request; and steady-state throughput and
+// tail latency are inside the bounds.
+func gateServe(path string, minQPS float64, maxP99 time.Duration) error {
+	rep, err := experiments.ReadServeJSON(path)
+	if err != nil {
+		return err
+	}
+	if len(rep.Scenarios) == 0 {
+		return fmt.Errorf("%s has no scenarios (run sccbench -exp serve first)", path)
+	}
+	for _, s := range rep.Scenarios {
+		if s.Err5xx != 0 {
+			return fmt.Errorf("scenario %s: %d query 5xx, want 0", s.Name, s.Err5xx)
+		}
+	}
+	steady := rep.Scenario("steady")
+	overload := rep.Scenario("overload")
+	chaosRow := rep.Scenario("chaos-rebuild")
+	drain := rep.Scenario("drain")
+	if steady == nil || overload == nil || chaosRow == nil || drain == nil {
+		return fmt.Errorf("%s: missing a scenario row", path)
+	}
+	fmt.Printf("steady %.0f qps p99 %v; overload shed %d; chaos fails %d epoch %d→%d; drain ok %v\n",
+		steady.QPS, time.Duration(steady.P99US)*time.Microsecond,
+		overload.Shed429, chaosRow.RebuildFailures, chaosRow.EpochStart, chaosRow.EpochEnd,
+		drain.DrainOK != nil && *drain.DrainOK)
+	if steady.QPS < minQPS {
+		return fmt.Errorf("steady QPS %.0f below gate %.0f", steady.QPS, minQPS)
+	}
+	if p99 := time.Duration(steady.P99US) * time.Microsecond; p99 > maxP99 {
+		return fmt.Errorf("steady p99 %v above gate %v", p99, maxP99)
+	}
+	if overload.Shed429 == 0 {
+		return fmt.Errorf("overload scenario shed nothing: admission control is not engaging")
+	}
+	if chaosRow.RebuildFailures < 1 {
+		return fmt.Errorf("chaos scenario saw no rebuild failure: injection did not fire")
+	}
+	if chaosRow.EpochEnd <= chaosRow.EpochStart {
+		return fmt.Errorf("chaos scenario epoch stuck at %d: rollback never recovered", chaosRow.EpochEnd)
+	}
+	if drain.DrainOK == nil || !*drain.DrainOK {
+		return fmt.Errorf("drain scenario did not complete every accepted request")
+	}
+	return nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "max allowed relative regression (0.10 = +10%)")
 	metric := flag.String("metric", "allocs/op", "benchmark counter to gate on")
 	kernels := flag.String("kernels", "", "gate only benchmarks whose kernels=<name> tag matches (untagged benchmarks always compare); empty gates everything")
 	engineMode := flag.Bool("engine", false, "gate the engine section of a BENCH json report instead of comparing bench output files")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "engine mode: minimum stream-vs-oneshot throughput multiple")
+	serveMode := flag.Bool("serve", false, "gate a BENCH_serve.json report from sccbench -exp serve")
+	minQPS := flag.Float64("min-qps", 50, "serve mode: minimum steady-state QPS")
+	maxP99 := flag.Duration("max-p99", 2*time.Second, "serve mode: maximum steady-state p99 latency")
 	flag.Parse()
+	if *serveMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -serve [-min-qps 50] [-max-p99 2s] BENCH_serve.json")
+			os.Exit(2)
+		}
+		if err := gateServe(flag.Arg(0), *minQPS, *maxP99); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: serving robustness gates hold")
+		return
+	}
 	if *engineMode {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchgate -engine [-min-speedup 2.0] BENCH_scc.json")

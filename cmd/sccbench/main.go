@@ -16,7 +16,9 @@
 //	                                             # JSON perf report (BENCH_scc.json)
 //	sccbench -exp engine [-stream 64] [-engine-workers 4]
 //	                                             # engine-amortization report
-//	sccbench -exp all                            # everything except bench/engine
+//	sccbench -exp serve [-serve-clients 16] [-serve-duration 800ms]
+//	                                             # serving load harness (BENCH_serve.json)
+//	sccbench -exp all                            # everything except bench/engine/serve
 //
 // -scale shrinks the datasets (1.0 ≈ 40-250k nodes per graph; use
 // 0.25 for quick runs). -mode modeled (default) projects thread sweeps
@@ -32,6 +34,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/experiments"
 	"repro/scc"
@@ -57,6 +60,10 @@ func main() {
 
 		stream     = flag.Int("stream", 64, "engine experiment: graphs per stream pass")
 		engWorkers = flag.Int("engine-workers", 0, "engine experiment: fixed Detect worker count (0 = default 1)")
+
+		serveJSON     = flag.String("serve-json", "BENCH_serve.json", "serve experiment: write the JSON report to this file (empty = stdout only)")
+		serveClients  = flag.Int("serve-clients", 16, "serve experiment: concurrent load clients")
+		serveDuration = flag.Duration("serve-duration", 800*time.Millisecond, "serve experiment: per-scenario load window")
 	)
 	flag.Parse()
 
@@ -222,6 +229,38 @@ func main() {
 			}
 			rep.Engine = &engRep
 			writeBenchReport(*jsonPath, rep)
+		}
+	}
+
+	// serve is the robustness perf artifact: the SCC-as-a-service load
+	// harness (steady / overload / chaos-rebuild / drain), written to
+	// its own BENCH_serve.json and gated by benchgate -serve.
+	if *exp == "serve" {
+		rep, err := experiments.ServeSweep(experiments.ServeBenchConfig{
+			Dataset:  defaultTo(*data, "flickr"),
+			Scale:    *scale,
+			Workers:  *workers,
+			Clients:  *serveClients,
+			Duration: *serveDuration,
+			Seed:     *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatServe(rep))
+		if *serveJSON != "" {
+			f, err := os.Create(*serveJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteServeJSON(f, rep); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *serveJSON)
 		}
 	}
 

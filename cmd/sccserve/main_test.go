@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the lifecycle test polls for
+// the server's startup lines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixture.txt")
+	// SCC {0,1,2}, SCC {3,4}, bridge 2→3.
+	body := "0 1\n1 2\n2 0\n3 4\n4 3\n2 3\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startServe runs the command in-process on an ephemeral port and
+// returns its base URL, the cancel that stands in for SIGTERM, and the
+// exit-code channel.
+func startServe(t *testing.T, extraArgs ...string) (string, context.CancelFunc, chan int, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out, errOut := &syncBuffer{}, &syncBuffer{}
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-graph", writeFixture(t),
+		"-format", "edgelist",
+		"-drain-timeout", "5s",
+	}, extraArgs...)
+	code := make(chan int, 1)
+	go func() { code <- run(ctx, out, errOut, args) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], cancel, code, errOut
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("server never reported listening; stdout=%q stderr=%q", out.String(), errOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	base, cancel, code, errOut := startServe(t)
+	defer cancel()
+
+	get := func(path string) (int, map[string]any) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return resp.StatusCode, m
+	}
+
+	if c, m := get("/componentof?node=0"); c != 200 || m["size"].(float64) != 3 {
+		t.Errorf("/componentof: status %d body %v", c, m)
+	}
+	if c, m := get("/reachable?from=0&to=4"); c != 200 || m["reachable"] != true {
+		t.Errorf("/reachable: status %d body %v", c, m)
+	}
+	if c, _ := get("/healthz"); c != 200 {
+		t.Errorf("/healthz: status %d", c)
+	}
+	if c, m := get("/readyz"); c != 200 || m["ready"] != true {
+		t.Errorf("/readyz: status %d body %v", c, m)
+	}
+
+	// Apply an update and confirm the epoch advances.
+	resp, err := http.Post(base+"/update?wait=1", "text/plain", strings.NewReader("4 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upd map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&upd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || upd["rebuilt"] != true {
+		t.Fatalf("/update: status %d body %v", resp.StatusCode, upd)
+	}
+	if c, m := get("/same?u=0&v=4"); c != 200 || m["same"] != true {
+		t.Errorf("post-update /same: status %d body %v", c, m)
+	}
+
+	// SIGTERM stand-in: cancel the run context; the drain must finish
+	// and exit 0.
+	cancel()
+	select {
+	case ec := <-code:
+		if ec != exitOK {
+			t.Fatalf("exit code %d, want %d; stderr=%q", ec, exitOK, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after cancel")
+	}
+
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestServeChaosRebuild drives the chaos flags end to end: rebuild
+// attempt 2 panics at the condense site, the old epoch keeps serving,
+// the retry publishes, queries never 5xx.
+func TestServeChaosRebuild(t *testing.T) {
+	base, cancel, code, errOut := startServe(t, "-chaos-panic", "condense:1", "-chaos-at-rebuild", "2")
+	defer cancel()
+
+	resp, err := http.Post(base+"/update?wait=1", "text/plain", strings.NewReader("4 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upd map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&upd); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || upd["rebuilt"] != true {
+		t.Fatalf("/update through sabotage: status %d body %v", resp.StatusCode, upd)
+	}
+
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Counters struct {
+			RebuildFailures int64 `json:"rebuild_failures"`
+			QueryErr5xx     int64 `json:"query_err_5xx"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Counters.RebuildFailures < 1 {
+		t.Errorf("rebuild_failures = %d, want >= 1", stats.Counters.RebuildFailures)
+	}
+	if stats.Counters.QueryErr5xx != 0 {
+		t.Errorf("query_err_5xx = %d, want 0", stats.Counters.QueryErr5xx)
+	}
+
+	cancel()
+	if ec := <-code; ec != exitOK {
+		t.Fatalf("exit code %d, want 0; stderr=%q", ec, errOut.String())
+	}
+}
+
+func TestServeUsageErrors(t *testing.T) {
+	var out, errOut syncBuffer
+	cases := [][]string{
+		{},                               // missing -graph
+		{"-graph", "g.sccg", "-alg", "??"},
+		{"-graph", "g.sccg", "-max-nodes", "banana"},
+		{"-graph", "g.sccg", "-chaos-panic", "nosite:1"},
+	}
+	for _, args := range cases {
+		if ec := run(context.Background(), &out, &errOut, args); ec != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, ec, exitUsage)
+		}
+	}
+	if ec := run(context.Background(), &out, &errOut,
+		[]string{"-graph", filepath.Join(t.TempDir(), "missing.sccg")}); ec != exitLoad {
+		t.Errorf("missing graph: exit %d, want %d", ec, exitLoad)
+	}
+}
+
+// TestServeLoadRejectedByLimits loads a fixture that violates
+// -max-nodes and expects the typed load failure exit.
+func TestServeLoadRejectedByLimits(t *testing.T) {
+	var out, errOut syncBuffer
+	ec := run(context.Background(), &out, &errOut, []string{
+		"-graph", writeFixture(t), "-format", "edgelist", "-max-nodes", "2",
+	})
+	if ec != exitLoad {
+		t.Errorf("oversized load: exit %d, want %d; stderr=%q", ec, exitLoad, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "exceeds limit") {
+		t.Errorf("stderr missing limit error: %q", errOut.String())
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -17,8 +18,13 @@ import (
 // directed graph: entry "i j [value]" becomes the edge i→j (1-based
 // indices, values ignored). Files declaring `symmetric` storage get
 // both directions of every off-diagonal entry, matching the format's
-// semantics.
+// semantics. Use ReadMatrixMarketLimited to additionally cap the
+// accepted size and make the load cancelable.
 func ReadMatrixMarket(r io.Reader) (*Graph, error) {
+	return readMatrixMarket(context.Background(), r, Limits{})
+}
+
+func readMatrixMarket(ctx context.Context, r io.Reader, lim Limits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	if !sc.Scan() {
@@ -59,9 +65,28 @@ func ReadMatrixMarket(r io.Reader) (*Graph, error) {
 		return nil, malformed("matrixmarket", 0, nil,
 			"dimension %d implausibly large for %d entries (limit %d)", rows, entries, limit)
 	}
+	if err := lim.checkNodes("matrixmarket", rows); err != nil {
+		return nil, err
+	}
+	// Symmetric storage materializes both arc directions, so that is
+	// the count the edge limit must bound.
+	arcs := entries
+	if symmetric {
+		arcs = 2 * entries
+	}
+	if err := lim.checkEdges("matrixmarket", arcs); err != nil {
+		return nil, err
+	}
 	b := NewBuilder(int(rows))
 	var seen int64
+	var lines int
 	for sc.Scan() && seen < entries {
+		lines++
+		if lines%cancelCheckEvery == 0 {
+			if err := checkCtx(ctx, "matrixmarket"); err != nil {
+				return nil, err
+			}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
@@ -119,8 +144,13 @@ func (g *Graph) WriteMatrixMarket(w io.Writer) error {
 // undirected with each edge listed from both endpoints; the result
 // keeps every listed arc as a directed edge, so a well-formed METIS
 // file yields a symmetric digraph. Weighted formats (fmt codes with
-// vertex or edge weights) are rejected.
+// vertex or edge weights) are rejected. Use ReadMETISLimited to
+// additionally cap the accepted size and make the load cancelable.
 func ReadMETIS(r io.Reader) (*Graph, error) {
+	return readMETIS(context.Background(), r, Limits{})
+}
+
+func readMETIS(ctx context.Context, r io.Reader, lim Limits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var n, m int64
@@ -156,9 +186,25 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 	if m < 0 {
 		return nil, malformed("metis", 0, nil, "negative edge count %d", m)
 	}
+	if err := lim.checkNodes("metis", n); err != nil {
+		return nil, err
+	}
+	// The header's m counts undirected edges; a well-formed file lists
+	// each from both endpoints, so 2m arcs is what the adjacency may
+	// materialize.
+	if err := lim.checkEdges("metis", 2*m); err != nil {
+		return nil, err
+	}
 	b := NewBuilder(int(n))
 	var node NodeID
+	var lines int
 	for int64(node) < n && sc.Scan() {
+		lines++
+		if lines%cancelCheckEvery == 0 {
+			if err := checkCtx(ctx, "metis"); err != nil {
+				return nil, err
+			}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "%") {
 			continue
@@ -170,6 +216,11 @@ func ReadMETIS(r io.Reader) (*Graph, error) {
 			}
 			if t < 1 || t > n {
 				return nil, malformed("metis", 0, nil, "node %d: neighbor %d out of range [1,%d]", node+1, t, n)
+			}
+			// A hostile file can list far more arcs than its header
+			// declares; bound the accumulation, not just the claim.
+			if err := lim.checkEdges("metis", int64(b.NumEdges())+1); err != nil {
+				return nil, err
 			}
 			b.AddEdge(node, NodeID(t-1))
 		}

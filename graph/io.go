@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -58,8 +59,14 @@ func (g *Graph) Save(w io.Writer) error {
 // Load reads a graph in the SCCG binary format. Corrupt or truncated
 // input is rejected with an error wrapping ErrMalformed; the loaded
 // CSR arrays are validated before the graph is returned, so a
-// successful Load never yields out-of-range adjacency entries.
+// successful Load never yields out-of-range adjacency entries. Use
+// LoadLimited to additionally cap the accepted size and make the load
+// cancelable.
 func Load(r io.Reader) (*Graph, error) {
+	return loadBinary(context.Background(), r, Limits{})
+}
+
+func loadBinary(ctx context.Context, r io.Reader, lim Limits) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -85,18 +92,24 @@ func Load(r io.Reader) (*Graph, error) {
 	if m > maxEdges {
 		return nil, malformed("sccg", 0, nil, "implausible edge count %d", m)
 	}
+	if err := lim.checkNodes("sccg", int64(n)); err != nil {
+		return nil, err
+	}
+	if err := lim.checkEdges("sccg", int64(m)); err != nil {
+		return nil, err
+	}
 	g := &Graph{}
 	var err error
-	if g.outIdx, err = readInt64s(br, int(n)+1); err != nil {
+	if g.outIdx, err = readInt64s(ctx, br, int(n)+1); err != nil {
 		return nil, err
 	}
-	if g.outAdj, err = readNodeIDs(br, int(m)); err != nil {
+	if g.outAdj, err = readNodeIDs(ctx, br, int(m)); err != nil {
 		return nil, err
 	}
-	if g.inIdx, err = readInt64s(br, int(n)+1); err != nil {
+	if g.inIdx, err = readInt64s(ctx, br, int(n)+1); err != nil {
 		return nil, err
 	}
-	if g.inAdj, err = readNodeIDs(br, int(m)); err != nil {
+	if g.inAdj, err = readNodeIDs(ctx, br, int(m)); err != nil {
 		return nil, err
 	}
 	if err := g.validate(); err != nil {
@@ -219,10 +232,15 @@ func idSpaceLimit(edges int64) int64 {
 	return limit
 }
 
-func readInt64s(r io.Reader, n int) ([]int64, error) {
+func readInt64s(ctx context.Context, r io.Reader, n int) ([]int64, error) {
 	out := make([]int64, 0, min(n, maxEagerAlloc))
 	buf := make([]byte, 8192)
-	for len(out) < n {
+	for chunks := 0; len(out) < n; chunks++ {
+		if chunks%cancelCheckEvery == 0 {
+			if err := checkCtx(ctx, "sccg"); err != nil {
+				return nil, err
+			}
+		}
 		chunk := len(buf) / 8
 		if chunk > n-len(out) {
 			chunk = n - len(out)
@@ -237,10 +255,15 @@ func readInt64s(r io.Reader, n int) ([]int64, error) {
 	return out, nil
 }
 
-func readNodeIDs(r io.Reader, n int) ([]NodeID, error) {
+func readNodeIDs(ctx context.Context, r io.Reader, n int) ([]NodeID, error) {
 	out := make([]NodeID, 0, min(n, maxEagerAlloc))
 	buf := make([]byte, 8192)
-	for len(out) < n {
+	for chunks := 0; len(out) < n; chunks++ {
+		if chunks%cancelCheckEvery == 0 {
+			if err := checkCtx(ctx, "sccg"); err != nil {
+				return nil, err
+			}
+		}
 		chunk := len(buf) / 4
 		if chunk > n-len(out) {
 			chunk = n - len(out)
@@ -260,8 +283,14 @@ func readNodeIDs(r io.Reader, n int) ([]NodeID, error) {
 // conventions). Node IDs may be sparse; they are used verbatim, so the
 // resulting graph has max(id)+1 nodes. Malformed lines (missing
 // fields, non-numeric or negative ids, ids overflowing the 32-bit node
-// space) return an error wrapping ErrMalformed.
+// space) return an error wrapping ErrMalformed. Use
+// ReadEdgeListLimited to additionally cap the accepted size and make
+// the load cancelable.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return readEdgeList(context.Background(), r, Limits{})
+}
+
+func readEdgeList(ctx context.Context, r io.Reader, lim Limits) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var edges []Edge
@@ -269,6 +298,11 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
+		if lineNo%cancelCheckEvery == 0 {
+			if err := checkCtx(ctx, "edgelist"); err != nil {
+				return nil, err
+			}
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
@@ -293,6 +327,15 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		}
 		if v > maxID {
 			maxID = v
+		}
+		// Limits are enforced as the counts accumulate, not after the
+		// whole file is parsed: a hostile stream must be rejected before
+		// it can make the edge buffer grow unboundedly.
+		if err := lim.checkNodes("edgelist", maxID+1); err != nil {
+			return nil, err
+		}
+		if err := lim.checkEdges("edgelist", int64(len(edges))+1); err != nil {
+			return nil, err
 		}
 		edges = append(edges, Edge{NodeID(u), NodeID(v)})
 	}

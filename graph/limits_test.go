@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// limitGraph is a 4-node cycle, small enough that generous limits pass
+// and a 3-node cap fails, in every format.
+func limitGraph() *Graph {
+	return FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+}
+
+func TestLimitedLoadersAcceptWithinLimits(t *testing.T) {
+	g := limitGraph()
+	lim := Limits{MaxNodes: 10, MaxEdges: 20}
+	ctx := context.Background()
+
+	var bin, el, mm, met bytes.Buffer
+	if err := g.Save(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(&el); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteMatrixMarket(&mm); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, load := range map[string]func() (*Graph, error){
+		"sccg":         func() (*Graph, error) { return LoadLimited(ctx, &bin, lim) },
+		"edgelist":     func() (*Graph, error) { return ReadEdgeListLimited(ctx, &el, lim) },
+		"matrixmarket": func() (*Graph, error) { return ReadMatrixMarketLimited(ctx, &mm, lim) },
+	} {
+		got, err := load()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NumNodes() != 4 || got.NumEdges() != 4 {
+			t.Fatalf("%s: got %d nodes / %d edges", name, got.NumNodes(), got.NumEdges())
+		}
+	}
+
+	// METIS needs a symmetric graph; build one.
+	sym := FromEdges(3, []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 1}})
+	if err := sym.WriteMETIS(&met); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMETISLimited(ctx, &met, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 3 {
+		t.Fatalf("metis: got %d nodes", got.NumNodes())
+	}
+}
+
+func TestLimitedLoadersRejectOversizedInput(t *testing.T) {
+	g := limitGraph()
+	ctx := context.Background()
+
+	cases := []struct {
+		name      string
+		lim       Limits
+		dimension string
+		load      func(io.Reader, Limits) (*Graph, error)
+		write     func(io.Writer) error
+	}{
+		{"sccg/nodes", Limits{MaxNodes: 3}, "nodes",
+			func(r io.Reader, l Limits) (*Graph, error) { return LoadLimited(ctx, r, l) }, g.Save},
+		{"sccg/edges", Limits{MaxEdges: 3}, "edges",
+			func(r io.Reader, l Limits) (*Graph, error) { return LoadLimited(ctx, r, l) }, g.Save},
+		{"edgelist/nodes", Limits{MaxNodes: 3}, "nodes",
+			func(r io.Reader, l Limits) (*Graph, error) { return ReadEdgeListLimited(ctx, r, l) }, g.WriteEdgeList},
+		{"edgelist/edges", Limits{MaxEdges: 3}, "edges",
+			func(r io.Reader, l Limits) (*Graph, error) { return ReadEdgeListLimited(ctx, r, l) }, g.WriteEdgeList},
+		{"matrixmarket/nodes", Limits{MaxNodes: 3}, "nodes",
+			func(r io.Reader, l Limits) (*Graph, error) { return ReadMatrixMarketLimited(ctx, r, l) }, g.WriteMatrixMarket},
+		{"matrixmarket/edges", Limits{MaxEdges: 3}, "edges",
+			func(r io.Reader, l Limits) (*Graph, error) { return ReadMatrixMarketLimited(ctx, r, l) }, g.WriteMatrixMarket},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			_, err := tc.load(&buf, tc.lim)
+			if !errors.Is(err, ErrLimitExceeded) {
+				t.Fatalf("want ErrLimitExceeded, got %v", err)
+			}
+			var le *LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("want *LimitError, got %T", err)
+			}
+			if le.Dimension != tc.dimension {
+				t.Fatalf("dimension = %q, want %q", le.Dimension, tc.dimension)
+			}
+			// A limit rejection is a policy decision, not a parse
+			// failure: it must not read as a malformed file.
+			if errors.Is(err, ErrMalformed) {
+				t.Fatalf("limit rejection wraps ErrMalformed: %v", err)
+			}
+		})
+	}
+}
+
+func TestLimitedMETISRejectsOversized(t *testing.T) {
+	ctx := context.Background()
+	sym := FromEdges(4, []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}})
+	var buf bytes.Buffer
+	if err := sym.WriteMETIS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMETISLimited(ctx, bytes.NewReader(buf.Bytes()), Limits{MaxNodes: 3}); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("nodes: want ErrLimitExceeded, got %v", err)
+	}
+	if _, err := ReadMETISLimited(ctx, bytes.NewReader(buf.Bytes()), Limits{MaxEdges: 3}); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("edges: want ErrLimitExceeded, got %v", err)
+	}
+	// A header lying about its arc count must still be caught by the
+	// accumulation check.
+	hostile := "2 1\n2 2 2 2 2 2 2 2\n1 1 1 1 1 1 1 1\n"
+	if _, err := ReadMETISLimited(ctx, strings.NewReader(hostile), Limits{MaxEdges: 4}); !errors.Is(err, ErrLimitExceeded) {
+		t.Fatalf("hostile arcs: want ErrLimitExceeded, got %v", err)
+	}
+}
+
+// TestLimitedLoadersHonorCancellation feeds each text loader an
+// endless synthetic stream and checks that a canceled context stops
+// the load instead of letting it run away.
+func TestLimitedLoadersHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	edgeStream := &repeatReader{chunk: []byte("1 2\n")}
+	if _, err := ReadEdgeListLimited(ctx, edgeStream, Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("edgelist: want context.Canceled, got %v", err)
+	}
+	if edgeStream.served > 64<<20 {
+		t.Fatalf("edgelist consumed %d bytes after cancellation", edgeStream.served)
+	}
+
+	// Matrix Market: a valid header followed by an endless entry body.
+	mmHeader := "%%MatrixMarket matrix coordinate pattern general\n1000000 1000000 999999999\n"
+	mmStream := io.MultiReader(strings.NewReader(mmHeader), &repeatReader{chunk: []byte("1 2\n")})
+	if _, err := ReadMatrixMarketLimited(ctx, mmStream, Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("matrixmarket: want context.Canceled, got %v", err)
+	}
+
+	// Binary: header declaring a huge graph, then endless zero bytes.
+	huge := limitGraph()
+	var hdr bytes.Buffer
+	if err := huge.Save(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	b := hdr.Bytes()
+	// Patch the node count up to force many index-block reads.
+	patched := append([]byte{}, b[:8]...)
+	patched = append(patched, 0, 0, 0, 64, 0, 0, 0, 0) // n = 1<<30
+	patched = append(patched, b[16:]...)
+	binStream := io.MultiReader(bytes.NewReader(patched), &repeatReader{chunk: make([]byte, 8192)})
+	if _, err := LoadLimited(ctx, binStream, Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sccg: want context.Canceled, got %v", err)
+	}
+}
+
+func TestLimitErrorMessage(t *testing.T) {
+	err := &LimitError{Format: "edgelist", Dimension: "nodes", Value: 100, Limit: 10}
+	want := "graph: edgelist: 100 nodes exceeds limit 10"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+	if fmt.Sprintf("%v", errors.Unwrap(err)) != ErrLimitExceeded.Error() {
+		t.Fatalf("Unwrap != ErrLimitExceeded")
+	}
+}
+
+// repeatReader serves its chunk forever, counting bytes delivered.
+type repeatReader struct {
+	chunk  []byte
+	served int64
+	off    int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if r.off == len(r.chunk) {
+			r.off = 0
+		}
+		c := copy(p[n:], r.chunk[r.off:])
+		n += c
+		r.off += c
+	}
+	r.served += int64(n)
+	return n, nil
+}

@@ -44,12 +44,19 @@ const (
 	// (sampling and full passes), once per chunk, exercising failure
 	// capture mid-union rather than at the pass boundary.
 	SiteUF
+	// SiteCondense is hit once per condensation build on the serving
+	// path (internal/server), after detection succeeds and before the
+	// new epoch is published. It exists to sabotage the rebuild at the
+	// point where detection already worked — the rollback case the
+	// in-kernel sites cannot reach. The detection engine itself never
+	// hits this site.
+	SiteCondense
 
-	numSites = 7
+	numSites = 8
 )
 
 // String returns the flag spelling of the site (trim, bfs, trim2,
-// wcc, task, peel, uf).
+// wcc, task, peel, uf, condense).
 func (s Site) String() string {
 	switch s {
 	case SiteTrim:
@@ -66,12 +73,20 @@ func (s Site) String() string {
 		return "peel"
 	case SiteUF:
 		return "uf"
+	case SiteCondense:
+		return "condense"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
 
 // Sites lists every injection site, in flag-spelling order.
 func Sites() []Site {
+	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteCondense}
+}
+
+// EngineSites lists the sites the in-memory detection engine hits
+// (everything but the serving-path SiteCondense).
+func EngineSites() []Site {
 	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF}
 }
 
@@ -82,7 +97,7 @@ func ParseSite(name string) (Site, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf)", name)
+	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|condense)", name)
 }
 
 // Panic is the value an injected panic panics with. Engine panic

@@ -1,0 +1,78 @@
+package metrics
+
+import "sync/atomic"
+
+// ServeCounters is the serving layer's robustness counter set — the
+// server-side sibling of the per-run Counters. One value lives for the
+// whole server lifetime; handlers and the rebuild path bump it
+// atomically, and /stats plus the load harness report Snapshot copies.
+// The counters exist to make the overload/failure story observable:
+// how much load was shed versus served, whether rebuild failures ever
+// leaked into the query path, and how often the engine had to be
+// replaced after a watchdog force-abort.
+type ServeCounters struct {
+	// Accepted counts requests admitted past admission control;
+	// Completed those that finished (with any status). The difference
+	// is the live in-flight population — the set a drain must finish.
+	Accepted  atomic.Int64
+	Completed atomic.Int64
+
+	// Shed counts 429 load-shed responses (admission queue full or
+	// queue wait exceeded); DrainRejected counts requests refused with
+	// 503 because the server was draining.
+	Shed          atomic.Int64
+	DrainRejected atomic.Int64
+
+	// Panics counts handler panics isolated to 500 responses (the
+	// process survived each one); QueryErr5xx counts every 5xx on the
+	// query endpoints — the number the chaos gate requires to stay 0
+	// while rebuilds are being sabotaged.
+	Panics      atomic.Int64
+	QueryErr5xx atomic.Int64
+
+	// Rebuilds counts attempted epoch rebuilds; RebuildFailures those
+	// that failed (panic, stall, cancellation, memory budget, cyclic
+	// condensation) and rolled back to the previous epoch; EpochSwaps
+	// the successful snapshot publications.
+	Rebuilds        atomic.Int64
+	RebuildFailures atomic.Int64
+	EpochSwaps      atomic.Int64
+
+	// EngineResets counts detection engines discarded and rebuilt
+	// after a stall watchdog force-abort destroyed the worker gang.
+	EngineResets atomic.Int64
+}
+
+// ServeSnapshot is a plain-value copy of ServeCounters.
+type ServeSnapshot struct {
+	Accepted        int64 `json:"accepted"`
+	Completed       int64 `json:"completed"`
+	Shed            int64 `json:"shed"`
+	DrainRejected   int64 `json:"drain_rejected"`
+	Panics          int64 `json:"panics"`
+	QueryErr5xx     int64 `json:"query_err_5xx"`
+	Rebuilds        int64 `json:"rebuilds"`
+	RebuildFailures int64 `json:"rebuild_failures"`
+	EpochSwaps      int64 `json:"epoch_swaps"`
+	EngineResets    int64 `json:"engine_resets"`
+}
+
+// Snapshot returns a plain copy of the current values. A nil receiver
+// yields a zero ServeSnapshot.
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	if c == nil {
+		return ServeSnapshot{}
+	}
+	return ServeSnapshot{
+		Accepted:        c.Accepted.Load(),
+		Completed:       c.Completed.Load(),
+		Shed:            c.Shed.Load(),
+		DrainRejected:   c.DrainRejected.Load(),
+		Panics:          c.Panics.Load(),
+		QueryErr5xx:     c.QueryErr5xx.Load(),
+		Rebuilds:        c.Rebuilds.Load(),
+		RebuildFailures: c.RebuildFailures.Load(),
+		EpochSwaps:      c.EpochSwaps.Load(),
+		EngineResets:    c.EngineResets.Load(),
+	}
+}

@@ -1,0 +1,520 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/graph"
+	"repro/internal/chaos"
+	"repro/internal/metrics"
+	"repro/scc"
+)
+
+// Config parameterizes a Server. The zero value of every field gets a
+// serviceable default from withDefaults; Options must at least name a
+// valid algorithm (the zero Options is valid and selects the default).
+type Config struct {
+	// Options configures the pinned detection engine. Validation
+	// happens once, in New, exactly as scc.New would.
+	Options scc.Options
+
+	// MaxInflight bounds the number of requests executing concurrently
+	// past admission control. Default 64.
+	MaxInflight int
+	// QueueDepth bounds the number of requests waiting for an
+	// execution slot; arrivals beyond it are shed immediately with
+	// 429. Default 256.
+	QueueDepth int
+	// QueueWait bounds how long an admitted request may wait for a
+	// slot before being shed with 429. Default 100ms.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request deadline propagated to handler
+	// work once a slot is held. Default 5s.
+	RequestTimeout time.Duration
+	// RebuildTimeout bounds one epoch rebuild (detect + condense).
+	// Default 2m.
+	RebuildTimeout time.Duration
+	// MaxEpochAge, when > 0, fails readiness if updates have been
+	// pending (applied but not yet rebuilt into a published epoch) for
+	// longer than this. 0 disables the staleness gate.
+	MaxEpochAge time.Duration
+	// RetryAfter is the Retry-After hint attached to 429 and 503
+	// responses. Default 1s.
+	RetryAfter time.Duration
+
+	// BodyLimits bounds graphs POSTed to /scc and the node/edge totals
+	// reachable via /update batches. Default 4M nodes / 64M edges.
+	BodyLimits graph.Limits
+
+	// RebuildChaos, when non-nil, sabotages the rebuild whose 1-based
+	// attempt ordinal equals ChaosAtRebuild: in-kernel sites are
+	// injected into the detection run, and a "condense" entry fires
+	// between detection and publication. All other rebuilds run clean.
+	// The initial build in New is attempt 1.
+	RebuildChaos   *scc.ChaosConfig
+	ChaosAtRebuild int64
+
+	// Counters receives the serving-layer counters; allocated
+	// internally when nil.
+	Counters *metrics.ServeCounters
+	// Logf logs server events (rebuild failures, panics, engine
+	// resets). Defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.RebuildTimeout <= 0 {
+		c.RebuildTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.BodyLimits.MaxNodes == 0 {
+		c.BodyLimits.MaxNodes = 4 << 20
+	}
+	if c.BodyLimits.MaxEdges == 0 {
+		c.BodyLimits.MaxEdges = 64 << 20
+	}
+	if c.Counters == nil {
+		c.Counters = &metrics.ServeCounters{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server is the SCC query service: one pinned scc.Engine, one current
+// epoch Snapshot behind an atomic pointer, a background rebuild loop,
+// and the HTTP surface returned by Handler. Create with New, stop with
+// Close; BeginDrain/Drain implement graceful shutdown.
+type Server struct {
+	cfg Config
+	ctr *metrics.ServeCounters
+
+	// snap is the current epoch; queries load it exactly once and
+	// never block on the rebuild path.
+	snap atomic.Pointer[Snapshot]
+
+	// engineMu serializes all use of engine AND consumption of its
+	// engine-owned Detect results; repairEngine swaps the engine under
+	// it after a watchdog force-abort.
+	engineMu sync.Mutex
+	engine   *scc.Engine
+
+	// edgeMu guards the authoritative edge set rebuilt into epochs.
+	edgeMu     sync.Mutex
+	nodes      int
+	edges      []graph.Edge
+	dirty      bool
+	dirtySince time.Time
+
+	kick     chan struct{} // wakes the rebuild loop, capacity 1
+	rebuildN atomic.Int64  // rebuild attempt ordinal (1-based)
+	lastErr  atomic.Pointer[string]
+
+	// stateMu guards the draining/closed flags together with
+	// inflight.Add, making WaitGroup reuse race-free against Drain.
+	stateMu  sync.Mutex
+	draining bool
+	closed   bool
+	inflight sync.WaitGroup
+
+	slots   chan struct{} // execution slots, capacity MaxInflight
+	waiting atomic.Int64  // requests queued for a slot
+
+	loopCancel context.CancelFunc
+	loopDone   chan struct{}
+
+	// testHold, when non-nil (tests only), blocks every admitted
+	// request after it acquires its execution slot until the channel
+	// is closed — the hook the shed/drain tests use to pin slots.
+	testHold chan struct{}
+}
+
+// maxConsecutiveRebuildFails bounds the loop's immediate retries; after
+// this many back-to-back failures it waits for the next update instead
+// of spinning on a persistently failing build.
+const maxConsecutiveRebuildFails = 3
+
+// New validates cfg, pins the detection engine, builds the initial
+// epoch from g synchronously (so a returned *Server is immediately
+// ready), and starts the background rebuild loop. A failed initial
+// build — including one sabotaged by ChaosAtRebuild == 1 — releases the
+// engine and fails New.
+func New(cfg Config, g *graph.Graph) (*Server, error) {
+	if g == nil {
+		return nil, fmt.Errorf("server: %w", scc.ErrNilGraph)
+	}
+	cfg = cfg.withDefaults()
+	eng, err := scc.New(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		ctr:      cfg.Counters,
+		engine:   eng,
+		nodes:    g.NumNodes(),
+		kick:     make(chan struct{}, 1),
+		slots:    make(chan struct{}, cfg.MaxInflight),
+		loopDone: make(chan struct{}),
+	}
+	s.edges = make([]graph.Edge, 0, g.NumEdges())
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			s.edges = append(s.edges, graph.Edge{From: graph.NodeID(v), To: w})
+		}
+	}
+	s.dirty = true
+	if err := s.rebuildOnce(context.Background()); err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("server: initial build: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.loopCancel = cancel
+	go s.rebuildLoop(ctx)
+	return s, nil
+}
+
+// Close stops the rebuild loop and releases the engine. It does not
+// drain in-flight requests; call Drain first for graceful shutdown.
+// Idempotent.
+func (s *Server) Close() error {
+	s.stateMu.Lock()
+	if s.closed {
+		s.stateMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.stateMu.Unlock()
+	s.loopCancel()
+	<-s.loopDone
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	return s.engine.Close()
+}
+
+// Snapshot returns the current epoch (nil only before the initial
+// build, which New performs synchronously).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Counters returns the serving-layer counter set.
+func (s *Server) Counters() *metrics.ServeCounters { return s.ctr }
+
+// BeginDrain stops admitting requests: every subsequent arrival is
+// rejected with 503 until the process exits. In-flight requests
+// (including ones queued for a slot) run to completion.
+func (s *Server) BeginDrain() {
+	s.stateMu.Lock()
+	s.draining = true
+	s.stateMu.Unlock()
+}
+
+// Drain begins draining and waits up to timeout for every admitted
+// request to complete. It reports whether the server fully drained.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// tryEnter admits one request unless the server is draining or closed.
+// The WaitGroup.Add happens under the same mutex as the draining check,
+// so Drain's Wait cannot race an Add.
+func (s *Server) tryEnter() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.draining || s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	s.ctr.Accepted.Add(1)
+	return true
+}
+
+// exit retires one admitted request.
+func (s *Server) exit() {
+	s.ctr.Completed.Add(1)
+	s.inflight.Done()
+}
+
+// applyUpdate appends an edge batch to the authoritative edge set
+// (growing the node count to cover maxNode) and kicks the rebuild
+// loop. The caller has already bounds-checked against BodyLimits.
+func (s *Server) applyUpdate(batch []graph.Edge, maxNode int64) {
+	s.edgeMu.Lock()
+	if int(maxNode)+1 > s.nodes {
+		s.nodes = int(maxNode) + 1
+	}
+	s.edges = append(s.edges, batch...)
+	if !s.dirty {
+		s.dirty = true
+		s.dirtySince = time.Now()
+	}
+	s.edgeMu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// totals reports the current authoritative node and edge counts, for
+// limit checks on incoming update batches.
+func (s *Server) totals() (nodes int, edges int) {
+	s.edgeMu.Lock()
+	defer s.edgeMu.Unlock()
+	return s.nodes, len(s.edges)
+}
+
+// pendingSince reports whether updates are waiting to be rebuilt and
+// since when.
+func (s *Server) pendingSince() (bool, time.Time) {
+	s.edgeMu.Lock()
+	defer s.edgeMu.Unlock()
+	return s.dirty, s.dirtySince
+}
+
+func (s *Server) isDirty() bool {
+	d, _ := s.pendingSince()
+	return d
+}
+
+func (s *Server) epochNow() int64 {
+	if sn := s.snap.Load(); sn != nil {
+		return sn.Epoch
+	}
+	return 0
+}
+
+func (s *Server) storeLastErr(err error) {
+	if err == nil {
+		s.lastErr.Store(nil)
+		return
+	}
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+}
+
+// rebuildLoop is the background epoch builder: it wakes on kicks, runs
+// rebuilds while the edge set is dirty, and bounds immediate retries
+// after consecutive failures so a persistently failing build cannot
+// spin the loop.
+func (s *Server) rebuildLoop(ctx context.Context) {
+	defer close(s.loopDone)
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.kick:
+		}
+		for s.isDirty() {
+			if ctx.Err() != nil {
+				return
+			}
+			err := s.rebuildOnce(ctx)
+			if err == nil {
+				fails = 0
+				s.storeLastErr(nil)
+				continue
+			}
+			s.ctr.RebuildFailures.Add(1)
+			s.storeLastErr(err)
+			s.cfg.Logf("server: rebuild failed, epoch %d kept serving: %v", s.epochNow(), err)
+			fails++
+			if fails >= maxConsecutiveRebuildFails {
+				s.cfg.Logf("server: %d consecutive rebuild failures; waiting for next update", fails)
+				fails = 0
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Duration(fails) * 10 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// rebuildOnce runs one epoch rebuild: copy the edge set, build the
+// CSR, detect, condense, publish. Any failure publishes nothing — the
+// previous snapshot pointer is untouched, which IS the rollback.
+func (s *Server) rebuildOnce(ctx context.Context) error {
+	attempt := s.rebuildN.Add(1)
+	s.ctr.Rebuilds.Add(1)
+
+	s.edgeMu.Lock()
+	nodes := s.nodes
+	edges := make([]graph.Edge, len(s.edges))
+	copy(edges, s.edges)
+	s.edgeMu.Unlock()
+
+	b := graph.NewBuilder(nodes)
+	b.AddEdges(edges)
+	g := b.Build()
+
+	rctx, cancel := context.WithTimeout(ctx, s.cfg.RebuildTimeout)
+	defer cancel()
+
+	sabotage := s.cfg.RebuildChaos != nil && attempt == s.cfg.ChaosAtRebuild
+	cond, info, err := s.detectAndCondense(rctx, g, sabotage)
+	if err != nil {
+		return err
+	}
+
+	prev := s.snap.Load()
+	epoch := int64(1)
+	if prev != nil {
+		epoch = prev.Epoch + 1
+	}
+	s.snap.Store(&Snapshot{
+		Epoch:     epoch,
+		Built:     time.Now(),
+		Graph:     g,
+		Cond:      cond,
+		NumSCCs:   info.numSCCs,
+		Detect:    info.detect,
+		Algorithm: s.cfg.Options.Algorithm,
+	})
+	s.ctr.EpochSwaps.Add(1)
+
+	// Clear dirty only if no new edges arrived mid-rebuild (the edge
+	// set is append-only, so a length match means nothing new).
+	s.edgeMu.Lock()
+	if len(s.edges) == len(edges) && s.nodes == nodes {
+		s.dirty = false
+		s.dirtySince = time.Time{}
+	}
+	s.edgeMu.Unlock()
+	return nil
+}
+
+type buildInfo struct {
+	numSCCs int64
+	detect  time.Duration
+}
+
+// detectAndCondense runs detection on the pinned engine and condenses
+// the labeling, under engineMu (Detect results are engine-owned; the
+// lock spans their consumption). Panics on this goroutine — notably
+// injected SiteCondense failures — are isolated into a *scc.PanicError
+// so a sabotaged rebuild degrades to a counted rollback, never a
+// crash.
+func (s *Server) detectAndCondense(ctx context.Context, g *graph.Graph, sabotage bool) (cond *scc.Condensed, info buildInfo, err error) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	defer func() {
+		if v := recover(); v != nil {
+			cond = nil
+			err = &scc.PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	var runOpts []scc.RunOption
+	if sabotage {
+		runOpts = append(runOpts, scc.WithChaos(s.cfg.RebuildChaos))
+	}
+	res, err := s.engine.Detect(ctx, g, runOpts...)
+	if err != nil {
+		s.repairEngine(err)
+		return nil, info, err
+	}
+	info = buildInfo{numSCCs: res.NumSCCs, detect: res.Total}
+	if sabotage {
+		if inj := condenseInjector(s.cfg.RebuildChaos); inj != nil {
+			inj.Bind(ctx.Done())
+			inj.Hit(chaos.SiteCondense)
+		}
+	}
+	cond, err = scc.Condense(g, res.Comp)
+	if err != nil {
+		return nil, info, err
+	}
+	return cond, info, nil
+}
+
+// repairEngine replaces the engine after a failure that destroyed its
+// runtime: a stall-watchdog force-abort folds the engine into the
+// closed state, so detection can only continue on a fresh gang. Called
+// under engineMu.
+func (s *Server) repairEngine(err error) {
+	if !errors.Is(err, scc.ErrEngineClosed) && !errors.Is(err, scc.ErrStalled) {
+		return
+	}
+	s.engine.Close()
+	ne, nerr := scc.New(s.cfg.Options)
+	if nerr != nil {
+		// Options were valid at New; keep the closed engine so later
+		// calls fail typed rather than nil-panic.
+		s.cfg.Logf("server: engine rebuild failed: %v", nerr)
+		return
+	}
+	s.engine = ne
+	s.ctr.EngineResets.Add(1)
+	s.cfg.Logf("server: engine replaced after: %v", err)
+}
+
+// detectAdhoc runs one detection for POST /scc on the pinned engine.
+// It contends with the rebuild loop via TryLock: a busy engine is an
+// overload signal, surfaced as an error wrapping scc.ErrEngineBusy for
+// the handler to map to 429 + Retry-After.
+func (s *Server) detectAdhoc(ctx context.Context, g *graph.Graph) (buildInfo, error) {
+	if !s.engineMu.TryLock() {
+		return buildInfo{}, fmt.Errorf("server: adhoc detect: %w", scc.ErrEngineBusy)
+	}
+	defer s.engineMu.Unlock()
+	res, err := s.engine.Detect(ctx, g)
+	if err != nil {
+		s.repairEngine(err)
+		return buildInfo{}, err
+	}
+	return buildInfo{numSCCs: res.NumSCCs, detect: res.Total}, nil
+}
+
+// condenseInjector builds an injector for just the "condense" entries
+// of c, or nil if it has none. In-kernel entries travel separately via
+// scc.WithChaos; this injector covers the one site the engine never
+// hits.
+func condenseInjector(c *scc.ChaosConfig) *chaos.Injector {
+	if c == nil {
+		return nil
+	}
+	cfg := chaos.Config{StallFor: c.StallFor}
+	if n := c.PanicAt[chaos.SiteCondense.String()]; n > 0 {
+		cfg.PanicAt = map[chaos.Site]int64{chaos.SiteCondense: n}
+	}
+	if n := c.StallAt[chaos.SiteCondense.String()]; n > 0 {
+		cfg.StallAt = map[chaos.Site]int64{chaos.SiteCondense: n}
+	}
+	if cfg.PanicAt == nil && cfg.StallAt == nil {
+		return nil
+	}
+	return chaos.New(cfg)
+}

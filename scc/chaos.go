@@ -6,15 +6,17 @@ import (
 	"repro/internal/chaos"
 )
 
-// ChaosSites lists the engine's failure-injection site names: "trim"
-// (one hit per Par-Trim round, or per counter-peeling counting pass
-// under KernelsWorklist), "bfs" (per FW/BW BFS level), "trim2" (per
-// Trim2 sweep), "wcc" (per Par-WCC propagation round, or per
-// union-find pass), "task" (per phase-2 recursive FW-BW task), "peel"
-// (inside the counter-peeling trim kernel's drain loop, per wave or
-// per frontier chunk), and "uf" (inside the union-find WCC kernel's
-// hook loops, per chunk). The "peel" and "uf" sites fire only under
-// KernelsWorklist.
+// ChaosSites lists the failure-injection site names: "trim" (one hit
+// per Par-Trim round, or per counter-peeling counting pass under
+// KernelsWorklist), "bfs" (per FW/BW BFS level), "trim2" (per Trim2
+// sweep), "wcc" (per Par-WCC propagation round, or per union-find
+// pass), "task" (per phase-2 recursive FW-BW task), "peel" (inside the
+// counter-peeling trim kernel's drain loop, per wave or per frontier
+// chunk), "uf" (inside the union-find WCC kernel's hook loops, per
+// chunk), and "condense" (once per condensation build on the serving
+// path's rebuild — internal/server — after detection succeeds). The
+// "peel" and "uf" sites fire only under KernelsWorklist; "condense" is
+// never hit by Detect itself, only by the server's rebuild.
 func ChaosSites() []string {
 	sites := chaos.Sites()
 	names := make([]string, len(sites))

@@ -101,10 +101,45 @@ func (c *Condensed) Members(comp int32) []graph.NodeID {
 }
 
 // Reachable reports, for every component, whether it is reachable from
-// the given component in the condensation DAG.
+// the given component in the condensation DAG. Each call allocates a
+// fresh closure array; on a hot query path prefer ReachableInto with a
+// reused ReachScratch.
 func (c *Condensed) Reachable(from int32) []bool {
-	seen := make([]bool, c.DAG.NumNodes())
-	stack := []graph.NodeID{graph.NodeID(from)}
+	var s ReachScratch
+	seen := c.ReachableInto(from, &s)
+	// Detach from the throwaway scratch so the caller owns the result,
+	// preserving Reachable's historical contract.
+	out := make([]bool, len(seen))
+	copy(out, seen)
+	return out
+}
+
+// ReachScratch holds the reusable buffers behind ReachableInto. The
+// zero value is ready to use; buffers grow to the condensation size on
+// first use and are retained across calls. A ReachScratch serves one
+// traversal at a time — callers running concurrent queries keep one
+// per goroutine (or a pool).
+type ReachScratch struct {
+	seen  []bool
+	stack []graph.NodeID
+}
+
+// ReachableInto is Reachable reusing s's buffers: the returned slice
+// is owned by s, valid until its next ReachableInto call, and must be
+// copied to outlive it. A warm scratch makes the call allocation-free,
+// which is what a serving path answering reachability queries per
+// request needs.
+func (c *Condensed) ReachableInto(from int32, s *ReachScratch) []bool {
+	n := c.DAG.NumNodes()
+	if cap(s.seen) < n {
+		s.seen = make([]bool, n)
+	} else {
+		s.seen = s.seen[:n]
+		clear(s.seen)
+	}
+	seen := s.seen
+	stack := s.stack[:0]
+	stack = append(stack, graph.NodeID(from))
 	seen[from] = true
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
@@ -116,5 +151,6 @@ func (c *Condensed) Reachable(from int32) []bool {
 			}
 		}
 	}
+	s.stack = stack
 	return seen
 }

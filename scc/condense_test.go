@@ -154,3 +154,52 @@ func TestCondenseLargeGraph(t *testing.T) {
 		t.Fatal("topo order incomplete")
 	}
 }
+
+// TestReachableInto checks the scratch-reusing variant agrees with
+// Reachable across reuses (including shrinking to a smaller DAG) and
+// that a warm scratch allocates nothing.
+func TestReachableInto(t *testing.T) {
+	big := gen.RMAT(gen.DefaultRMAT(10, 8, 7))
+	res, err := Detect(big, Options{Algorithm: Tarjan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cBig, err := Condense(big, res.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := graph.FromEdges(4, []graph.Edge{
+		{From: 0, To: 1}, {From: 1, To: 0}, {From: 1, To: 2}, {From: 3, To: 0}})
+	resS, _ := Detect(small, Options{Algorithm: Tarjan})
+	cSmall, err := Condense(small, resS.Comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var s ReachScratch
+	for _, c := range []*Condensed{cBig, cSmall, cBig} {
+		for from := int32(0); from < int32(c.DAG.NumNodes()); from += 7 {
+			got := c.ReachableInto(from, &s)
+			want := c.Reachable(from)
+			if len(got) != len(want) {
+				t.Fatalf("length %d != %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("from %d: component %d: got %v want %v", from, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Steady state: a warm scratch must not allocate.
+	warm := &ReachScratch{}
+	c := cBig
+	c.ReachableInto(0, warm)
+	allocs := testing.AllocsPerRun(50, func() {
+		c.ReachableInto(0, warm)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ReachableInto allocates %.0f/op, want 0", allocs)
+	}
+}

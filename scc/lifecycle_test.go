@@ -1,0 +1,161 @@
+package scc_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/graph"
+	"repro/scc"
+)
+
+// typedEngineErr reports whether err is one of the errors the engine
+// lifecycle contract allows a racing caller to observe.
+func typedEngineErr(err error) bool {
+	return errors.Is(err, scc.ErrEngineBusy) || errors.Is(err, scc.ErrEngineClosed)
+}
+
+// TestEngineCloseRacesDetect closes an engine while callers hammer
+// Detect and DetectBatch from several goroutines. The contract under
+// race: every call either succeeds or fails with an error wrapping
+// ErrEngineBusy or ErrEngineClosed — never a panic, a hang, or an
+// untyped error — and once Close returns, every subsequent call fails
+// with ErrEngineClosed. Run under -race this also proves the
+// mu-serialized result storage is never written concurrently.
+func TestEngineCloseRacesDetect(t *testing.T) {
+	g := engineGraph()
+	for trial := 0; trial < 4; trial++ {
+		e, err := scc.New(scc.Options{Algorithm: scc.Method2, Workers: 2, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var (
+			wg        sync.WaitGroup
+			start     = make(chan struct{})
+			sawClosed atomic.Int64
+			sawOK     atomic.Int64
+		)
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 50; j++ {
+					var err error
+					if id%2 == 0 {
+						_, err = e.Detect(context.Background(), g)
+					} else {
+						_, err = e.DetectBatch(context.Background(), []*graph.Graph{g, g})
+					}
+					switch {
+					case err == nil:
+						// Results are engine-owned and the next racing
+						// call invalidates them, so a racing caller may
+						// only observe success, not contents.
+						sawOK.Add(1)
+					case errors.Is(err, scc.ErrEngineClosed):
+						sawClosed.Add(1)
+						return
+					case !typedEngineErr(err):
+						t.Errorf("trial %d caller %d: untyped error under race: %v", trial, id, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Duration(trial) * 500 * time.Microsecond)
+			if err := e.Close(); err != nil {
+				t.Errorf("trial %d: Close: %v", trial, err)
+			}
+		}()
+		close(start)
+		wg.Wait()
+		if _, err := e.Detect(context.Background(), g); !errors.Is(err, scc.ErrEngineClosed) {
+			t.Errorf("trial %d: Detect after Close = %v, want ErrEngineClosed", trial, err)
+		}
+		if _, err := e.DetectBatch(context.Background(), []*graph.Graph{g}); !errors.Is(err, scc.ErrEngineClosed) {
+			t.Errorf("trial %d: DetectBatch after Close = %v, want ErrEngineClosed", trial, err)
+		}
+	}
+}
+
+// TestEngineConcurrentClose calls Close from many goroutines at once,
+// racing one in-flight Detect: Close is idempotent and every call
+// returns nil after the in-flight run finishes.
+func TestEngineConcurrentClose(t *testing.T) {
+	g := engineGraph()
+	e, err := scc.New(scc.Options{Algorithm: scc.Method2, Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectDone := make(chan error, 1)
+	go func() {
+		_, err := e.Detect(context.Background(), g)
+		detectDone <- err
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := <-detectDone; err != nil && !typedEngineErr(err) {
+		t.Errorf("in-flight Detect racing Close: untyped error %v", err)
+	}
+}
+
+// TestEngineDetectBatchRacesDetect pits Detect against DetectBatch on
+// one engine with no Close involved: exactly one caller may hold the
+// engine at a time, the loser always sees ErrEngineBusy, and the mix
+// of successes stays live (no deadlock, no starvation of either path).
+func TestEngineDetectBatchRacesDetect(t *testing.T) {
+	g := engineGraph()
+	e, err := scc.New(scc.Options{Algorithm: scc.Method2, Workers: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var (
+		wg    sync.WaitGroup
+		start = make(chan struct{})
+		ok    atomic.Int64
+	)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 30; j++ {
+				var err error
+				if id%2 == 0 {
+					_, err = e.Detect(context.Background(), g)
+				} else {
+					_, err = e.DetectBatch(context.Background(), []*graph.Graph{g})
+				}
+				if err == nil {
+					ok.Add(1)
+				} else if !errors.Is(err, scc.ErrEngineBusy) {
+					t.Errorf("caller %d: error = %v, want nil or ErrEngineBusy", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if ok.Load() == 0 {
+		t.Error("no call ever succeeded: the busy fast-path starved everyone")
+	}
+}
