@@ -299,14 +299,14 @@ func BenchmarkAblationScheduler(b *testing.B) {
 
 // --- Work-efficient kernels: counter-peeling Trim + union-find WCC ---
 
-// BenchmarkKernels compares the legacy round-based Par-Trim/Par-WCC
-// against the worklist kernels like-for-like on the dataset suite.
-// benchgate's -kernels flag keys off the kernels=<name> sub-benchmark
-// tag.
+// BenchmarkKernels compares the legacy round-based Par-Trim/Par-WCC,
+// the worklist kernels, and the multi-pivot reachability kernel
+// like-for-like on the dataset suite. benchgate's -kernels flag keys
+// off the kernels=<name> sub-benchmark tag.
 func BenchmarkKernels(b *testing.B) {
-	for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy} {
+	for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy, scc.KernelsMultiPivot} {
 		b.Run("kernels="+kern.String(), func(b *testing.B) {
-			for _, name := range []string{"flickr", "patents", "ca-road"} {
+			for _, name := range []string{"flickr", "patents", "ca-road", "deep-chain", "zig-zag"} {
 				b.Run(name, func(b *testing.B) {
 					benchDetect(b, name, scc.Method2, scc.Options{Seed: 1, Kernels: kern})
 				})
@@ -335,7 +335,7 @@ func BenchmarkKernelsDeepChain(b *testing.B) {
 		edges[i] = graph.Edge{From: id(i), To: id(i + 1)}
 	}
 	g := graph.FromEdges(n, edges)
-	for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy} {
+	for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy, scc.KernelsMultiPivot} {
 		b.Run("kernels="+kern.String(), func(b *testing.B) {
 			b.SetBytes(g.NumEdges() * 4)
 			b.ReportAllocs()

@@ -8,6 +8,7 @@
 //
 //	benchgate [-threshold 0.10] [-metric allocs/op] baseline.txt current.txt
 //	benchgate -engine [-min-speedup 2.0] BENCH_scc.json
+//	benchgate -multipivot [-mp-hidiam-ratio 1.05] [-mp-ctrl-ratio 1.30] BENCH_scc.json
 //	benchgate -serve [-min-qps 50] [-max-p99 2s] BENCH_serve.json
 //
 // Benchmarks present in only one file are reported but do not fail the
@@ -20,6 +21,15 @@
 // (DetectBatch) must be at least -min-speedup times the per-call
 // oneshot throughput, and a warm engine's Detect must not allocate
 // more per run than a one-shot Detect.
+//
+// The -multipivot mode gates the kernel-comparison section written by
+// `sccbench -exp multipivot`. The rows are like-vs-like (both kernels
+// saw the identical graph, seed and worker count), so the rule is a
+// direct ratio: on high-diameter datasets the multi-pivot kernel must
+// be at least as fast as the worklist kernel (within -mp-hidiam-ratio
+// measurement noise), and on the small-world controls it must stay
+// within -mp-ctrl-ratio — the new kernel is allowed to tie on graphs
+// it was not built for, but not to regress them.
 //
 // The -serve mode gates the serving report written by `sccbench -exp
 // serve`: zero non-shedding 5xx in every scenario, real load shedding
@@ -147,6 +157,55 @@ func gateEngine(path string, minSpeedup float64) error {
 	return nil
 }
 
+// gateMultiPivot verifies the kernel-comparison section of a BENCH
+// json report: every high-diameter row's multi-pivot mean must be
+// within hiRatio of the worklist mean (the kernel has to win, or tie
+// inside noise, on the graphs it exists for), and every control row
+// within ctrlRatio (it must not tank the small-world suite). Rows with
+// reach counters all zero on a high-diameter dataset also fail — that
+// means the sweep never actually entered the multi-pivot kernel.
+func gateMultiPivot(path string, hiRatio, ctrlRatio float64) error {
+	rep, err := experiments.ReadBenchJSON(path)
+	if err != nil {
+		return err
+	}
+	if rep.MultiPivot == nil {
+		return fmt.Errorf("%s has no multipivot section (run sccbench -exp multipivot first)", path)
+	}
+	mp := rep.MultiPivot
+	if len(mp.Rows) == 0 {
+		return fmt.Errorf("%s: multipivot section has no rows", path)
+	}
+	sawHigh := false
+	for _, r := range mp.Rows {
+		limit, class := ctrlRatio, "ctrl"
+		if r.HighDiameter {
+			limit, class = hiRatio, "hidiam"
+			sawHigh = true
+		}
+		if r.WorklistNs <= 0 {
+			return fmt.Errorf("row %s: worklist mean %.0fns is not positive", r.Dataset, r.WorklistNs)
+		}
+		ratio := r.MultiPivotNs / r.WorklistNs
+		fmt.Printf("%-10s %6s worklist %12v multipivot %12v  %.2fx (gate <= %.2fx)\n",
+			r.Dataset, class,
+			time.Duration(r.WorklistNs).Round(time.Microsecond),
+			time.Duration(r.MultiPivotNs).Round(time.Microsecond),
+			ratio, limit)
+		if ratio > limit {
+			return fmt.Errorf("%s (%s): multipivot %.2fx worklist, gate is %.2fx",
+				r.Dataset, class, ratio, limit)
+		}
+		if r.HighDiameter && r.Metrics.ReachWaves == 0 && r.Metrics.ReachClaims == 0 {
+			return fmt.Errorf("%s: reach counters all zero — the multi-pivot kernel never ran", r.Dataset)
+		}
+	}
+	if !sawHigh {
+		return fmt.Errorf("%s: multipivot section has no high-diameter rows", path)
+	}
+	return nil
+}
+
 // gateServe verifies the serving report: every scenario kept the
 // query path free of non-shedding 5xx; the overload scenario actually
 // shed (the admission control is live, not vestigial); the chaos
@@ -205,6 +264,9 @@ func main() {
 	kernels := flag.String("kernels", "", "gate only benchmarks whose kernels=<name> tag matches (untagged benchmarks always compare); empty gates everything")
 	engineMode := flag.Bool("engine", false, "gate the engine section of a BENCH json report instead of comparing bench output files")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "engine mode: minimum stream-vs-oneshot throughput multiple")
+	mpMode := flag.Bool("multipivot", false, "gate the multipivot kernel-comparison section of a BENCH json report")
+	mpHiRatio := flag.Float64("mp-hidiam-ratio", 1.05, "multipivot mode: max multipivot/worklist time ratio on high-diameter datasets")
+	mpCtrlRatio := flag.Float64("mp-ctrl-ratio", 1.30, "multipivot mode: max multipivot/worklist time ratio on small-world controls")
 	serveMode := flag.Bool("serve", false, "gate a BENCH_serve.json report from sccbench -exp serve")
 	minQPS := flag.Float64("min-qps", 50, "serve mode: minimum steady-state QPS")
 	maxP99 := flag.Duration("max-p99", 2*time.Second, "serve mode: maximum steady-state p99 latency")
@@ -219,6 +281,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("benchgate: serving robustness gates hold")
+		return
+	}
+	if *mpMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -multipivot [-mp-hidiam-ratio 1.05] [-mp-ctrl-ratio 1.30] BENCH_scc.json")
+			os.Exit(2)
+		}
+		if err := gateMultiPivot(flag.Arg(0), *mpHiRatio, *mpCtrlRatio); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: multi-pivot kernel within like-vs-like bounds")
 		return
 	}
 	if *engineMode {

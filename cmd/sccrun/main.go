@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sccrun -alg method2 -workers 8 graph.sccg
+//	sccrun -alg method2 -kernels multipivot graph.sccg
 //	sccrun -alg tarjan graph.sccg
 //	sccrun -alg method1 -tasklog 5 -text edges.txt
 //	sccrun -alg method2 -timeout 30s -progress graph.sccg
@@ -53,6 +54,7 @@ import (
 func main() {
 	var (
 		algName  = flag.String("alg", "method2", "algorithm: tarjan|kosaraju|gabow|baseline|method1|method2|fwbw|obf|coloring|multistep")
+		kernSpec = flag.String("kernels", "worklist", "trim/WCC kernel set: worklist|legacy|multipivot")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		k        = flag.Int("k", 0, "work-queue batch size (0 = paper default)")
 		seed     = flag.Int64("seed", 1, "pivot seed")
@@ -68,7 +70,7 @@ func main() {
 
 		memLimit     = flag.String("mem-limit", "", "degrade the parallel engine to fit this memory budget (bytes; K/M/G suffixes)")
 		stallTimeout = flag.Duration("stall-timeout", 0, "abort the run if no kernel progress for this long (0 = no watchdog)")
-		chaosPanic   = flag.String("chaos-panic", "", "inject a panic at site[:hit][,...] (sites: trim|bfs|trim2|wcc|task)")
+		chaosPanic   = flag.String("chaos-panic", "", "inject a panic at site[:hit][,...] (sites: trim|bfs|trim2|wcc|task|peel|uf|reach|condense)")
 		chaosStall   = flag.String("chaos-stall", "", "inject a stall at site[:hit][,...]")
 		chaosFor     = flag.Duration("chaos-stall-for", 0, "bound injected stalls (0 = stall until teardown)")
 
@@ -89,6 +91,10 @@ func main() {
 	}
 
 	alg, err := parseAlg(*algName)
+	if err != nil {
+		fatal(err)
+	}
+	kern, err := scc.ParseKernels(*kernSpec)
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +155,7 @@ func main() {
 	}
 	opts := scc.Options{
 		Algorithm:     alg,
+		Kernels:       kern,
 		Workers:       *workers,
 		K:             *k,
 		Seed:          *seed,

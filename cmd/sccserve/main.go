@@ -81,7 +81,7 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		workers   = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		k         = fs.Int("k", 0, "work-queue batch size (0 = paper default)")
 		seed      = fs.Int64("seed", 1, "pivot seed")
-		kernSpec  = fs.String("kernels", "worklist", "trim/WCC kernel set: worklist|legacy")
+		kernSpec  = fs.String("kernels", "worklist", "trim/WCC kernel set: worklist|legacy|multipivot")
 
 		maxNodes    = fs.String("max-nodes", "4M", "reject graphs/updates beyond this many nodes (K/M/G suffixes)")
 		maxEdges    = fs.String("max-edges", "64M", "reject graphs/updates beyond this many edges (K/M/G suffixes)")

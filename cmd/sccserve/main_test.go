@@ -189,7 +189,7 @@ func TestServeChaosRebuild(t *testing.T) {
 func TestServeUsageErrors(t *testing.T) {
 	var out, errOut syncBuffer
 	cases := [][]string{
-		{},                               // missing -graph
+		{}, // missing -graph
 		{"-graph", "g.sccg", "-alg", "??"},
 		{"-graph", "g.sccg", "-max-nodes", "banana"},
 		{"-graph", "g.sccg", "-chaos-panic", "nosite:1"},

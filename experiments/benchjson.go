@@ -31,6 +31,17 @@ type BenchConfig struct {
 	// Kernels selects the trim/WCC kernel set (scc.KernelsWorklist is
 	// the zero value and the default).
 	Kernels scc.Kernels
+	// DirOptBFS enables the direction-optimizing phase-1 BFS so the
+	// sweep exercises the bitmap frontier (visible as BitmapLevels in
+	// the row metrics). Off by default: on this suite's small-diameter
+	// datasets the queue-only sweep wins — the bottom-up flip saves
+	// edge scans only for the couple of levels where the frontier is a
+	// large fraction of the partition, and the per-level bitmap reset
+	// plus the remaining-list rebuild cost more than those scans at
+	// GOMAXPROCS-scale worker counts. A BitmapLevels of 0 in
+	// BENCH_scc.json therefore means "not requested", not dead code;
+	// internal/bfs's regression test keeps the opt-in path honest.
+	DirOptBFS bool
 }
 
 func (c BenchConfig) withDefaults() BenchConfig {
@@ -85,9 +96,14 @@ type BenchReport struct {
 	Rows      []BenchRow `json:"rows"`
 
 	// Engine is the engine-amortization section (sccbench -exp engine).
-	// The bench and engine experiments each rewrite only their own
-	// section, preserving the other's from the existing file.
+	// Each experiment rewrites only its own section, preserving the
+	// others' from the existing file.
 	Engine *EngineReport `json:"engine,omitempty"`
+
+	// MultiPivot is the kernel-comparison section (sccbench -exp
+	// multipivot): worklist vs multi-pivot like-vs-like rows over the
+	// high-diameter stress set, gated by benchgate -multipivot.
+	MultiPivot *MultiPivotReport `json:"multipivot,omitempty"`
 }
 
 // BenchSweep measures Method2 over the configured datasets and
@@ -113,7 +129,10 @@ func BenchSweep(cfg BenchConfig) (BenchReport, error) {
 			return rep, err
 		}
 		g := d.Build(cfg.Scale)
-		opts := scc.Options{Algorithm: scc.Method2, Workers: cfg.Workers, Seed: cfg.Seed, Kernels: cfg.Kernels}
+		opts := scc.Options{
+			Algorithm: scc.Method2, Workers: cfg.Workers, Seed: cfg.Seed,
+			Kernels: cfg.Kernels, DirOptBFS: cfg.DirOptBFS,
+		}
 		row := BenchRow{Dataset: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
 
 		for i := 0; i < cfg.Warmup; i++ {

@@ -196,9 +196,71 @@ func withStandardTail(core *graph.Graph, div int, seed int64) *graph.Graph {
 	})
 }
 
-// Find returns the named dataset from the suite.
+// Extras returns the high-diameter stress datasets that are findable
+// by name (sccbench -data, the multipivot experiment) but excluded
+// from Names() — they are not Table 1 analogs, so the paper's figures
+// and the default bench sweep never include them.
+func Extras() []Dataset {
+	return []Dataset{
+		{
+			Name:        "deep-chain",
+			Description: "necklace of 256-node cycles chained head-to-tail (diameter ~n, untrimmable)",
+			SmallWorld:  false,
+			Build: func(s float64) *graph.Graph {
+				n := 1 << scaled(17, s)
+				const m = 256
+				cycles := n / m
+				if cycles < 2 {
+					cycles = 2
+				}
+				b := graph.NewBuilder(cycles * m)
+				for c := 0; c < cycles; c++ {
+					base := c * m
+					for i := 0; i < m; i++ {
+						b.AddEdge(graph.NodeID(base+i), graph.NodeID(base+(i+1)%m))
+					}
+					if c+1 < cycles {
+						b.AddEdge(graph.NodeID(base), graph.NodeID(base+m))
+					}
+				}
+				return b.Build()
+			},
+		},
+		{
+			Name:        "zig-zag",
+			Description: "two opposed chains closed into one giant ring with sparse one-way rungs (single SCC, diameter ~n)",
+			SmallWorld:  false,
+			Build: func(s float64) *graph.Graph {
+				n := 1 << scaled(16, s)
+				b := graph.NewBuilder(2 * n)
+				// Top chain runs forward, bottom chain runs backward; the
+				// two joins close the ring, so all 2n nodes are one SCC.
+				for i := 0; i < n-1; i++ {
+					b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+					b.AddEdge(graph.NodeID(n+i+1), graph.NodeID(n+i))
+				}
+				b.AddEdge(graph.NodeID(n-1), graph.NodeID(2*n-1))
+				b.AddEdge(graph.NodeID(n), 0)
+				// Sparse one-way rungs zig-zag across the strip: shortcuts
+				// forward along the ring that never reduce the backward
+				// distance, keeping the effective diameter Θ(n).
+				for i := 16; i < n; i += 16 {
+					b.AddEdge(graph.NodeID(i), graph.NodeID(n+i))
+				}
+				return b.Build()
+			},
+		},
+	}
+}
+
+// Find returns the named dataset from the suite or the extras.
 func Find(name string) (Dataset, error) {
 	for _, d := range Suite() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	for _, d := range Extras() {
 		if d.Name == name {
 			return d, nil
 		}

@@ -44,6 +44,12 @@ const (
 	// (sampling and full passes), once per chunk, exercising failure
 	// capture mid-union rather than at the pass boundary.
 	SiteUF
+	// SiteReach is hit inside the multi-pivot reachability kernel
+	// (internal/reach), once per concurrent wave (per frontier chunk
+	// when parallel), so injected failures land mid-sweep while the
+	// claim tables are half-written — the hardest rollback case the
+	// KernelsMultiPivot path has. Fires only under KernelsMultiPivot.
+	SiteReach
 	// SiteCondense is hit once per condensation build on the serving
 	// path (internal/server), after detection succeeds and before the
 	// new epoch is published. It exists to sabotage the rebuild at the
@@ -52,11 +58,11 @@ const (
 	// hits this site.
 	SiteCondense
 
-	numSites = 8
+	numSites = 9
 )
 
 // String returns the flag spelling of the site (trim, bfs, trim2,
-// wcc, task, peel, uf, condense).
+// wcc, task, peel, uf, reach, condense).
 func (s Site) String() string {
 	switch s {
 	case SiteTrim:
@@ -73,6 +79,8 @@ func (s Site) String() string {
 		return "peel"
 	case SiteUF:
 		return "uf"
+	case SiteReach:
+		return "reach"
 	case SiteCondense:
 		return "condense"
 	}
@@ -81,13 +89,13 @@ func (s Site) String() string {
 
 // Sites lists every injection site, in flag-spelling order.
 func Sites() []Site {
-	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteCondense}
+	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach, SiteCondense}
 }
 
 // EngineSites lists the sites the in-memory detection engine hits
 // (everything but the serving-path SiteCondense).
 func EngineSites() []Site {
-	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF}
+	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach}
 }
 
 // ParseSite maps a flag spelling (see Site.String) to its Site.
@@ -97,7 +105,7 @@ func ParseSite(name string) (Site, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|condense)", name)
+	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|reach|condense)", name)
 }
 
 // Panic is the value an injected panic panics with. Engine panic

@@ -64,10 +64,15 @@ func EstimateMemory(n int, alg Algorithm, opt Options) int64 {
 		// Par-WCC label array.
 		est += nn * 4
 	}
-	if opt.Kernels == KernelsWorklist {
-		// Counter-peeling trim state: in/out degree counters, claimed
+	if opt.Kernels != KernelsLegacy {
+		// Counter-peeling trim state (worklist and multi-pivot kernels
+		// both trim by counter peeling): in/out degree counters, claimed
 		// colors (int32 each) and the candidacy marks (1 byte).
 		est += nn * (3*4 + 1)
+	}
+	if opt.Kernels == KernelsMultiPivot {
+		// Forward + backward stamped claim tables (int64 each).
+		est += nn * 16
 	}
 	if opt.DirOptBFS {
 		// Bitmap frontier plus the remaining-candidates list the

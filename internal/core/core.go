@@ -28,6 +28,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
+	"repro/internal/reach"
 	"repro/internal/scratch"
 	"repro/internal/watchdog"
 	"repro/internal/worklist"
@@ -80,6 +81,17 @@ const (
 	// KernelsLegacy selects the paper's round-based fixpoint kernels:
 	// Par-Trim (Algorithm 4) and Par-WCC (Algorithm 7).
 	KernelsLegacy
+	// KernelsMultiPivot keeps the worklist trim/WCC kernels but
+	// replaces both phase 1's level-synchronous BFS and phase 2's
+	// per-task sequential DFS with the multi-pivot concurrent
+	// reachability engine (internal/reach): every live partition's
+	// search runs in the same wave-synchronous sweep over a stamped
+	// (vertex, pivot-label) claim table, and vertical local searches
+	// collapse long chains inside a wave. This caps the barrier count
+	// at the maximum partition depth divided by the local-search budget
+	// instead of paying the full diameter, which is what makes
+	// high-diameter (road-network-shaped) inputs cheap.
+	KernelsMultiPivot
 )
 
 // String returns the flag spelling of the kernel selection.
@@ -89,6 +101,8 @@ func (k Kernels) String() string {
 		return "worklist"
 	case KernelsLegacy:
 		return "legacy"
+	case KernelsMultiPivot:
+		return "multipivot"
 	default:
 		return "unknown"
 	}
@@ -403,6 +417,16 @@ type engine struct {
 	bwTrans [2]bfs.Transition
 	seedBuf [1]graph.NodeID
 	taskBuf []task
+
+	// Multi-pivot (KernelsMultiPivot) scratch, engine-hoisted for the
+	// same reason: the one-element phase-1 search seed, the per-round
+	// search list, the live-partition list and the per-worker
+	// next-round gather buffers all keep their capacity across rounds
+	// and runs.
+	mpSearch   [1]reach.Search
+	mpSearches []reach.Search
+	mpParts    []mpPart
+	mpNext     [][]mpPart
 
 	// taskFn is the phase-2 task body, bound once (first phase2 call)
 	// and retained across runs so the steady state never rebuilds the

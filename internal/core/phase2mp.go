@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/graph"
+	"repro/internal/chaos"
+	"repro/internal/events"
+	"repro/internal/reach"
+)
+
+// mpPart is one live phase-2 partition under KernelsMultiPivot: its
+// color, the pivot chosen for the current round, and its explicit node
+// list (the hybrid representation of §4.1 — always materialized here,
+// because the sweep classification needs the member list anyway).
+type mpPart struct {
+	c     int32
+	pivot graph.NodeID
+	nodes []graph.NodeID
+}
+
+// phase2Multi is the multi-pivot replacement for the task-parallel
+// recursive FW-BW phase: instead of one sequential DFS pair per
+// partition, each round runs ONE forward and ONE backward multi-source
+// reachability sweep covering every live partition at once
+// (internal/reach), then classifies and splits all partitions in
+// parallel. A round costs max-partition-depth wave barriers rather
+// than a queue dispatch per partition, and vertical local searches
+// inside the sweep collapse long chains — the recursion depth of a
+// diameter-D partition drops from O(D) dependent DFS steps to
+// O(D / LocalBudget) barriers.
+//
+// The claim tables are the only state the sweeps write; colors and
+// comp are rewritten only in the classification step after both sweeps
+// finish. An abort (chaos panic, stall, cancellation) inside a sweep
+// therefore discards nothing but the stamped tables, which the next
+// run reuses dirty by design.
+func (e *engine) phase2Multi(tasks []task) {
+	e.res.InitialTasks = len(tasks)
+	n := e.g.NumNodes()
+	workers := e.opt.Workers
+	rs := e.ar.Reach(n)
+	e.p2Nodes.Store(0)
+	e.p2SCCs.Store(0)
+
+	// Seed the live-partition list. Under the DisableHybrid ablation
+	// seed tasks carry no node list; the partition is materialized once
+	// here by scanning the color array — after that the multi-pivot
+	// phase is inherently hybrid (classification produces exact child
+	// lists for free).
+	parts := e.mpParts[:0]
+	for _, t := range tasks {
+		nodes := t.nodes
+		if nodes == nil {
+			nodes = e.ar.Worker(0).GetNodes(64)
+			for v := 0; v < n; v++ {
+				if atomic.LoadInt32(&e.color[v]) == t.c {
+					nodes = append(nodes, graph.NodeID(v))
+				}
+			}
+		}
+		if len(nodes) == 0 {
+			e.ar.Worker(0).PutNodes(nodes)
+			continue
+		}
+		parts = append(parts, mpPart{c: t.c, nodes: nodes})
+	}
+	// Per-worker gather buffers for the next round's partitions.
+	for len(e.mpNext) < workers {
+		e.mpNext = append(e.mpNext, nil)
+	}
+	next := e.mpNext[:workers]
+
+	for len(parts) > 0 && !e.stopped() {
+		e.ctr.AddPivotBatch()
+		searches := e.mpSearches[:0]
+		for i := range parts {
+			p := &parts[i]
+			p.pivot = p.nodes[int(e.rand64()%uint64(len(p.nodes)))]
+			searches = append(searches, reach.Search{Pivot: p.pivot, From: p.c})
+		}
+		e.mpSearches = searches
+
+		sF := e.ar.NextStamp()
+		fw := reach.Run(e.sink, e.g, workers, false, searches, e.color, rs.F, sF, reach.Config{}, e.ar)
+		sB := e.ar.NextStamp()
+		bw := reach.Run(e.sink, e.g, workers, true, searches, e.color, rs.B, sB, reach.Config{}, e.ar)
+		e.res.Phases[PhaseRecurFWBW].Rounds += fw.Waves + bw.Waves
+		if e.stopped() {
+			// The sweeps wrote only the stamped claim tables; colors are
+			// untouched, so there is no partial publication to unwind.
+			break
+		}
+
+		// Classify and split every partition. Each partition is touched
+		// by exactly one worker, which owns its node list and pushes the
+		// children onto its private gather buffer.
+		if workers == 1 {
+			// Direct calls: the steady-state zero-allocation path.
+			for i := range parts {
+				e.mpClassify(0, &parts[i], sF, sB, rs.F, rs.B)
+			}
+		} else {
+			ps, fTab, bTab := parts, rs.F, rs.B
+			e.ar.ForDynamic(workers, len(ps), 1, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e.mpClassify(w, &ps[i], sF, sB, fTab, bTab)
+				}
+			})
+		}
+
+		// Round barrier: gather the per-worker child partitions.
+		parts = parts[:0]
+		for w := range next {
+			parts = append(parts, next[w]...)
+			next[w] = next[w][:0]
+		}
+	}
+	e.mpParts = parts[:0]
+	e.res.Phases[PhaseRecurFWBW].Nodes += e.p2Nodes.Load()
+	e.res.Phases[PhaseRecurFWBW].SCCs += e.p2SCCs.Load()
+}
+
+// mpClassify splits one partition after a sweep round: FW∩BW members
+// are the pivot's SCC (Lemma 1) and are published; FW-only and BW-only
+// members move to fresh colors; the remainder keeps the partition's
+// color and its (in-place filtered) node list. Children go onto worker
+// w's private gather buffer for the next round.
+func (e *engine) mpClassify(w int, p *mpPart, sF, sB uint32, fTab, bTab []int64) {
+	e.ar.Chaos().Hit(chaos.SiteTask)
+	e.ctr.AddTask()
+	ws := e.ar.Worker(w)
+	pivot := int32(p.pivot)
+	fwList := ws.GetNodes(16)
+	bwList := ws.GetNodes(16)
+	// In-place filter: remain only ever holds already-visited indices,
+	// so it never overtakes the read cursor.
+	remain := p.nodes[:0]
+	var scc int64
+	var cfw, cbw int32
+	for _, v := range p.nodes {
+		inF := reach.Claimed(fTab[v], sF)
+		inB := reach.Claimed(bTab[v], sB)
+		switch {
+		case inF && inB:
+			e.comp[v] = pivot
+			atomic.StoreInt32(&e.color[v], Removed)
+			scc++
+		case inF:
+			if cfw == 0 {
+				cfw = e.newColor()
+			}
+			atomic.StoreInt32(&e.color[v], cfw)
+			fwList = append(fwList, v)
+		case inB:
+			if cbw == 0 {
+				cbw = e.newColor()
+			}
+			atomic.StoreInt32(&e.color[v], cbw)
+			bwList = append(bwList, v)
+		default:
+			remain = append(remain, v)
+		}
+	}
+
+	if len(fwList) > 0 {
+		e.mpNext[w] = append(e.mpNext[w], mpPart{c: cfw, nodes: fwList})
+	} else {
+		ws.PutNodes(fwList)
+	}
+	if len(bwList) > 0 {
+		e.mpNext[w] = append(e.mpNext[w], mpPart{c: cbw, nodes: bwList})
+	} else {
+		ws.PutNodes(bwList)
+	}
+	if len(remain) > 0 {
+		e.mpNext[w] = append(e.mpNext[w], mpPart{c: p.c, nodes: remain})
+	} else {
+		ws.PutNodes(p.nodes)
+	}
+
+	e.p2Nodes.Add(scc)
+	e.p2SCCs.Add(1)
+	if e.sink.Active() {
+		e.sink.Emit(events.Event{Type: events.TaskDone, Nodes: scc})
+	}
+	if e.opt.TraceTasks > 0 && e.taskCount.Add(1) <= int64(e.opt.TraceTasks) {
+		rec := TaskRecord{SCC: int(scc), FW: len(fwList), BW: len(bwList),
+			Remain: len(remain)}
+		e.logMu.Lock()
+		e.res.TaskLog = append(e.res.TaskLog, rec)
+		e.logMu.Unlock()
+	}
+}
+
+// phase1Reach is the multi-pivot kernel's phase-1 sweep: the same
+// FW/BW reachability as parFWBW's level-synchronous BFS pair, but run
+// through the stamped-claim kernel so vertical local searches collapse
+// a high-diameter giant partition's levels, and publication happens by
+// classifying the partition's member list against the claim tables.
+// Returns the found SCC's size and false when the run was canceled
+// mid-sweep (colors untouched, nothing published).
+func (e *engine) phase1Reach(c int32, pivot graph.NodeID, members []graph.NodeID) (int64, bool) {
+	rs := e.ar.Reach(e.g.NumNodes())
+	e.mpSearch[0] = reach.Search{Pivot: pivot, From: c}
+	sF := e.ar.NextStamp()
+	fw := reach.Run(e.sink, e.g, e.opt.Workers, false, e.mpSearch[:], e.color, rs.F, sF, reach.Config{}, e.ar)
+	sB := e.ar.NextStamp()
+	bw := reach.Run(e.sink, e.g, e.opt.Workers, true, e.mpSearch[:], e.color, rs.B, sB, reach.Config{}, e.ar)
+	if e.stopped() {
+		return 0, false
+	}
+	e.res.Phase1Levels += fw.Waves + bw.Waves
+	e.res.Phases[PhaseParFWBW].Rounds += fw.Waves + bw.Waves
+
+	cfw, cbw := e.newColor(), e.newColor()
+	var scc int64
+	if e.opt.Workers == 1 {
+		// Spelled out so no publication closure is built on the
+		// zero-allocation path.
+		for _, v := range members {
+			scc += e.mpPublish(v, pivot, cfw, cbw, rs.F, rs.B, sF, sB)
+		}
+	} else {
+		mem, fTab, bTab := members, rs.F, rs.B
+		var total atomic.Int64
+		e.ar.ForDynamic(e.opt.Workers, len(mem), 512, func(_, lo, hi int) {
+			var part int64
+			for i := lo; i < hi; i++ {
+				part += e.mpPublish(mem[i], pivot, cfw, cbw, fTab, bTab, sF, sB)
+			}
+			total.Add(part)
+		})
+		scc = total.Load()
+	}
+	return scc, true
+}
+
+// mpPublish classifies one phase-1 partition member against the sweep
+// tables, rewriting its color (SCC members are tombstoned with the
+// pivot as representative). Returns 1 when v joined the SCC.
+func (e *engine) mpPublish(v graph.NodeID, pivot graph.NodeID, cfw, cbw int32,
+	fTab, bTab []int64, sF, sB uint32) int64 {
+	inF := reach.Claimed(fTab[v], sF)
+	inB := reach.Claimed(bTab[v], sB)
+	switch {
+	case inF && inB:
+		e.comp[v] = int32(pivot)
+		atomic.StoreInt32(&e.color[v], Removed)
+		return 1
+	case inF:
+		atomic.StoreInt32(&e.color[v], cfw)
+	case inB:
+		atomic.StoreInt32(&e.color[v], cbw)
+	}
+	return 0
+}

@@ -59,6 +59,13 @@ func (q stealingQueue) abandon()              { q.StealingQueue.Abandon() }
 // work queue (the "until work queue is empty do in parallel" loop of
 // Algorithms 3, 6 and 9).
 func (e *engine) phase2(tasks []task) {
+	if e.opt.Kernels == KernelsMultiPivot {
+		// The multi-pivot kernel replaces the task queue wholesale: all
+		// live partitions advance together through shared reachability
+		// sweeps instead of dequeuing one DFS pair at a time.
+		e.phase2Multi(tasks)
+		return
+	}
 	e.res.InitialTasks = len(tasks)
 	// Scheduler selection. The persistent queue (e.pq, set by Engine
 	// runs whose shape matches) is reset and reused; otherwise a fresh

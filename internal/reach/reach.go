@@ -1,0 +1,288 @@
+// Package reach implements the multi-pivot concurrent reachability
+// kernel behind scc.KernelsMultiPivot, after Wang et al., "Parallel
+// Strong Connectivity Based on Faster Reachability" (arXiv:2303.04934).
+//
+// The per-task FW-BW recursion (internal/core/recur.go) runs one
+// sequential DFS per partition, so a high-diameter partition costs its
+// full diameter in dependent memory accesses and the engine pays one
+// task round per recursion level. This kernel instead runs MANY
+// forward (or backward) reachability searches at once, one per live
+// partition, over a single shared wave-synchronous frontier:
+//
+//   - Every live partition contributes its pivot as a seed; the wave
+//     loop expands all searches together, so the number of barriers per
+//     sweep is the maximum partition depth, not the sum.
+//   - Ownership is tracked in a (vertex, pivot-label) claim table
+//     rather than the color array: an int64 entry packs a sweep stamp
+//     (high 32 bits) and the claiming search's partition color (low 32
+//     bits). A vertex is claimed for this sweep by CAS'ing an entry
+//     whose stamp is stale to (stamp, label). Stale stamps read as
+//     unclaimed, so consecutive sweeps reuse the dirty table with no
+//     O(n) clear — the arena just issues a fresh stamp.
+//   - Searches never interfere: a search with label L only admits
+//     neighbors whose partition color equals L, and partition colors
+//     are distinct, so every vertex is claimable by exactly one search
+//     per sweep. The CAS only arbitrates between workers of the same
+//     search.
+//   - Vertical local search collapses chains: after claiming a
+//     frontier node's neighbors, the expanding worker walks the first
+//     claimed neighbor inline (up to Config.LocalBudget steps) instead
+//     of deferring it to the next wave. On a path graph this turns
+//     diameter/LocalBudget waves into one, which is what makes
+//     road-network-shaped inputs cheap; on small-world graphs the walk
+//     terminates immediately and costs nothing.
+//
+// The color array is strictly read-only during a sweep — claims live
+// entirely in the stamped table — so the caller classifies vertices
+// afterwards by comparing table stamps (forward hit, backward hit,
+// both, neither) and only then rewrites colors. A panic or stall
+// mid-sweep therefore leaves the engine's color/comp state untouched:
+// rollback is free, which is what the chaos site exercises.
+package reach
+
+import (
+	"sync/atomic"
+
+	"repro/graph"
+	"repro/internal/chaos"
+	"repro/internal/events"
+	"repro/internal/parallel"
+	"repro/internal/scratch"
+)
+
+// Search seeds one reachability search: a pivot vertex and the
+// partition color it must stay inside. From doubles as the search's
+// claim label — partition colors are unique among live partitions, so
+// no separate label space is needed.
+type Search struct {
+	Pivot graph.NodeID
+	From  int32
+}
+
+// Config tunes the kernel. The zero value selects defaults.
+type Config struct {
+	// LocalBudget caps the vertical local search: how many chain
+	// vertices one worker may walk inline per frontier node before the
+	// remainder is deferred to the next wave (preserving load balance
+	// across workers). <= 0 selects DefaultLocalBudget.
+	LocalBudget int
+}
+
+// DefaultLocalBudget bounds the inline chain walk. 64 divides ca-road's
+// ~1300 BFS levels down to ~20 wave barriers while keeping the largest
+// possible per-node work imbalance (64 extra edge scans) well under one
+// dynamic-dispatch chunk.
+const DefaultLocalBudget = 64
+
+// Result summarizes one sweep.
+type Result struct {
+	// Waves is the number of wave barriers the sweep ran.
+	Waves int
+	// Claims is the number of vertices claimed, excluding seeds.
+	Claims int64
+	// Collapses is the number of claimed vertices folded into an
+	// earlier wave by vertical local searches (a subset of Claims).
+	Collapses int64
+}
+
+// stampOf extracts the sweep stamp of a claim-table entry.
+func stampOf(e int64) uint32 { return uint32(uint64(e) >> 32) }
+
+// labelOf extracts the claiming label of a claim-table entry.
+func labelOf(e int64) int32 { return int32(uint32(uint64(e))) }
+
+// entry packs a (stamp, label) claim.
+func entry(stamp uint32, label int32) int64 {
+	return int64(uint64(stamp)<<32 | uint64(uint32(label)))
+}
+
+// Claimed reports whether claim-table entry e carries a live claim for
+// the sweep identified by stamp. Callers use it to classify vertices
+// after Run returns.
+func Claimed(e int64, stamp uint32) bool { return stampOf(e) == stamp }
+
+// Label returns the partition color that claimed entry e. Only
+// meaningful when Claimed(e, stamp) holds.
+func Label(e int64) int32 { return labelOf(e) }
+
+// Run performs one multi-source reachability sweep over g: every
+// search expands from its pivot simultaneously, following out-edges
+// (in-edges when reverse), admitting only vertices whose color equals
+// the search's From, and recording ownership in claims under stamp.
+// Seeds are claimed unconditionally and not counted in Result.Claims.
+//
+// claims must be at least g.NumNodes() long (scratch.Arena.Reach) and
+// may be arbitrarily dirty: only entries whose stamp matches are
+// treated as claimed, and stamp must be fresh for this sweep
+// (scratch.Arena.NextStamp). The color slice is read with plain loads
+// and MUST NOT be written concurrently.
+//
+// sink carries cancellation and observability (nil is valid and
+// free): each wave barrier emits a BFSLevel event and polls
+// cancellation, returning the partial result early when the run is
+// canceled — callers discard partial state via the sink's error.
+func Run(sink *events.Sink, g *graph.Graph, workers int, reverse bool, searches []Search,
+	color []int32, claims []int64, stamp uint32, cfg Config, ar *scratch.Arena) Result {
+
+	var res Result
+	if len(searches) == 0 {
+		return res
+	}
+	if workers < 1 {
+		workers = parallel.DefaultWorkers()
+	}
+	budget := cfg.LocalBudget
+	if budget <= 0 {
+		budget = DefaultLocalBudget
+	}
+	ctr := ar.Counters()
+
+	frontier := ar.GetNodes(len(searches))
+	for _, s := range searches {
+		// Seeds are one-per-partition, so plain stores suffice: no two
+		// searches share a pivot, and workers are not running yet.
+		claims[s.Pivot] = entry(stamp, s.From)
+		frontier = append(frontier, s.Pivot)
+	}
+	next := ar.GetLists(workers)
+	// cnt[w] = {claims won, local collapses} per worker; per-wave
+	// deltas feed the watchdog heartbeat.
+	cnt := ar.ClaimMatrix(workers, 2)
+	single := workers == 1
+	var prevClaims, prevColl int64
+
+	for len(frontier) > 0 {
+		if sink.Err() != nil {
+			break
+		}
+		res.Waves++
+		sink.Emit(events.Event{Type: events.BFSLevel, Round: res.Waves, Frontier: len(frontier)})
+		if single {
+			// Direct call: no closure, no goroutines — the steady-state
+			// zero-allocation path.
+			ar.Chaos().Hit(chaos.SiteReach)
+			expandReachST(g, reverse, frontier, color, claims, stamp, budget, &next[0], cnt[0])
+		} else {
+			// Single-assignment shadows so the closure captures by value
+			// and the single-worker path above stays allocation-free.
+			fr, inj, bud := frontier, ar.Chaos(), budget
+			// Small chunks: vertical walks give frontier entries wildly
+			// varying cost even on uniform-degree graphs.
+			ar.ForDynamic(workers, len(fr), 64, func(w, lo, hi int) {
+				if lo == 0 {
+					// One chaos hit per wave, from inside the dispatch.
+					inj.Hit(chaos.SiteReach)
+				}
+				expandReach(g, reverse, fr, lo, hi, color, claims, stamp, bud, &next[w], cnt[w])
+			})
+		}
+		// Wave barrier: merge per-worker buffers into the new frontier.
+		frontier = frontier[:0]
+		var totClaims, totColl int64
+		for w := range next {
+			frontier = append(frontier, next[w]...)
+			next[w] = next[w][:0]
+			totClaims += cnt[w][0]
+			totColl += cnt[w][1]
+		}
+		ctr.AddReachWave(totClaims-prevClaims, totColl-prevColl)
+		prevClaims, prevColl = totClaims, totColl
+	}
+	res.Claims, res.Collapses = prevClaims, prevColl
+	ar.PutLists(next)
+	ar.PutNodes(frontier)
+	return res
+}
+
+// expandReachST is expandReach for the single-worker path: with no
+// concurrent claimer the claim CAS degrades to a plain store and the
+// stamp probe to a plain load. That removes a LOCK-prefixed
+// read-modify-write per claimed vertex plus an atomic load per scanned
+// edge, which is the dominant non-cache cost of a one-worker sweep —
+// the same specialization the peel kernels make (peelDrainRangeST).
+func expandReachST(g *graph.Graph, reverse bool, frontier []graph.NodeID,
+	color []int32, claims []int64, stamp uint32, budget int, buf *[]graph.NodeID, cnt []int64) {
+	for _, v := range frontier {
+		label := labelOf(claims[v])
+		walk := v
+		for steps := 0; ; steps++ {
+			var nbrs []graph.NodeID
+			if reverse {
+				nbrs = g.In(walk)
+			} else {
+				nbrs = g.Out(walk)
+			}
+			cont := graph.NodeID(-1)
+			for _, t := range nbrs {
+				if color[t] != label || stampOf(claims[t]) == stamp {
+					continue
+				}
+				claims[t] = entry(stamp, label)
+				cnt[0]++
+				if cont < 0 && steps < budget {
+					cont = t
+					cnt[1]++
+				} else {
+					*buf = append(*buf, t)
+				}
+			}
+			if cont < 0 {
+				break
+			}
+			walk = cont
+		}
+	}
+}
+
+// expandReach expands frontier[lo:hi]: for each vertex it recovers the
+// owning search's label from the vertex's own claim entry, claims
+// same-colored neighbors into the stamped table, then walks the first
+// claim of each expansion inline (the vertical local search) for up to
+// budget steps, pushing only the claims it cannot absorb. It is a
+// plain function (not a closure) so the multi-worker dispatch can call
+// it without any per-wave allocation. cnt is the worker's {claims,
+// collapses} tally.
+func expandReach(g *graph.Graph, reverse bool, frontier []graph.NodeID, lo, hi int,
+	color []int32, claims []int64, stamp uint32, budget int, buf *[]graph.NodeID, cnt []int64) {
+	for i := lo; i < hi; i++ {
+		v := frontier[i]
+		// The frontier only ever holds claimed vertices, so the entry is
+		// ours and stable; atomic load for race-detector cleanliness.
+		label := labelOf(atomic.LoadInt64(&claims[v]))
+		walk := v
+		for steps := 0; ; steps++ {
+			var nbrs []graph.NodeID
+			if reverse {
+				nbrs = g.In(walk)
+			} else {
+				nbrs = g.Out(walk)
+			}
+			cont := graph.NodeID(-1)
+			for _, t := range nbrs {
+				if color[t] != label {
+					continue
+				}
+				old := atomic.LoadInt64(&claims[t])
+				if stampOf(old) == stamp {
+					continue // already claimed this sweep
+				}
+				if !atomic.CompareAndSwapInt64(&claims[t], old, entry(stamp, label)) {
+					continue // concurrently claimed
+				}
+				cnt[0]++
+				if cont < 0 && steps < budget {
+					// Absorb the first claim into this wave instead of
+					// deferring it a barrier.
+					cont = t
+					cnt[1]++
+				} else {
+					*buf = append(*buf, t)
+				}
+			}
+			if cont < 0 {
+				break
+			}
+			walk = cont
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/internal/scratch"
+)
+
+// chain builds 0 -> 1 -> ... -> n-1.
+func chain(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	return b.Build()
+}
+
+func claimedSet(t *testing.T, claims []int64, stamp uint32) map[graph.NodeID]int32 {
+	t.Helper()
+	got := map[graph.NodeID]int32{}
+	for v, e := range claims {
+		if Claimed(e, stamp) {
+			got[graph.NodeID(v)] = Label(e)
+		}
+	}
+	return got
+}
+
+func TestChainSingleSearch(t *testing.T) {
+	const n = 1000
+	g := chain(n)
+	color := make([]int32, n)
+	claims := make([]int64, n)
+	searches := []Search{{Pivot: 0, From: 0}}
+
+	res := Run(nil, g, 1, false, searches, color, claims, 1, Config{}, nil)
+	if res.Claims != n-1 {
+		t.Fatalf("claimed %d nodes, want %d", res.Claims, n-1)
+	}
+	if res.Collapses == 0 {
+		t.Fatalf("no vertical collapses on a pure chain")
+	}
+	// With budget B the chain advances B+1 nodes per wave, so the wave
+	// count must be ~n/(B+1), not ~n.
+	maxWaves := n/(DefaultLocalBudget+1) + 2
+	if res.Waves > maxWaves {
+		t.Fatalf("%d waves for a %d-chain with budget %d, want <= %d",
+			res.Waves, n, DefaultLocalBudget, maxWaves)
+	}
+	for v := 0; v < n; v++ {
+		if !Claimed(claims[v], 1) {
+			t.Fatalf("node %d unclaimed", v)
+		}
+	}
+}
+
+func TestBudgetBoundsWaves(t *testing.T) {
+	const n = 500
+	g := chain(n)
+	color := make([]int32, n)
+	claims := make([]int64, n)
+	searches := []Search{{Pivot: 0, From: 0}}
+
+	tight := Run(nil, g, 1, false, searches, color, claims, 1, Config{LocalBudget: 1}, nil)
+	loose := Run(nil, g, 1, false, searches, color, claims, 2, Config{LocalBudget: 100}, nil)
+	if tight.Claims != loose.Claims {
+		t.Fatalf("claims differ across budgets: %d vs %d", tight.Claims, loose.Claims)
+	}
+	if loose.Waves >= tight.Waves {
+		t.Fatalf("budget 100 took %d waves, budget 1 took %d — larger budget must collapse more",
+			loose.Waves, tight.Waves)
+	}
+}
+
+// TestPartitionIsolation runs two concurrent searches over adjacent
+// partitions with cross edges both ways: neither search may claim the
+// other's vertices, whatever the schedule.
+func TestPartitionIsolation(t *testing.T) {
+	const half = 300
+	b := graph.NewBuilder(2 * half)
+	for i := 0; i < half-1; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		b.AddEdge(graph.NodeID(half+i), graph.NodeID(half+i+1))
+	}
+	// Cross edges between the partitions at every position.
+	for i := 0; i < half; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(half+i))
+		b.AddEdge(graph.NodeID(half+i), graph.NodeID(i))
+	}
+	g := b.Build()
+	color := make([]int32, 2*half)
+	for v := half; v < 2*half; v++ {
+		color[v] = 7
+	}
+	claims := make([]int64, 2*half)
+	searches := []Search{{Pivot: 0, From: 0}, {Pivot: half, From: 7}}
+
+	for _, workers := range []int{1, 4} {
+		ar := scratch.New(workers, nil)
+		stamp := ar.NextStamp()
+		Run(nil, g, workers, false, searches, color, claims, stamp, Config{}, ar)
+		got := claimedSet(t, claims, stamp)
+		if len(got) != 2*half {
+			t.Fatalf("workers=%d: claimed %d nodes, want %d", workers, len(got), 2*half)
+		}
+		for v, label := range got {
+			if label != color[v] {
+				t.Fatalf("workers=%d: node %d claimed by label %d, its color is %d",
+					workers, v, label, color[v])
+			}
+		}
+		ar.Close()
+	}
+}
+
+func TestReverseSweep(t *testing.T) {
+	const n = 100
+	g := chain(n)
+	color := make([]int32, n)
+	claims := make([]int64, n)
+
+	res := Run(nil, g, 1, true, []Search{{Pivot: n - 1, From: 0}}, color, claims, 5, Config{}, nil)
+	if res.Claims != n-1 {
+		t.Fatalf("backward sweep claimed %d, want %d", res.Claims, n-1)
+	}
+	res = Run(nil, g, 1, true, []Search{{Pivot: 0, From: 0}}, color, claims, 6, Config{}, nil)
+	if res.Claims != 0 {
+		t.Fatalf("backward sweep from the chain head claimed %d, want 0", res.Claims)
+	}
+}
+
+// TestDirtyTableReuse checks the stamp protocol: a second sweep on the
+// same (dirty) tables under a fresh stamp must not see the first
+// sweep's claims.
+func TestDirtyTableReuse(t *testing.T) {
+	const n = 200
+	g := chain(n)
+	color := make([]int32, n)
+	ar := scratch.New(1, nil)
+	defer ar.Close()
+	rs := ar.Reach(n)
+
+	s1 := ar.NextStamp()
+	Run(nil, g, 1, false, []Search{{Pivot: 0, From: 0}}, color, rs.F, s1, Config{}, ar)
+	// Second sweep from mid-chain: under a stale-blind table it would
+	// claim nothing (everything already marked); under the stamp
+	// protocol it claims the downstream half.
+	s2 := ar.NextStamp()
+	res := Run(nil, g, 1, false, []Search{{Pivot: n / 2, From: 0}}, color, rs.F, s2, Config{}, ar)
+	if res.Claims != n/2-1 {
+		t.Fatalf("dirty-table sweep claimed %d, want %d", res.Claims, n/2-1)
+	}
+	for v := 0; v < n/2; v++ {
+		if Claimed(rs.F[v], s2) {
+			t.Fatalf("node %d claimed by stamp %d but is upstream of the pivot", v, s2)
+		}
+	}
+}
+
+// TestParallelMatchesSerial claims the same vertex set at any worker
+// count on a branchy graph (binary tree plus chains).
+func TestParallelMatchesSerial(t *testing.T) {
+	const n = 4096
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.NodeID(i/2), graph.NodeID(i))
+	}
+	g := b.Build()
+	color := make([]int32, n)
+
+	ref := make([]int64, n)
+	Run(nil, g, 1, false, []Search{{Pivot: 0, From: 0}}, color, ref, 1, Config{}, nil)
+	want := claimedSet(t, ref, 1)
+
+	ar := scratch.New(4, nil)
+	defer ar.Close()
+	rs := ar.Reach(n)
+	stamp := ar.NextStamp()
+	Run(nil, g, 4, false, []Search{{Pivot: 0, From: 0}}, color, rs.F, stamp, Config{}, ar)
+	got := claimedSet(t, rs.F, stamp)
+	if len(got) != len(want) {
+		t.Fatalf("workers=4 claimed %d nodes, serial claimed %d", len(got), len(want))
+	}
+	for v := range want {
+		if _, ok := got[v]; !ok {
+			t.Fatalf("workers=4 missed node %d", v)
+		}
+	}
+}
+
+// TestSteadyStateAllocs pins the kernel's zero-allocation steady
+// state: with a warm arena, repeated sweeps allocate nothing.
+func TestSteadyStateAllocs(t *testing.T) {
+	const n = 2000
+	g := chain(n)
+	color := make([]int32, n)
+	ar := scratch.New(1, nil)
+	defer ar.Close()
+	searches := []Search{{Pivot: 0, From: 0}}
+
+	// Warm the arena pools.
+	rs := ar.Reach(n)
+	Run(nil, g, 1, false, searches, color, rs.F, ar.NextStamp(), Config{}, ar)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		rs := ar.Reach(n)
+		stamp := ar.NextStamp()
+		Run(nil, g, 1, false, searches, color, rs.F, stamp, Config{}, ar)
+		Run(nil, g, 1, true, searches, color, rs.B, stamp, Config{}, ar)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sweep allocates %.1f/op, want 0", allocs)
+	}
+}

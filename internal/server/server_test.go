@@ -289,6 +289,61 @@ func TestChaosKernelSiteRollback(t *testing.T) {
 	}
 }
 
+// TestChaosReachRebuildRollback runs the server on a multi-pivot
+// engine and sabotages rebuild attempt 2 inside the reach sweep: the
+// detection fails typed, the old epoch keeps serving with zero query
+// 5xx, and the retry publishes the new epoch. This is the end-to-end
+// form of the kernel's free-rollback property — a mid-sweep panic
+// leaves only dirty claim tables behind, never a half-published epoch.
+func TestChaosReachRebuildRollback(t *testing.T) {
+	cfg := quietCfg()
+	cfg.Options = scc.Options{Kernels: scc.KernelsMultiPivot, Workers: 2, Seed: 5}
+	cfg.RebuildChaos = &scc.ChaosConfig{PanicAt: map[string]int64{"reach": 1}}
+	cfg.ChaosAtRebuild = 2
+	s, ts := newTestServer(t, cfg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _ := getJSON(t, ts.URL+"/same?u=0&v=2")
+				if code >= 500 {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+
+	resp, m := postBody(t, ts.URL+"/update?wait=1", "4 0\n")
+	close(stop)
+	wg.Wait()
+	if resp.StatusCode != http.StatusOK || m["rebuilt"] != true {
+		t.Fatalf("update through reach-sabotaged rebuild: status %d body %v", resp.StatusCode, m)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("query 5xx during sabotaged rebuild: %d, want 0", bad.Load())
+	}
+	if s.Counters().RebuildFailures.Load() < 1 {
+		t.Errorf("RebuildFailures = %d, want >= 1", s.Counters().RebuildFailures.Load())
+	}
+	if got := s.Snapshot().Epoch; got != 2 {
+		t.Errorf("epoch after retry = %d, want 2", got)
+	}
+	code, q := getJSON(t, ts.URL+"/same?u=0&v=4")
+	if code != http.StatusOK || q["same"] != true {
+		t.Errorf("post-rollback same 0 4: status %d same=%v", code, q["same"])
+	}
+}
+
 // TestLoadSheddingAndDrain pins the single execution slot with the
 // test hold, then checks the full overload ladder: queue wait elapses
 // → 429, queue full → 429, draining → 503, release → the pinned

@@ -13,10 +13,13 @@ import (
 // pass), "task" (per phase-2 recursive FW-BW task), "peel" (inside the
 // counter-peeling trim kernel's drain loop, per wave or per frontier
 // chunk), "uf" (inside the union-find WCC kernel's hook loops, per
-// chunk), and "condense" (once per condensation build on the serving
-// path's rebuild — internal/server — after detection succeeds). The
-// "peel" and "uf" sites fire only under KernelsWorklist; "condense" is
-// never hit by Detect itself, only by the server's rebuild.
+// chunk), "reach" (inside the multi-pivot reachability kernel, once
+// per concurrent wave — per frontier chunk when parallel), and
+// "condense" (once per condensation build on the serving path's
+// rebuild — internal/server — after detection succeeds). The "peel"
+// and "uf" sites fire only under KernelsWorklist and "reach" only
+// under KernelsMultiPivot; "condense" is never hit by Detect itself,
+// only by the server's rebuild.
 func ChaosSites() []string {
 	sites := chaos.Sites()
 	names := make([]string, len(sites))

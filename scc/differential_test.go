@@ -127,16 +127,22 @@ func chainOfTwoCycles(pairs int) *graph.Graph {
 	return b.Build()
 }
 
-// TestDifferentialKernels runs every parallel algorithm under both
-// kernel sets — the legacy round-based Par-Trim/Par-WCC and the
-// work-efficient worklist kernels — and requires canonically identical
-// partitions against Tarjan, on random, planted-oracle and
-// deep-peeling graphs. The distributed pipeline is held to the same
-// bar under both Kernels settings.
+// TestDifferentialKernels runs every parallel algorithm under all
+// three kernel sets — the legacy round-based Par-Trim/Par-WCC, the
+// work-efficient worklist kernels, and the multi-pivot reachability
+// kernel — and requires canonically identical partitions against
+// Tarjan, on random, planted-oracle, deep-peeling and high-diameter
+// graphs. The distributed pipeline is held to the same bar under
+// every Kernels setting.
 func TestDifferentialKernels(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	graphs := map[string]*graph.Graph{
 		"chain-of-2-cycles": chainOfTwoCycles(400),
+		// High-diameter shapes: the multi-pivot kernel's vertical local
+		// searches must not change the answer, only the wave count.
+		"deep-chain":      chainGraph(1200),
+		"cycle-of-chains": cycleOfChains(8, 150),
+		"lollipop":        lollipop(200, 600),
 		"planted": gen.PlantedSCCs(gen.PlantedConfig{
 			Sizes:      gen.PowerLawSizes(180, 2.1, 60, 700, 21),
 			IntraExtra: 1.2,
@@ -162,7 +168,7 @@ func TestDifferentialKernels(t *testing.T) {
 		graphs[fmt.Sprintf("random-%d", trial)] = b.Build()
 	}
 
-	kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy}
+	kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy, scc.KernelsMultiPivot}
 	algs := []scc.Algorithm{scc.Baseline, scc.Method1, scc.Method2}
 	for name, g := range graphs {
 		t.Run(name, func(t *testing.T) {

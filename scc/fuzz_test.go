@@ -40,23 +40,33 @@ func FuzzDetect(f *testing.F) {
 	f.Add([]byte{2, 0, 0, 0, 1, 0, 1, 0, 0, 0}) // 2-cycle
 	f.Add([]byte{0, 1, 5, 0, 9, 0, 9, 0, 5, 0}) // cycle in a 257-node graph
 	f.Add([]byte{255, 255, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	// High-diameter shapes: the topologies the multi-pivot kernel's
+	// vertical local searches reorder most aggressively, seeded so the
+	// fuzzer mutates from deep-traversal starting points.
+	f.Add(encodeGraph(chainGraph(200)))
+	f.Add(encodeGraph(cycleOfChains(4, 50)))
+	f.Add(encodeGraph(lollipop(40, 120)))
+	f.Add(encodeGraph(necklace(6, 20)))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := graphFromBytes(data)
-		res, err := scc.Detect(g, scc.Options{
-			Algorithm: scc.Method2, Workers: 2, Seed: 1, Validate: true,
-		})
-		if err != nil {
-			t.Fatalf("detect: %v", err)
-		}
 		ref, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
 		if err != nil {
 			t.Fatalf("tarjan: %v", err)
 		}
-		if res.NumSCCs != ref.NumSCCs {
-			t.Fatalf("NumSCCs %d, want %d", res.NumSCCs, ref.NumSCCs)
-		}
-		if !scc.SamePartition(res.Comp, ref.Comp) {
-			t.Fatal("Method2 partition differs from Tarjan")
+		for _, kern := range []scc.Kernels{scc.KernelsWorklist, scc.KernelsMultiPivot} {
+			res, err := scc.Detect(g, scc.Options{
+				Algorithm: scc.Method2, Workers: 2, Seed: 1,
+				Kernels: kern, Validate: true,
+			})
+			if err != nil {
+				t.Fatalf("detect/%v: %v", kern, err)
+			}
+			if res.NumSCCs != ref.NumSCCs {
+				t.Fatalf("%v: NumSCCs %d, want %d", kern, res.NumSCCs, ref.NumSCCs)
+			}
+			if !scc.SamePartition(res.Comp, ref.Comp) {
+				t.Fatalf("%v partition differs from Tarjan", kern)
+			}
 		}
 	})
 }

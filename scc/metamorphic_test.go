@@ -23,7 +23,9 @@ func relabel(g *graph.Graph, perm []graph.NodeID) *graph.Graph {
 }
 
 // metamorphicGraphs is a smaller matrix than the differential one:
-// each graph is decomposed several times per relation.
+// each graph is decomposed several times per relation. The
+// high-diameter shapes (necklace, lollipop) are in so the multi-pivot
+// kernel's vertical local searches face every relation too.
 func metamorphicGraphs() map[string]*graph.Graph {
 	return map[string]*graph.Graph{
 		"smallworld": gen.SmallWorldSCC(1500, 200, 2.3, 32, 1.0, 23).Graph,
@@ -35,8 +37,15 @@ func metamorphicGraphs() map[string]*graph.Graph {
 			Shuffle:    true,
 			Seed:       31,
 		}).Graph,
+		"necklace": necklace(12, 50),
+		"lollipop": lollipop(100, 400),
 	}
 }
+
+// metamorphicKernels is the kernel dimension every relation runs
+// under: the default worklist kernels and the multi-pivot reachability
+// kernel (legacy is covered by the differential matrix).
+var metamorphicKernels = []scc.Kernels{scc.KernelsWorklist, scc.KernelsMultiPivot}
 
 // TestMetamorphicRelabel checks the metamorphic relation under vertex
 // relabeling: for any permutation π, the SCC partition of π(g) is the
@@ -47,34 +56,36 @@ func TestMetamorphicRelabel(t *testing.T) {
 	for name, g := range metamorphicGraphs() {
 		t.Run(name, func(t *testing.T) {
 			n := g.NumNodes()
-			base, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: 3, Validate: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			rng := rand.New(rand.NewSource(99))
-			for trial := 0; trial < 3; trial++ {
-				perm := make([]graph.NodeID, n)
-				for i := range perm {
-					perm[i] = graph.NodeID(i)
-				}
-				rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-				pg := relabel(g, perm)
-				pres, err := scc.Detect(pg, scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: int64(trial), Validate: true})
+			for _, kern := range metamorphicKernels {
+				base, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: 3, Kernels: kern, Validate: true})
 				if err != nil {
 					t.Fatal(err)
 				}
-				if pres.NumSCCs != base.NumSCCs {
-					t.Fatalf("trial %d: NumSCCs %d, want %d", trial, pres.NumSCCs, base.NumSCCs)
-				}
-				// Pull the permuted labeling back through π and compare
-				// partitions (labels are representatives, so only the
-				// induced partition is comparable).
-				pulled := make([]int32, n)
-				for v := 0; v < n; v++ {
-					pulled[v] = pres.Comp[perm[v]]
-				}
-				if !scc.SamePartition(base.Comp, pulled) {
-					t.Fatalf("trial %d: partition not invariant under relabeling", trial)
+				rng := rand.New(rand.NewSource(99))
+				for trial := 0; trial < 3; trial++ {
+					perm := make([]graph.NodeID, n)
+					for i := range perm {
+						perm[i] = graph.NodeID(i)
+					}
+					rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+					pg := relabel(g, perm)
+					pres, err := scc.Detect(pg, scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: int64(trial), Kernels: kern, Validate: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pres.NumSCCs != base.NumSCCs {
+						t.Fatalf("%v trial %d: NumSCCs %d, want %d", kern, trial, pres.NumSCCs, base.NumSCCs)
+					}
+					// Pull the permuted labeling back through π and compare
+					// partitions (labels are representatives, so only the
+					// induced partition is comparable).
+					pulled := make([]int32, n)
+					for v := 0; v < n; v++ {
+						pulled[v] = pres.Comp[perm[v]]
+					}
+					if !scc.SamePartition(base.Comp, pulled) {
+						t.Fatalf("%v trial %d: partition not invariant under relabeling", kern, trial)
+					}
 				}
 			}
 		})
@@ -87,19 +98,21 @@ func TestMetamorphicRelabel(t *testing.T) {
 func TestMetamorphicReverse(t *testing.T) {
 	for name, g := range metamorphicGraphs() {
 		t.Run(name, func(t *testing.T) {
-			base, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: 3, Validate: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			rres, err := scc.Detect(g.Reverse(), scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: 7, Validate: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if rres.NumSCCs != base.NumSCCs {
-				t.Fatalf("NumSCCs %d, want %d", rres.NumSCCs, base.NumSCCs)
-			}
-			if !scc.SamePartition(base.Comp, rres.Comp) {
-				t.Fatal("partition not invariant under edge reversal")
+			for _, kern := range metamorphicKernels {
+				base, err := scc.Detect(g, scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: 3, Kernels: kern, Validate: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rres, err := scc.Detect(g.Reverse(), scc.Options{Algorithm: scc.Method2, Workers: 4, Seed: 7, Kernels: kern, Validate: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rres.NumSCCs != base.NumSCCs {
+					t.Fatalf("%v: NumSCCs %d, want %d", kern, rres.NumSCCs, base.NumSCCs)
+				}
+				if !scc.SamePartition(base.Comp, rres.Comp) {
+					t.Fatalf("%v: partition not invariant under edge reversal", kern)
+				}
 			}
 		})
 	}

@@ -44,16 +44,25 @@ func TestChaosPanicMatrix(t *testing.T) {
 	base := runtime.NumGoroutine()
 
 	for _, site := range scc.ChaosSites() {
-		// The shared sites fire under both kernel sets; "peel" and "uf"
-		// exist only inside the worklist kernels. "condense" lives on
-		// the serving path (internal/server), not inside Detect, so a
-		// plain run never hits it.
+		// Each site runs under every kernel set that can actually hit
+		// it: "peel"/"uf" exist only inside the counter-peeling kernels
+		// (which both the worklist and multi-pivot sets use for
+		// trim/WCC), "reach" only inside the multi-pivot sweep, and
+		// "bfs" only in the level-synchronous phase-1 the multi-pivot
+		// kernel replaces. "condense" lives on the serving path
+		// (internal/server), not inside Detect, so a plain run never
+		// hits it.
 		if site == "condense" {
 			continue
 		}
-		kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy}
-		if site == "peel" || site == "uf" {
-			kernels = []scc.Kernels{scc.KernelsWorklist}
+		kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy, scc.KernelsMultiPivot}
+		switch site {
+		case "peel", "uf":
+			kernels = []scc.Kernels{scc.KernelsWorklist, scc.KernelsMultiPivot}
+		case "reach":
+			kernels = []scc.Kernels{scc.KernelsMultiPivot}
+		case "bfs":
+			kernels = []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy}
 		}
 		for _, kern := range kernels {
 			for _, workers := range []int{1, 4} {
@@ -98,6 +107,87 @@ func TestChaosPanicMatrix(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestChaosReachOrdinalsOnEngine drives the "reach" site at exact hit
+// ordinals through one pinned multi-pivot engine: every sabotaged run
+// fails with a typed *PanicError naming the site (the sweep wrote only
+// its stamped claim tables, so there is no partial publication to
+// unwind), and the SAME engine instance then serves a clean run whose
+// partition matches Tarjan.
+func TestChaosReachOrdinalsOnEngine(t *testing.T) {
+	g := chaosGraph()
+	want, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := scc.New(scc.Options{
+		Algorithm: scc.Method2, Workers: 2, Seed: 5, Kernels: scc.KernelsMultiPivot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	for _, ordinal := range []int64{1, 2, 4} {
+		res, err := eng.Detect(ctx, g, scc.WithChaos(&scc.ChaosConfig{
+			PanicAt: map[string]int64{"reach": ordinal},
+		}))
+		if res != nil {
+			t.Fatalf("reach:%d: panicking run returned a result", ordinal)
+		}
+		var pe *scc.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("reach:%d: want *PanicError, got %v", ordinal, err)
+		}
+		if !strings.Contains(fmt.Sprint(pe.Value), "chaos: injected panic at reach") {
+			t.Fatalf("reach:%d: panic value %v does not name the site", ordinal, pe.Value)
+		}
+		clean, err := eng.Detect(ctx, g)
+		if err != nil {
+			t.Fatalf("clean run after reach:%d panic: %v", ordinal, err)
+		}
+		if !scc.SamePartition(clean.Comp, want.Comp) {
+			t.Fatalf("clean run after reach:%d panic diverges from Tarjan", ordinal)
+		}
+	}
+}
+
+// TestChaosReachStall wedges the second reach wave forever: the
+// watchdog sees no kernel progress and aborts with ErrStalled, nothing
+// leaks, and a fresh clean run still matches Tarjan.
+func TestChaosReachStall(t *testing.T) {
+	g := chaosGraph()
+	base := runtime.NumGoroutine()
+	res, err := scc.Detect(g, scc.Options{
+		Algorithm:    scc.Method2,
+		Workers:      4,
+		Seed:         5,
+		Kernels:      scc.KernelsMultiPivot,
+		StallTimeout: 200 * time.Millisecond,
+		Chaos:        &scc.ChaosConfig{StallAt: map[string]int64{"reach": 2}},
+	})
+	if res != nil {
+		t.Fatalf("stalled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, scc.ErrStalled) {
+		t.Fatalf("errors.Is(err, ErrStalled) = false; err = %v", err)
+	}
+	waitGoroutines(t, base)
+
+	want, err := scc.Detect(g, scc.Options{Algorithm: scc.Tarjan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := scc.Detect(g, scc.Options{
+		Algorithm: scc.Method2, Workers: 4, Seed: 5, Kernels: scc.KernelsMultiPivot,
+	})
+	if err != nil {
+		t.Fatalf("clean run after stall: %v", err)
+	}
+	if !scc.SamePartition(clean.Comp, want.Comp) {
+		t.Fatal("clean run after stall diverges from Tarjan")
 	}
 }
 
@@ -266,7 +356,7 @@ func TestMemoryBudgetTooSmall(t *testing.T) {
 // not run on the parallel engine, so there is nothing to budget.
 func TestEstimateMemoryNonEngine(t *testing.T) {
 	for _, alg := range []scc.Algorithm{scc.Tarjan, scc.OBF} {
-		if est := scc.EstimateMemory(1 << 16, scc.Options{Algorithm: alg}); est != 0 {
+		if est := scc.EstimateMemory(1<<16, scc.Options{Algorithm: alg}); est != 0 {
 			t.Fatalf("%v estimate = %d, want 0", alg, est)
 		}
 	}
@@ -315,7 +405,7 @@ func TestParseChaosSpec(t *testing.T) {
 		t.Fatal("bad ordinal accepted")
 	}
 	sites := scc.ChaosSites()
-	if len(sites) != 8 {
+	if len(sites) != 9 {
 		t.Fatalf("ChaosSites = %v", sites)
 	}
 	for _, s := range sites {

@@ -136,9 +136,21 @@ const (
 	// rounds. Kept for ablation and as the reference the differential
 	// suite compares against.
 	KernelsLegacy
+	// KernelsMultiPivot keeps the worklist trim/WCC kernels but runs
+	// every FW/BW reachability — phase 1's giant-SCC sweeps and the
+	// whole recursive phase — through a multi-pivot concurrent
+	// reachability engine (after Wang et al., arXiv:2303.04934): all
+	// live partitions search simultaneously over a stamped (vertex,
+	// pivot-label) claim table, and vertical local searches collapse
+	// long chains inside one wave. Same partition as the other kernels;
+	// dramatically fewer barriers on high-diameter (road-network,
+	// deep-chain) graphs. TraceSchedule is ignored under this kernel —
+	// there is no per-task schedule to record.
+	KernelsMultiPivot
 )
 
-// String returns the flag spelling ("worklist", "legacy").
+// String returns the flag spelling ("worklist", "legacy",
+// "multipivot").
 func (k Kernels) String() string { return core.Kernels(k).String() }
 
 // ParseKernels maps a flag spelling (see Kernels.String) to its
@@ -149,8 +161,10 @@ func ParseKernels(s string) (Kernels, error) {
 		return KernelsWorklist, nil
 	case "legacy":
 		return KernelsLegacy, nil
+	case "multipivot":
+		return KernelsMultiPivot, nil
 	}
-	return 0, fmt.Errorf("scc: unknown kernels %q (want worklist|legacy)", s)
+	return 0, fmt.Errorf("scc: unknown kernels %q (want worklist|legacy|multipivot)", s)
 }
 
 // Phase identifies one segment of a parallel run's execution
@@ -397,8 +411,19 @@ type MetricsSnapshot struct {
 	UFUnions     int64
 	UFFindHops   int64
 	SampledSkips int64
-	// Tasks is the number of recursive-phase tasks executed; Steals
-	// the successful steals under the work-stealing ablation.
+	// PivotBatches is the number of multi-pivot sweep rounds (one
+	// concurrent FW+BW reachability pass over every live partition);
+	// ReachWaves the wave barriers inside those sweeps; ReachClaims the
+	// (vertex, pivot-label) claims won; LocalCollapses the chain nodes
+	// folded into an earlier wave by vertical local searches. All 0
+	// unless KernelsMultiPivot.
+	PivotBatches   int64
+	ReachWaves     int64
+	ReachClaims    int64
+	LocalCollapses int64
+	// Tasks is the number of recursive-phase tasks executed (partition
+	// classifications under KernelsMultiPivot); Steals the successful
+	// steals under the work-stealing ablation.
 	Tasks  int64
 	Steals int64
 	// BuffersReused counts scratch-arena buffer reuses that replaced
@@ -440,7 +465,7 @@ func validateOptions(opts Options) error {
 		return &OptionError{Field: "StallTimeout", Value: opts.StallTimeout, Reason: "must be >= 0"}
 	case opts.MemoryLimit < 0:
 		return &OptionError{Field: "MemoryLimit", Value: opts.MemoryLimit, Reason: "must be >= 0"}
-	case opts.Kernels != KernelsWorklist && opts.Kernels != KernelsLegacy:
+	case opts.Kernels != KernelsWorklist && opts.Kernels != KernelsLegacy && opts.Kernels != KernelsMultiPivot:
 		return &OptionError{Field: "Kernels", Value: opts.Kernels, Reason: "unknown kernel selection"}
 	case opts.Algorithm < Method2 || opts.Algorithm > Gabow:
 		return &OptionError{Field: "Algorithm", Value: opts.Algorithm, Reason: "unknown algorithm"}

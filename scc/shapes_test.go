@@ -95,6 +95,51 @@ func shapeGraphs() map[string]*graph.Graph {
 		shapes["bipartite-dag"] = b.Build()
 	}
 
+	// Pure directed path: n singleton SCCs, diameter n-1 — peak trim
+	// depth and, when it survives to a sweep, peak traversal depth.
+	{
+		const n = 2500
+		b := graph.NewBuilder(n)
+		for i := 0; i < n-1; i++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+		}
+		shapes["deep-chain"] = b.Build()
+	}
+
+	// Necklace of cycles: untrimmable m-cycles chained head-to-tail.
+	// Every cycle is internally a chain, so this is the multi-pivot
+	// kernel's vertical-local-search showcase; for the task kernels it
+	// is a deep sequential-DFS workload.
+	{
+		const cycles, m = 15, 80
+		b := graph.NewBuilder(cycles * m)
+		for c := 0; c < cycles; c++ {
+			base := c * m
+			for i := 0; i < m; i++ {
+				b.AddEdge(graph.NodeID(base+i), graph.NodeID(base+(i+1)%m))
+			}
+			if c+1 < cycles {
+				b.AddEdge(graph.NodeID(base), graph.NodeID(base+m))
+			}
+		}
+		shapes["cycle-necklace"] = b.Build()
+	}
+
+	// Lollipop: a cycle with a long tail path. Trim peels the tail one
+	// level at a time before the candy is exposed.
+	{
+		const cyc, stick = 300, 900
+		b := graph.NewBuilder(cyc + stick)
+		for i := 0; i < cyc; i++ {
+			b.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%cyc))
+		}
+		b.AddEdge(0, graph.NodeID(cyc))
+		for i := 0; i < stick-1; i++ {
+			b.AddEdge(graph.NodeID(cyc+i), graph.NodeID(cyc+i+1))
+		}
+		shapes["lollipop"] = b.Build()
+	}
+
 	// Star in/out: one hub with edges both ways to every spoke — the
 	// whole graph is one SCC through the hub? No: hub↔spoke pairs are
 	// 2-cycles through the hub, so everything is mutually reachable →
@@ -132,6 +177,15 @@ func TestAllAlgorithmsAdversarialShapes(t *testing.T) {
 				t.Errorf("%s: %v disagrees with Tarjan", name, alg)
 			}
 		}
+		// The multi-pivot kernel faces every adversarial shape too — the
+		// deep ones are precisely its target workload.
+		res, err := Detect(g, Options{Algorithm: Method2, Workers: 4, Seed: 7, Kernels: KernelsMultiPivot})
+		if err != nil {
+			t.Fatalf("%s/multipivot: %v", name, err)
+		}
+		if !SamePartition(res.Comp, ref.Comp) {
+			t.Errorf("%s: multipivot disagrees with Tarjan", name)
+		}
 	}
 }
 
@@ -145,6 +199,9 @@ func TestShapeExpectations(t *testing.T) {
 		"archipelago":     700,
 		"bipartite-dag":   120,
 		"hub-scc":         1,
+		"deep-chain":      2500,
+		"cycle-necklace":  15,
+		"lollipop":        1 + 900,
 	}
 	for name, want := range expect {
 		res, err := Detect(shapes[name], Options{Algorithm: Tarjan})
