@@ -10,6 +10,7 @@
 //	benchgate -engine [-min-speedup 2.0] BENCH_scc.json
 //	benchgate -multipivot [-mp-hidiam-ratio 1.05] [-mp-ctrl-ratio 1.30] BENCH_scc.json
 //	benchgate -serve [-min-qps 50] [-max-p99 2s] BENCH_serve.json
+//	benchgate -recover [-max-recovery 30s] BENCH_serve.json
 //
 // Benchmarks present in only one file are reported but do not fail the
 // gate (datasets and benchmarks may be added or removed); a run with
@@ -36,6 +37,13 @@
 // under overload, a rolled-back-then-republished epoch in the chaos
 // scenario, a clean drain, and steady-state QPS / p99 inside the
 // -min-qps / -max-p99 bounds.
+//
+// The -recover mode gates the crash-recovery matrix written by
+// `sccbench -exp recover`: at every crash point the restarted server
+// must have lost no acknowledged batch, matched the Tarjan oracle,
+// and kept the epoch non-regressing, with recovery inside
+// -max-recovery and the torn-record truncation path exercised at
+// least once.
 package main
 
 import (
@@ -206,6 +214,52 @@ func gateMultiPivot(path string, hiRatio, ctrlRatio float64) error {
 	return nil
 }
 
+// gateRecover verifies the crash-recovery matrix written by `sccbench
+// -exp recover`: every crash point recovered with no acknowledged
+// batch lost, a labeling identical to the Tarjan oracle over the
+// durable prefix, and a non-regressing epoch; recovery stayed inside
+// the time bound; and at least one crash point actually exercised the
+// torn-record truncation path (otherwise the matrix proved nothing
+// about corruption handling).
+func gateRecover(path string, maxRecovery time.Duration) error {
+	rep, err := experiments.ReadServeJSON(path)
+	if err != nil {
+		return err
+	}
+	if rep.Recover == nil {
+		return fmt.Errorf("%s has no recover section (run sccbench -exp recover first)", path)
+	}
+	rec := rep.Recover
+	if len(rec.Points) == 0 {
+		return fmt.Errorf("%s: recover section has no crash points", path)
+	}
+	if len(rec.Points) != rec.CrashPoints {
+		return fmt.Errorf("%s: %d points recorded for %d crash ordinals", path, len(rec.Points), rec.CrashPoints)
+	}
+	for _, p := range rec.Points {
+		if !p.DurabilityOK {
+			return fmt.Errorf("crash point %d: %d batches acked, only %d recovered — acknowledged data lost",
+				p.CrashOp, p.AckedBatches, p.RecoveredSeq)
+		}
+		if !p.LabelsMatch {
+			return fmt.Errorf("crash point %d: recovered labels disagree with the Tarjan oracle", p.CrashOp)
+		}
+		if p.EpochRecovered < p.EpochPreCrash {
+			return fmt.Errorf("crash point %d: epoch moved backwards %d→%d",
+				p.CrashOp, p.EpochPreCrash, p.EpochRecovered)
+		}
+	}
+	fmt.Printf("recover: %d crash points, max recovery %dms (gate <= %v), truncation exercised: %v\n",
+		rec.CrashPoints, rec.MaxRecoveryMS, maxRecovery, rec.AnyTruncated)
+	if got := time.Duration(rec.MaxRecoveryMS) * time.Millisecond; got > maxRecovery {
+		return fmt.Errorf("max recovery %v above gate %v", got, maxRecovery)
+	}
+	if !rec.AnyTruncated {
+		return fmt.Errorf("no crash point produced a truncated WAL: torn-record handling never exercised")
+	}
+	return nil
+}
+
 // gateServe verifies the serving report: every scenario kept the
 // query path free of non-shedding 5xx; the overload scenario actually
 // shed (the admission control is live, not vestigial); the chaos
@@ -270,7 +324,21 @@ func main() {
 	serveMode := flag.Bool("serve", false, "gate a BENCH_serve.json report from sccbench -exp serve")
 	minQPS := flag.Float64("min-qps", 50, "serve mode: minimum steady-state QPS")
 	maxP99 := flag.Duration("max-p99", 2*time.Second, "serve mode: maximum steady-state p99 latency")
+	recoverMode := flag.Bool("recover", false, "gate the recover section of a BENCH_serve.json report from sccbench -exp recover")
+	maxRecovery := flag.Duration("max-recovery", 30*time.Second, "recover mode: maximum single-crash-point recovery time")
 	flag.Parse()
+	if *recoverMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -recover [-max-recovery 30s] BENCH_serve.json")
+			os.Exit(2)
+		}
+		if err := gateRecover(flag.Arg(0), *maxRecovery); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: crash-recovery gates hold")
+		return
+	}
 	if *serveMode {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchgate -serve [-min-qps 50] [-max-p99 2s] BENCH_serve.json")

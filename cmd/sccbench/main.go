@@ -20,7 +20,9 @@
 //	                                             # engine-amortization report
 //	sccbench -exp serve [-serve-clients 16] [-serve-duration 800ms]
 //	                                             # serving load harness (BENCH_serve.json)
-//	sccbench -exp all                            # everything except bench/engine/serve
+//	sccbench -exp recover [-recover-batches 6]
+//	                                             # crash-recovery matrix (BENCH_serve.json "recover" section)
+//	sccbench -exp all                            # everything except bench/engine/serve/recover
 //
 // -scale shrinks the datasets (1.0 ≈ 40-250k nodes per graph; use
 // 0.25 for quick runs). -mode modeled (default) projects thread sweeps
@@ -64,9 +66,11 @@ func main() {
 		stream     = flag.Int("stream", 64, "engine experiment: graphs per stream pass")
 		engWorkers = flag.Int("engine-workers", 0, "engine experiment: fixed Detect worker count (0 = default 1)")
 
-		serveJSON     = flag.String("serve-json", "BENCH_serve.json", "serve experiment: write the JSON report to this file (empty = stdout only)")
+		serveJSON     = flag.String("serve-json", "BENCH_serve.json", "serve/recover experiments: write the JSON report to this file (empty = stdout only)")
 		serveClients  = flag.Int("serve-clients", 16, "serve experiment: concurrent load clients")
 		serveDuration = flag.Duration("serve-duration", 800*time.Millisecond, "serve experiment: per-scenario load window")
+
+		recoverBatches = flag.Int("recover-batches", 6, "recover experiment: durable update batches in the crash workload")
 	)
 	flag.Parse()
 
@@ -276,20 +280,40 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(experiments.FormatServe(rep))
+		// Preserve the recover section a previous recover run wrote.
 		if *serveJSON != "" {
-			f, err := os.Create(*serveJSON)
+			if old, err := experiments.ReadServeJSON(*serveJSON); err == nil {
+				rep.Recover = old.Recover
+			}
+		}
+		fmt.Print(experiments.FormatServe(rep))
+		writeServeReport(*serveJSON, rep)
+	}
+
+	// recover is the crash-recovery artifact: a durable server killed
+	// at every mutating-FS-op ordinal and restarted, merged into the
+	// serve report's "recover" section and gated by benchgate -recover.
+	if *exp == "recover" {
+		recRep, err := experiments.RecoverSweep(experiments.RecoverBenchConfig{
+			Dataset: defaultTo(*data, "flickr"),
+			Scale:   *scale,
+			Workers: *workers,
+			Batches: *recoverBatches,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatRecover(recRep))
+		if *serveJSON != "" {
+			rep, err := experiments.ReadServeJSON(*serveJSON)
 			if err != nil {
-				fatal(err)
+				// No existing serve report to merge into: write a shell
+				// document holding only the recover section.
+				rep = experiments.ServeReport{GoVersion: recRep.GoVersion}
 			}
-			if err := experiments.WriteServeJSON(f, rep); err != nil {
-				f.Close()
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *serveJSON)
+			rep.Recover = &recRep
+			writeServeReport(*serveJSON, rep)
 		}
 	}
 
@@ -300,6 +324,26 @@ func main() {
 		ks := experiments.AblationK(d, *scale, *seed, []int{1, 2, 4, 8, 16, 32})
 		fmt.Print(experiments.FormatAblations(h, t2, ks))
 	})
+}
+
+// writeServeReport writes the merged serving report to path ("" =
+// stdout only).
+func writeServeReport(path string, rep experiments.ServeReport) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := experiments.WriteServeJSON(f, rep); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 // writeBenchReport writes the merged report to path ("" = stdout only).

@@ -24,13 +24,26 @@
 // graceful drain: admission stops, in-flight requests finish (bounded
 // by -drain-timeout), then the process exits.
 //
+// Durability: with -wal-dir the service survives process death.
+// Accepted update batches are appended to a CRC32C-checksummed
+// write-ahead log before they are acknowledged (fsync policy via
+// -fsync always|interval|never), the base graph is snapshotted every
+// -snapshot-every batches via temp-file + atomic rename, and startup
+// recovers the newest valid snapshot plus the WAL tail — truncating
+// at the first torn record — before /readyz goes 200. While recovery
+// runs, /readyz answers 503 {"reason":"recovering"} with Retry-After
+// so load balancers skip the cold replica.
+//
 // Exit codes: 0 clean drain, 1 runtime failure, 2 bad usage, 3 graph
-// load failed, 4 drain timed out with requests still in flight.
+// load or recovery failed, 4 drain timed out with requests still in
+// flight.
 //
 // The -chaos-* flags sabotage rebuild attempt -chaos-at-rebuild
 // (1-based; the startup build is attempt 1) for fault drills: in-kernel
 // sites fire inside detection, and the "condense" site fires between
-// detection and epoch publication.
+// detection and epoch publication. The "wal" and "snapshot" sites
+// instead arm the durability layer at absolute hit ordinals (every
+// append / snapshot write counts), independent of -chaos-at-rebuild.
 package main
 
 import (
@@ -49,6 +62,8 @@ import (
 	"time"
 
 	"repro/graph"
+	"repro/internal/chaos"
+	"repro/internal/durable"
 	"repro/internal/server"
 	"repro/scc"
 )
@@ -103,6 +118,11 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		chaosStall   = fs.String("chaos-stall", "", "inject a stall at site[:hit][,...] into the sabotaged rebuild")
 		chaosFor     = fs.Duration("chaos-stall-for", 0, "bound injected stalls (0 = stall until teardown)")
 		chaosRebuild = fs.Int64("chaos-at-rebuild", 2, "1-based rebuild attempt the -chaos-* flags sabotage (startup build is 1)")
+
+		walDir        = fs.String("wal-dir", "", "durability directory for the write-ahead log + snapshots (empty = volatile)")
+		snapshotEvery = fs.Int64("snapshot-every", 64, "batches between durable base-graph snapshots (<0 disables snapshots)")
+		fsyncPolicy   = fs.String("fsync", "always", "WAL durability: always|interval|never")
+		fsyncInterval = fs.Duration("fsync-interval", 100*time.Millisecond, "max time between WAL fsyncs under -fsync interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -150,6 +170,36 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(stderr, format+"\n", args...)
 	}
+
+	// Durable mode: open (but don't recover) the store; the server
+	// drives recovery asynchronously so /readyz can answer 503
+	// "recovering" while the WAL tail replays. Close ordering matters:
+	// the deferred store.Close runs after the deferred srv.Close, so
+	// the final fsync happens once the rebuild loop has stopped
+	// appending.
+	var store *durable.Store
+	if *walDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(stderr, "sccserve:", err)
+			return exitUsage
+		}
+		store, err = durable.Open(durable.Options{
+			Dir:           *walDir,
+			Fsync:         policy,
+			FsyncEvery:    *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+			Limits:        limits,
+			Chaos:         durableInjector(chaosCfg),
+			Logf:          logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "sccserve: wal:", err)
+			return exitLoad
+		}
+		defer store.Close()
+	}
+
 	srv, err := server.New(server.Config{
 		Options: scc.Options{
 			Algorithm:    alg,
@@ -170,6 +220,7 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		BodyLimits:     limits,
 		RebuildChaos:   chaosCfg,
 		ChaosAtRebuild: *chaosRebuild,
+		Durable:        store,
 		Logf:           logf,
 	}, g)
 	if err != nil {
@@ -181,9 +232,6 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		return exitFailure
 	}
 	defer srv.Close()
-	sn := srv.Snapshot()
-	fmt.Fprintf(stdout, "sccserve: epoch %d ready: %d SCCs via %s in %v\n",
-		sn.Epoch, sn.NumSCCs, sn.Algorithm, sn.Detect)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -197,11 +245,42 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 
 	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	// Readiness is immediate for a volatile server and follows WAL
+	// replay + the initial rebuild for a durable one; the listener is
+	// already up so probes see 503 "recovering" rather than connection
+	// refused.
+	ready := make(chan error, 1)
+	go func() { ready <- srv.WaitReady(sigCtx) }()
 	select {
+	case err := <-ready:
+		if err != nil && sigCtx.Err() == nil {
+			fmt.Fprintln(stderr, "sccserve: recovery:", err)
+			return exitLoad
+		}
+		if err == nil {
+			sn := srv.Snapshot()
+			fmt.Fprintf(stdout, "sccserve: epoch %d ready: %d SCCs via %s in %v\n",
+				sn.Epoch, sn.NumSCCs, sn.Algorithm, sn.Detect)
+			if store != nil {
+				ms, replayed, truncated := srv.RecoveryStats()
+				fmt.Fprintf(stdout, "sccserve: recovered in %dms: %d wal records replayed, truncated=%v, next seq %d\n",
+					ms, replayed, truncated, store.LastSeq()+1)
+			}
+		}
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "sccserve: serve:", err)
 		return exitFailure
 	case <-sigCtx.Done():
+	}
+
+	if sigCtx.Err() == nil {
+		select {
+		case err := <-serveErr:
+			fmt.Fprintln(stderr, "sccserve: serve:", err)
+			return exitFailure
+		case <-sigCtx.Done():
+		}
 	}
 	stop()
 
@@ -316,6 +395,39 @@ func parseLimits(nodes, edges string) (graph.Limits, error) {
 		return graph.Limits{}, err
 	}
 	return graph.Limits{MaxNodes: n, MaxEdges: m}, nil
+}
+
+// durableInjector arms the "wal" and "snapshot" chaos sites for the
+// durability layer. Unlike rebuild sabotage these fire at absolute
+// hit ordinals over the store's lifetime (every append and every
+// snapshot write counts), independent of -chaos-at-rebuild.
+func durableInjector(cfg *scc.ChaosConfig) *chaos.Injector {
+	if cfg == nil {
+		return nil
+	}
+	pick := func(src map[string]int64) map[chaos.Site]int64 {
+		var dst map[chaos.Site]int64
+		for name, n := range src {
+			site, err := chaos.ParseSite(name)
+			if err != nil || (site != chaos.SiteWAL && site != chaos.SiteSnapshot) {
+				continue
+			}
+			if dst == nil {
+				dst = make(map[chaos.Site]int64, 2)
+			}
+			dst[site] = n
+		}
+		return dst
+	}
+	c := chaos.Config{
+		PanicAt:  pick(cfg.PanicAt),
+		StallAt:  pick(cfg.StallAt),
+		StallFor: cfg.StallFor,
+	}
+	if c.PanicAt == nil && c.StallAt == nil {
+		return nil
+	}
+	return chaos.New(c)
 }
 
 // parseChaos builds the rebuild sabotage config from the -chaos-*

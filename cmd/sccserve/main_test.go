@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -183,6 +185,133 @@ func TestServeChaosRebuild(t *testing.T) {
 	cancel()
 	if ec := <-code; ec != exitOK {
 		t.Fatalf("exit code %d, want 0; stderr=%q", ec, errOut.String())
+	}
+}
+
+// TestServeDurableKillRestart is the end-to-end crash drill: a real
+// sccserve process with -wal-dir takes updates, dies by SIGKILL with
+// no chance to flush, and a restart over the same directory recovers
+// the same answers at a non-regressing epoch, then keeps serving.
+func TestServeDurableKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real binary; slow under -short")
+	}
+	bin := filepath.Join(t.TempDir(), "sccserve")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	walDir := filepath.Join(t.TempDir(), "wal")
+	fixture := writeFixture(t)
+
+	start := func() (*exec.Cmd, string) {
+		t.Helper()
+		out, errOut := &syncBuffer{}, &syncBuffer{}
+		cmd := exec.Command(bin,
+			"-addr", "127.0.0.1:0", "-graph", fixture, "-format", "edgelist",
+			"-wal-dir", walDir, "-snapshot-every", "2", "-fsync", "always",
+			"-drain-timeout", "5s")
+		cmd.Stdout, cmd.Stderr = out, errOut
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+		deadline := time.Now().Add(15 * time.Second)
+		var base string
+		for base == "" {
+			if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+				base = "http://" + m[1]
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("never listening; stdout=%q stderr=%q", out.String(), errOut.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// Durable servers listen before they are ready; wait out recovery.
+		for {
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == 200 {
+					return cmd, base
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("never ready; stdout=%q stderr=%q", out.String(), errOut.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	getJSON := func(base, path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+		return m
+	}
+	post := func(base, body string) int {
+		t.Helper()
+		resp, err := http.Post(base+"/update?wait=1", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /update: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Life 1: three durable batches collapse everything into one SCC.
+	cmd, base := start()
+	for i, b := range []string{"4 0\n", "5 3\n", "0 5\n"} {
+		if code := post(base, b); code != 200 {
+			t.Fatalf("update %d: status %d", i, code)
+		}
+	}
+	if m := getJSON(base, "/same?u=0&v=5"); m["same"] != true {
+		t.Fatalf("pre-kill same 0 5 = %v, want true", m["same"])
+	}
+	pre := getJSON(base, "/stats")
+	preEpoch, preSCCs := pre["epoch"].(float64), pre["num_sccs"].(float64)
+
+	// SIGKILL: no drain, no flush — only what fsync made durable survives.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	cmd.Wait()
+
+	// Life 2: recover from the same directory.
+	cmd2, base2 := start()
+	st := getJSON(base2, "/stats")
+	if got := st["wal_last_seq"].(float64); got != 3 {
+		t.Errorf("wal_last_seq = %v, want 3", got)
+	}
+	if got := st["wal_records_replayed"].(float64); got < 1 {
+		t.Errorf("wal_records_replayed = %v, want >= 1", got)
+	}
+	if got := st["epoch"].(float64); got < preEpoch {
+		t.Errorf("epoch %v moved backwards from %v", got, preEpoch)
+	}
+	if got := st["num_sccs"].(float64); got != preSCCs {
+		t.Errorf("num_sccs = %v, want %v", got, preSCCs)
+	}
+	if m := getJSON(base2, "/same?u=0&v=5"); m["same"] != true {
+		t.Errorf("post-restart same 0 5 = %v, want true", m["same"])
+	}
+	if code := post(base2, "6 0\n0 6\n"); code != 200 {
+		t.Errorf("post-restart update: status %d", code)
+	}
+
+	// Clean shutdown still exits 0.
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Errorf("restarted server exit: %v", err)
 	}
 }
 

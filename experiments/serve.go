@@ -97,6 +97,12 @@ type ServeReport struct {
 	Seed      int64           `json:"seed"`
 	GoVersion string          `json:"go_version"`
 	Scenarios []ServeScenario `json:"scenarios"`
+
+	// Recover is the crash-recovery matrix written by `sccbench -exp
+	// recover` and gated by `benchgate -recover`; nil until that
+	// experiment has run. Scenario and recover runs merge into the
+	// same document, each preserving the other's section.
+	Recover *RecoverReport `json:"recover,omitempty"`
 }
 
 // Scenario returns the named scenario row, or nil.

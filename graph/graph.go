@@ -206,3 +206,21 @@ func FromEdges(n int, edges []Edge) *Graph {
 	b.AddEdges(edges)
 	return b.Build()
 }
+
+// AppendEdges flattens the graph back into an edge list, appending
+// every edge to dst in source-major order. It is FromEdges' inverse
+// up to edge ordering, used wherever a CSR graph seeds a mutable edge
+// set (the serving layer's authoritative edges, durable recovery).
+func (g *Graph) AppendEdges(dst []Edge) []Edge {
+	if need := len(dst) + int(g.NumEdges()); cap(dst) < need {
+		grown := make([]Edge, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(NodeID(v)) {
+			dst = append(dst, Edge{From: NodeID(v), To: w})
+		}
+	}
+	return dst
+}

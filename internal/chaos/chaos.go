@@ -57,12 +57,23 @@ const (
 	// in-kernel sites cannot reach. The detection engine itself never
 	// hits this site.
 	SiteCondense
+	// SiteWAL is hit once per write-ahead-log append on the durability
+	// path (internal/durable), before the record reaches the log. Like
+	// SiteCondense it is a serving-path site the detection engine never
+	// hits; it sabotages the accept path so tests can pin that a batch
+	// whose append failed is never acknowledged.
+	SiteWAL
+	// SiteSnapshot is hit once per durable snapshot write
+	// (internal/durable), before the temp file is created, sabotaging
+	// compaction without touching the log itself — recovery must then
+	// replay a longer WAL tail from the previous snapshot.
+	SiteSnapshot
 
-	numSites = 9
+	numSites = 11
 )
 
 // String returns the flag spelling of the site (trim, bfs, trim2,
-// wcc, task, peel, uf, reach, condense).
+// wcc, task, peel, uf, reach, condense, wal, snapshot).
 func (s Site) String() string {
 	switch s {
 	case SiteTrim:
@@ -83,17 +94,22 @@ func (s Site) String() string {
 		return "reach"
 	case SiteCondense:
 		return "condense"
+	case SiteWAL:
+		return "wal"
+	case SiteSnapshot:
+		return "snapshot"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
 
 // Sites lists every injection site, in flag-spelling order.
 func Sites() []Site {
-	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach, SiteCondense}
+	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach, SiteCondense, SiteWAL, SiteSnapshot}
 }
 
 // EngineSites lists the sites the in-memory detection engine hits
-// (everything but the serving-path SiteCondense).
+// (everything but the serving-path SiteCondense and the durability
+// sites SiteWAL/SiteSnapshot).
 func EngineSites() []Site {
 	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach}
 }
@@ -105,7 +121,7 @@ func ParseSite(name string) (Site, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|reach|condense)", name)
+	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|reach|condense|wal|snapshot)", name)
 }
 
 // Panic is the value an injected panic panics with. Engine panic

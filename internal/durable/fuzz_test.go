@@ -1,0 +1,59 @@
+package durable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/graph"
+)
+
+// FuzzWALDecode throws arbitrary bytes — including torn, bit-flipped,
+// and hostile-length inputs — at the record decoder. The invariants:
+// never panic, never allocate past the Limits-derived bound (the
+// oversized-length corpus entry would OOM the fuzzer otherwise), and
+// classify every failure as corruption, since a byte slice cannot
+// have real I/O errors.
+func FuzzWALDecode(f *testing.F) {
+	batches := testBatches(3)
+	var valid []byte
+	for i, b := range batches {
+		valid = appendRecord(valid, uint64(i+1), b)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn tail
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}) // hostile length
+	flipped := append([]byte(nil), valid...)
+	flipped[recordHeaderLen+3] ^= 0x40
+	f.Add(flipped)
+	empty := appendRecord(nil, 1, nil) // zero-edge record is valid
+	f.Add(empty)
+
+	lim := graph.Limits{MaxNodes: 1 << 20, MaxEdges: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seqs, edges, err := DecodeRecords(data, lim)
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-corruption error from pure bytes: %v", err)
+		}
+		if len(seqs) > 0 && edges < 0 {
+			t.Fatalf("negative edge count")
+		}
+		// Whatever decoded must re-encode identically only for records
+		// we produced ourselves; for arbitrary input we just require
+		// the decode to have consumed bounded memory, which the
+		// Limits guard enforces structurally.
+		_ = seqs
+	})
+}
+
+func TestDecodeRecordsValid(t *testing.T) {
+	batches := testBatches(3)
+	var buf []byte
+	for i, b := range batches {
+		buf = appendRecord(buf, uint64(i+1), b)
+	}
+	seqs, edges, err := DecodeRecords(buf, graph.Limits{})
+	if err != nil || len(seqs) != 3 || edges != 9 {
+		t.Fatalf("decode: seqs=%v edges=%d err=%v", seqs, edges, err)
+	}
+}

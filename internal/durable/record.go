@@ -1,0 +1,200 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/graph"
+)
+
+// WAL record layout (little-endian):
+//
+//	length uint32   payload length in bytes
+//	crc    uint32   CRC32-C (Castagnoli) over the payload
+//	payload:
+//	  seq   uint64  1-based batch sequence number
+//	  count uint32  edge count
+//	  edges [count]{from uint32, to uint32}
+//
+// The length field is validated against the store's graph.Limits
+// BEFORE the payload is allocated, so a corrupt (or hostile) length —
+// even one whose CRC would accidentally match — cannot demand
+// unbounded memory. Payload integrity is the CRC; framing integrity
+// falls out of it (a corrupted length mis-frames the payload, which
+// then fails the checksum).
+
+// recordHeaderLen is the fixed prefix before the payload.
+const recordHeaderLen = 8
+
+// recordMetaLen is the payload's fixed prefix (seq + count).
+const recordMetaLen = 12
+
+// defaultMaxRecordEdges bounds one record's edge count when the
+// store's Limits impose none: 4M edges, a 32 MiB payload.
+const defaultMaxRecordEdges = 4 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel wrapped by every torn/corrupt-record
+// error the WAL reader produces. Recovery treats it as the end of the
+// log — truncate and continue — never as a fatal error. The concrete
+// error is a *CorruptError carrying the offset and reason.
+var ErrCorrupt = errors.New("durable: corrupt WAL record")
+
+// CorruptError locates one undecodable record. It wraps ErrCorrupt.
+type CorruptError struct {
+	// File is the WAL segment's base name.
+	File string
+	// Offset is the byte offset of the record that failed to decode.
+	Offset int64
+	// Reason says what was wrong (torn tail, checksum mismatch,
+	// implausible length, ...).
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("durable: %s: corrupt record at offset %d: %s", e.File, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+func corrupt(file string, off int64, format string, args ...any) error {
+	return &CorruptError{File: file, Offset: off, Reason: fmt.Sprintf(format, args...)}
+}
+
+// maxRecordPayload derives the largest payload length the decoder
+// will allocate under lim.
+func maxRecordPayload(lim graph.Limits) int64 {
+	maxEdges := int64(defaultMaxRecordEdges)
+	if lim.MaxEdges > 0 && lim.MaxEdges < maxEdges {
+		maxEdges = lim.MaxEdges
+	}
+	return recordMetaLen + 8*maxEdges
+}
+
+// appendRecord encodes one batch as a WAL record appended to buf.
+func appendRecord(buf []byte, seq uint64, batch []graph.Edge) []byte {
+	payloadLen := recordMetaLen + 8*len(batch)
+	start := len(buf)
+	buf = append(buf, make([]byte, recordHeaderLen+payloadLen)...)
+	payload := buf[start+recordHeaderLen:]
+	binary.LittleEndian.PutUint64(payload[0:], seq)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(batch)))
+	for i, e := range batch {
+		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i:], uint32(e.From))
+		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i+4:], uint32(e.To))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// recordReader decodes records from one WAL segment.
+type recordReader struct {
+	r    io.Reader
+	file string
+	off  int64
+	lim  graph.Limits
+	hdr  [recordHeaderLen]byte
+	buf  []byte
+}
+
+// next decodes the record at the current offset. It returns io.EOF at
+// a clean end of log, a *CorruptError (wrapping ErrCorrupt) for a
+// torn or corrupt record — the offset it carries is where the valid
+// prefix ends — and any other error verbatim (real I/O failures are
+// not corruption).
+func (rr *recordReader) next() (seq uint64, batch []graph.Edge, err error) {
+	start := rr.off
+	if _, err := io.ReadFull(rr.r, rr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, corrupt(rr.file, start, "torn header")
+		}
+		return 0, nil, err
+	}
+	length := int64(binary.LittleEndian.Uint32(rr.hdr[0:]))
+	crc := binary.LittleEndian.Uint32(rr.hdr[4:])
+	if length < recordMetaLen {
+		return 0, nil, corrupt(rr.file, start, "payload length %d below minimum %d", length, recordMetaLen)
+	}
+	if max := maxRecordPayload(rr.lim); length > max {
+		// The limit guard: reject before allocating, whatever the CRC
+		// would have said.
+		return 0, nil, corrupt(rr.file, start, "payload length %d exceeds limit %d", length, max)
+	}
+	if int64(cap(rr.buf)) < length {
+		rr.buf = make([]byte, length)
+	}
+	payload := rr.buf[:length]
+	if n, err := io.ReadFull(rr.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, corrupt(rr.file, start, "torn payload (%d of %d bytes)", n, length)
+		}
+		return 0, nil, err
+	}
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return 0, nil, corrupt(rr.file, start, "checksum mismatch (stored %08x, computed %08x)", crc, got)
+	}
+	seq = binary.LittleEndian.Uint64(payload[0:])
+	count := int64(binary.LittleEndian.Uint32(payload[8:]))
+	if recordMetaLen+8*count != length {
+		return 0, nil, corrupt(rr.file, start, "edge count %d does not match payload length %d", count, length)
+	}
+	batch = make([]graph.Edge, count)
+	for i := range batch {
+		from := binary.LittleEndian.Uint32(payload[recordMetaLen+8*i:])
+		to := binary.LittleEndian.Uint32(payload[recordMetaLen+8*i+4:])
+		if from >= 1<<31 || to >= 1<<31 {
+			return 0, nil, corrupt(rr.file, start, "edge %d node id beyond 32-bit id space", i)
+		}
+		if rr.lim.MaxNodes > 0 && (int64(from) >= rr.lim.MaxNodes || int64(to) >= rr.lim.MaxNodes) {
+			return 0, nil, corrupt(rr.file, start, "edge %d node id beyond node limit %d", i, rr.lim.MaxNodes)
+		}
+		batch[i] = graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to)}
+	}
+	rr.off += recordHeaderLen + length
+	return seq, batch, nil
+}
+
+// DecodeRecords decodes every record in data under lim, stopping at
+// the first torn or corrupt record. It exists for the fuzz target: a
+// reader over arbitrary bytes must never panic, never allocate beyond
+// the limit-derived bound, and always terminate.
+func DecodeRecords(data []byte, lim graph.Limits) (seqs []uint64, edges int, err error) {
+	rr := &recordReader{r: newByteReader(data), file: "fuzz", lim: lim}
+	for {
+		seq, batch, err := rr.next()
+		if err == io.EOF {
+			return seqs, edges, nil
+		}
+		if err != nil {
+			return seqs, edges, err
+		}
+		seqs = append(seqs, seq)
+		edges += len(batch)
+	}
+}
+
+// newByteReader avoids importing bytes just for one reader.
+func newByteReader(data []byte) io.Reader { return &byteReader{data: data} }
+
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (b *byteReader) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}

@@ -1,0 +1,535 @@
+package durable
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/graph"
+	"repro/internal/chaos"
+)
+
+// FsyncPolicy says when an accepted WAL record must reach stable
+// storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways syncs after every append: an acknowledged batch
+	// survives any crash. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per Options.FsyncEvery: a crash
+	// can lose up to one interval of acknowledged batches.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS: fastest, weakest.
+	FsyncNever
+)
+
+// String returns the flag spelling (always, interval, never).
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("fsync(%d)", uint8(p))
+}
+
+// ParseFsyncPolicy maps a flag spelling to its policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always|interval|never)", s)
+}
+
+// Options configures a Store. Dir is required; everything else has a
+// working zero value.
+type Options struct {
+	// Dir is the durability directory holding WAL segments and
+	// snapshots. Created if missing.
+	Dir string
+	// Fsync is the append durability policy.
+	Fsync FsyncPolicy
+	// FsyncEvery bounds the sync interval under FsyncInterval.
+	// Defaults to 100ms.
+	FsyncEvery time.Duration
+	// SnapshotEvery is how many appended batches accumulate before
+	// ShouldSnapshot asks for a new snapshot. Defaults to 64; negative
+	// disables snapshot suggestions (the WAL still grows).
+	SnapshotEvery int64
+	// Limits bounds what recovery will decode, exactly like the graph
+	// loaders: a corrupt record or snapshot cannot demand more memory
+	// than these allow.
+	Limits graph.Limits
+	// FS is the filesystem; nil means the real one. Tests interpose
+	// FaultFS here.
+	FS FS
+	// Chaos optionally injects failures at SiteWAL (per append) and
+	// SiteSnapshot (per snapshot write).
+	Chaos *chaos.Injector
+	// Logf receives recovery and truncation diagnostics; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Recovery is what a Store reconstructed at startup.
+type Recovery struct {
+	// Graph is the newest valid snapshot's base graph, nil if the
+	// store had no usable snapshot.
+	Graph *graph.Graph
+	// Edges are the WAL-replayed edge batches, flattened in append
+	// order. They apply on top of Graph.
+	Edges []graph.Edge
+	// Seq is the last recovered sequence number; appends continue at
+	// Seq+1.
+	Seq uint64
+	// SnapshotSeq is the sequence the loaded snapshot covered (0 when
+	// Graph is nil).
+	SnapshotSeq uint64
+	// Replayed counts WAL records replayed on top of the snapshot.
+	Replayed int
+	// Truncated reports whether replay hit a torn/corrupt record and
+	// cut the log there.
+	Truncated bool
+	// CorruptSnapshots counts snapshot files that failed validation
+	// and were skipped (recovery fell back to an older one).
+	CorruptSnapshots int
+	// Empty reports a pristine store: no snapshot, no WAL records.
+	Empty bool
+	// Elapsed is how long recovery took.
+	Elapsed time.Duration
+}
+
+// Store is a write-ahead log plus snapshot set in one directory.
+// Lifecycle: Open → Recover (exactly once) → Append/WriteSnapshot →
+// Close. All methods are safe for concurrent use after Recover.
+//
+// The log is fail-stop: the first append that cannot be fully written
+// and (under FsyncAlways) synced latches the store dead, and every
+// later append returns the original error. The server maps that to
+// 503 — refusing writes beats acknowledging batches that would not
+// survive a crash. Snapshot failures are NOT fatal: the log already
+// holds everything, so a failed compaction just means a longer replay.
+type Store struct {
+	opts Options
+	fs   FS
+
+	mu        sync.Mutex
+	recovered bool
+	closed    bool
+	dead      error // first append failure; fail-stop latch
+	seq       uint64
+	snapSeq   uint64
+	segStart  uint64
+	seg       File
+	buf       []byte
+	lastSync  time.Time
+}
+
+// Open prepares the store directory. No recovery happens here;
+// Recover must run (once) before the first Append.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("durable: Options.Dir is required")
+	}
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 100 * time.Millisecond
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = 64
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("durable: creating %s: %w", opts.Dir, err)
+	}
+	return &Store{opts: opts, fs: fs}, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Recover loads the newest valid snapshot, replays the WAL tail
+// through the limit-guarded decoder, truncates the log at the first
+// torn or corrupt record, and opens a fresh segment for appends.
+// Corruption is never fatal — it is logged and cut; only real I/O
+// errors (and context cancellation) abort recovery.
+func (s *Store) Recover(ctx context.Context) (*Recovery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovered {
+		return nil, errors.New("durable: Recover called twice")
+	}
+	if s.closed {
+		return nil, errors.New("durable: store is closed")
+	}
+	start := time.Now()
+
+	names, err := s.fs.List(s.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: listing %s: %w", s.opts.Dir, err)
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			// A temp file is a snapshot writer that died mid-write.
+			s.logf("durable: removing abandoned temp file %s", name)
+			if err := s.fs.Remove(joinDir(s.opts.Dir, name)); err != nil {
+				return nil, fmt.Errorf("durable: removing %s: %w", name, err)
+			}
+			continue
+		}
+		if seq, ok := parseSeqName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, seq)
+			continue
+		}
+		if seq, ok := parseSeqName(name, "wal-", ".log"); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	rec := &Recovery{}
+
+	// Newest valid snapshot wins; corrupt ones are skipped, falling
+	// back to older generations.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		g, err := s.loadSnapshotFile(ctx, snapshotName(snaps[i]), snaps[i])
+		if err == nil {
+			rec.Graph = g
+			rec.SnapshotSeq = snaps[i]
+			break
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			return nil, err
+		}
+		rec.CorruptSnapshots++
+		s.logf("durable: skipping corrupt snapshot: %v", err)
+	}
+
+	// Replay segments in order, skipping records the snapshot already
+	// covers. The first torn/corrupt record — or a sequence gap, which
+	// means the same thing — truncates the log there, and every later
+	// segment is dropped: nothing past a cut can be trusted to be
+	// contiguous.
+	last := rec.SnapshotSeq
+	for i, segSeq := range segs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		name := segmentName(segSeq)
+		cutAt, err := s.replaySegment(ctx, name, &last, rec)
+		if err != nil {
+			return nil, err
+		}
+		if cutAt >= 0 {
+			rec.Truncated = true
+			for _, later := range segs[i+1:] {
+				s.logf("durable: dropping WAL segment %s past truncation point", segmentName(later))
+				if err := s.fs.Remove(joinDir(s.opts.Dir, segmentName(later))); err != nil {
+					return nil, fmt.Errorf("durable: removing %s: %w", segmentName(later), err)
+				}
+			}
+			break
+		}
+	}
+
+	s.seq = last
+	s.snapSeq = rec.SnapshotSeq
+	rec.Seq = last
+	rec.Empty = rec.Graph == nil && rec.Replayed == 0 && len(segs) == 0
+
+	// Rotate to a fresh segment for this process's appends.
+	if err := s.openSegmentLocked(last + 1); err != nil {
+		return nil, err
+	}
+	s.recovered = true
+	rec.Elapsed = time.Since(start)
+	s.logf("durable: recovered to seq %d (snapshot %d, %d records replayed, truncated=%v) in %s",
+		rec.Seq, rec.SnapshotSeq, rec.Replayed, rec.Truncated, rec.Elapsed)
+	return rec, nil
+}
+
+// replaySegment replays one WAL segment into rec. It returns the
+// offset the segment was cut at, or -1 if the segment was fully
+// valid. Only real I/O errors are returned.
+func (s *Store) replaySegment(ctx context.Context, name string, last *uint64, rec *Recovery) (cutAt int64, err error) {
+	f, err := s.fs.Open(joinDir(s.opts.Dir, name))
+	if err != nil {
+		return -1, fmt.Errorf("durable: opening %s: %w", name, err)
+	}
+	defer f.Close()
+	rr := &recordReader{r: bufio.NewReaderSize(f, 64<<10), file: name, lim: s.opts.Limits}
+	for {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		seq, batch, err := rr.next()
+		if err == io.EOF {
+			return -1, nil
+		}
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			s.logf("durable: truncating WAL at first corrupt record: %v", ce)
+			return ce.Offset, s.truncateSegment(f, name, ce.Offset)
+		}
+		if err != nil {
+			return -1, fmt.Errorf("durable: reading %s: %w", name, err)
+		}
+		if seq <= *last {
+			continue // snapshot already covers it (or a replayed dup)
+		}
+		if seq != *last+1 {
+			// A gap is corruption by another name: a record we depend
+			// on is missing, so nothing from here on can be applied.
+			off := rr.off - (recordHeaderLen + recordMetaLen + 8*int64(len(batch)))
+			s.logf("durable: truncating WAL at sequence gap: %s offset %d has seq %d, want %d",
+				name, off, seq, *last+1)
+			return off, s.truncateSegment(f, name, off)
+		}
+		*last = seq
+		rec.Edges = append(rec.Edges, batch...)
+		rec.Replayed++
+	}
+}
+
+// truncateSegment cuts the segment at off so the next recovery does
+// not re-scan the corrupt tail.
+func (s *Store) truncateSegment(f File, name string, off int64) error {
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("durable: truncating %s at %d: %w", name, off, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("durable: syncing truncated %s: %w", name, err)
+	}
+	return nil
+}
+
+// openSegmentLocked rotates appends onto a fresh segment whose name
+// is the next sequence number. Callers hold s.mu.
+func (s *Store) openSegmentLocked(start uint64) error {
+	if s.seg != nil && s.segStart == start {
+		return nil // already positioned there
+	}
+	f, err := s.fs.Create(joinDir(s.opts.Dir, segmentName(start)))
+	if err != nil {
+		return fmt.Errorf("durable: creating WAL segment: %w", err)
+	}
+	if old := s.seg; old != nil {
+		old.Sync()
+		old.Close()
+	}
+	s.seg = f
+	s.segStart = start
+	// Make the segment's directory entry durable before any record is
+	// acknowledged out of it.
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		f.Close()
+		s.seg = nil
+		return fmt.Errorf("durable: syncing dir after segment create: %w", err)
+	}
+	return nil
+}
+
+// Append logs one accepted edge batch and returns its sequence
+// number. Under FsyncAlways the record is on stable storage when
+// Append returns. The first failure latches the store dead: every
+// later Append returns the original error, because the log can no
+// longer promise durability for anything it acknowledges.
+func (s *Store) Append(batch []graph.Edge) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case !s.recovered:
+		return 0, errors.New("durable: Append before Recover")
+	case s.closed:
+		return 0, errors.New("durable: store is closed")
+	case s.dead != nil:
+		return 0, fmt.Errorf("durable: append refused, log failed earlier: %w", s.dead)
+	case s.seg == nil:
+		return 0, errors.New("durable: no live WAL segment")
+	}
+	s.opts.Chaos.Hit(chaos.SiteWAL)
+	seq := s.seq + 1
+	s.buf = appendRecord(s.buf[:0], seq, batch)
+	if _, err := s.seg.Write(s.buf); err != nil {
+		s.dead = err
+		return 0, fmt.Errorf("durable: WAL append: %w", err)
+	}
+	switch s.opts.Fsync {
+	case FsyncAlways:
+		if err := s.seg.Sync(); err != nil {
+			s.dead = err
+			return 0, fmt.Errorf("durable: WAL fsync: %w", err)
+		}
+	case FsyncInterval:
+		if now := time.Now(); now.Sub(s.lastSync) >= s.opts.FsyncEvery {
+			if err := s.seg.Sync(); err != nil {
+				s.dead = err
+				return 0, fmt.Errorf("durable: WAL fsync: %w", err)
+			}
+			s.lastSync = now
+		}
+	}
+	s.seq = seq
+	return seq, nil
+}
+
+// ShouldSnapshot reports whether enough batches have accumulated
+// since the last snapshot that a new one is due at seq.
+func (s *Store) ShouldSnapshot(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opts.SnapshotEvery > 0 && seq >= s.snapSeq+uint64(s.opts.SnapshotEvery)
+}
+
+// WriteSnapshot persists g, the base graph with every batch up to and
+// including seq applied, then rotates the WAL and retires files the
+// snapshot makes redundant. Appends are blocked for the duration (the
+// payload write is the price of a shorter replay). Failure is NOT
+// fail-stop: the WAL still has everything, so the caller just retries
+// at the next snapshot point.
+func (s *Store) WriteSnapshot(g *graph.Graph, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case !s.recovered:
+		return errors.New("durable: WriteSnapshot before Recover")
+	case s.closed:
+		return errors.New("durable: store is closed")
+	case seq > s.seq:
+		return fmt.Errorf("durable: snapshot seq %d beyond appended seq %d", seq, s.seq)
+	case seq < s.snapSeq:
+		return fmt.Errorf("durable: snapshot seq %d behind existing snapshot %d", seq, s.snapSeq)
+	}
+	s.opts.Chaos.Hit(chaos.SiteSnapshot)
+	if err := s.writeSnapshotFile(g, seq); err != nil {
+		return err
+	}
+	s.snapSeq = seq
+	// Rotate so the pre-snapshot segments become immutable: from here
+	// on, every record > s.seq lands in the new segment, which keeps
+	// segment contents aligned with segment names for retention.
+	if err := s.openSegmentLocked(s.seq + 1); err != nil {
+		if s.seg == nil {
+			// The old segment is already closed and no new one exists:
+			// there is nowhere durable left to append, so the store is
+			// dead, not just snapshot-less.
+			s.dead = err
+		}
+		return err
+	}
+	s.retireLocked()
+	return nil
+}
+
+// retireLocked deletes snapshots beyond the 2 newest and WAL segments
+// that even the older kept snapshot no longer needs. Best-effort: a
+// failed delete is logged and retried implicitly at the next
+// snapshot. Callers hold s.mu.
+func (s *Store) retireLocked() {
+	names, err := s.fs.List(s.opts.Dir)
+	if err != nil {
+		s.logf("durable: retention list failed: %v", err)
+		return
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if seq, ok := parseSeqName(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, seq)
+		} else if seq, ok := parseSeqName(name, "wal-", ".log"); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for len(snaps) > 2 {
+		name := snapshotName(snaps[0])
+		if err := s.fs.Remove(joinDir(s.opts.Dir, name)); err != nil {
+			s.logf("durable: retiring %s failed: %v", name, err)
+			return
+		}
+		snaps = snaps[1:]
+	}
+	if len(snaps) == 0 {
+		return
+	}
+	// Replay must still work from the OLDEST kept snapshot (the newest
+	// may turn out corrupt). Segment i holds records < segs[i+1], so
+	// it is redundant once segs[i+1] <= keep+1.
+	keep := snaps[0]
+	for len(segs) >= 2 && segs[1] <= keep+1 {
+		name := segmentName(segs[0])
+		if err := s.fs.Remove(joinDir(s.opts.Dir, name)); err != nil {
+			s.logf("durable: retiring %s failed: %v", name, err)
+			return
+		}
+		segs = segs[1:]
+	}
+}
+
+// LastSeq returns the last appended (or recovered) sequence number.
+func (s *Store) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// SnapshotSeq returns the sequence covered by the newest snapshot.
+func (s *Store) SnapshotSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}
+
+// Dead reports whether the fail-stop latch has fired, and the error
+// that fired it.
+func (s *Store) Dead() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// Close syncs and closes the live segment. Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.seg == nil {
+		return nil
+	}
+	var err error
+	if s.dead == nil && s.opts.Fsync != FsyncNever {
+		err = s.seg.Sync()
+	}
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	s.seg = nil
+	return err
+}

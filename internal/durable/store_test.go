@@ -1,0 +1,615 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/graph"
+)
+
+// testBatches builds b deterministic, globally duplicate-free edge
+// batches (3 edges each) so multiset comparison against a rebuilt
+// graph is exact.
+func testBatches(b int) [][]graph.Edge {
+	batches := make([][]graph.Edge, b)
+	for i := range batches {
+		base := graph.NodeID(3 * i)
+		batches[i] = []graph.Edge{
+			{From: base, To: base + 1},
+			{From: base + 1, To: base + 2},
+			{From: base + 2, To: base},
+		}
+	}
+	return batches
+}
+
+func flatten(batches [][]graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func maxNode(edges []graph.Edge) graph.NodeID {
+	var m graph.NodeID
+	for _, e := range edges {
+		if e.From > m {
+			m = e.From
+		}
+		if e.To > m {
+			m = e.To
+		}
+	}
+	return m
+}
+
+func graphEdges(g *graph.Graph) []graph.Edge {
+	if g == nil {
+		return nil
+	}
+	var out []graph.Edge
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, w := range g.Out(graph.NodeID(v)) {
+			out = append(out, graph.Edge{From: graph.NodeID(v), To: w})
+		}
+	}
+	return out
+}
+
+func sortEdges(edges []graph.Edge) []graph.Edge {
+	out := append([]graph.Edge(nil), edges...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func edgesEqual(a, b []graph.Edge) bool {
+	a, b = sortEdges(a), sortEdges(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func openTestStore(t *testing.T, dir string, fs FS) *Store {
+	t.Helper()
+	st, err := Open(Options{Dir: dir, FS: fs, SnapshotEvery: 3, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st
+}
+
+func recoverStore(t *testing.T, st *Store) *Recovery {
+	t.Helper()
+	rec, err := st.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return rec
+}
+
+func TestEmptyThenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, nil)
+	rec := recoverStore(t, st)
+	if !rec.Empty || rec.Seq != 0 || rec.Graph != nil {
+		t.Fatalf("fresh store not empty: %+v", rec)
+	}
+	batches := testBatches(5)
+	for i, b := range batches {
+		seq, err := st.Append(b)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("Append %d: seq %d", i, seq)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2 := openTestStore(t, dir, nil)
+	defer st2.Close()
+	rec2 := recoverStore(t, st2)
+	if rec2.Seq != 5 || rec2.Replayed != 5 || rec2.Truncated || rec2.Graph != nil {
+		t.Fatalf("recovery: %+v", rec2)
+	}
+	if !edgesEqual(rec2.Edges, flatten(batches)) {
+		t.Fatalf("replayed edges diverge")
+	}
+	// Appends continue exactly after the recovered tail.
+	if seq, err := st2.Append(testBatches(6)[5]); err != nil || seq != 6 {
+		t.Fatalf("post-recovery Append: seq %d err %v", seq, err)
+	}
+}
+
+func TestSnapshotCoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, nil)
+	recoverStore(t, st)
+	batches := testBatches(6)
+	for i, b := range batches {
+		if _, err := st.Append(b); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if !st.ShouldSnapshot(6) {
+		t.Fatal("ShouldSnapshot(6) false with SnapshotEvery=3")
+	}
+	prefix := flatten(batches[:4])
+	g := graph.FromEdges(int(maxNode(prefix))+1, prefix)
+	if err := st.WriteSnapshot(g, 4); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	if st.SnapshotSeq() != 4 {
+		t.Fatalf("SnapshotSeq = %d", st.SnapshotSeq())
+	}
+	st.Close()
+
+	st2 := openTestStore(t, dir, nil)
+	defer st2.Close()
+	rec := recoverStore(t, st2)
+	if rec.Graph == nil || rec.SnapshotSeq != 4 || rec.Seq != 6 || rec.Replayed != 2 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if !edgesEqual(append(graphEdges(rec.Graph), rec.Edges...), flatten(batches)) {
+		t.Fatalf("snapshot+tail diverge from appended batches")
+	}
+}
+
+func TestTruncateAtCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, nil)
+	recoverStore(t, st)
+	batches := testBatches(4)
+	for _, b := range batches {
+		if _, err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Flip one payload byte of record 3 (records are 8+12+24 = 44
+	// bytes each).
+	seg := filepath.Join(dir, segmentName(1))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const recLen = recordHeaderLen + recordMetaLen + 8*3
+	data[2*recLen+recordHeaderLen+recordMetaLen] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, nil)
+	rec := recoverStore(t, st2)
+	if !rec.Truncated || rec.Replayed != 2 || rec.Seq != 2 {
+		t.Fatalf("want truncation after 2 records, got %+v", rec)
+	}
+	if !edgesEqual(rec.Edges, flatten(batches[:2])) {
+		t.Fatalf("valid prefix diverges")
+	}
+	st2.Close()
+	// The cut is physical: the file now ends at the valid prefix and a
+	// third recovery is clean.
+	if fi, err := os.Stat(seg); err != nil || fi.Size() != 2*recLen {
+		t.Fatalf("segment not truncated: size %d err %v", fi.Size(), err)
+	}
+	st3 := openTestStore(t, dir, nil)
+	defer st3.Close()
+	if rec := recoverStore(t, st3); rec.Truncated || rec.Replayed != 2 {
+		t.Fatalf("recovery after truncation not clean: %+v", rec)
+	}
+}
+
+func TestSequenceGapTruncates(t *testing.T) {
+	dir := t.TempDir()
+	batches := testBatches(4)
+	var buf []byte
+	buf = appendRecord(buf, 1, batches[0])
+	buf = appendRecord(buf, 2, batches[1])
+	buf = appendRecord(buf, 4, batches[3]) // gap: 3 missing
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := openTestStore(t, dir, nil)
+	defer st.Close()
+	rec := recoverStore(t, st)
+	if !rec.Truncated || rec.Seq != 2 || rec.Replayed != 2 {
+		t.Fatalf("gap not treated as corruption: %+v", rec)
+	}
+}
+
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	batches := testBatches(4)
+	var seg1, seg2 []byte
+	seg1 = appendRecord(seg1, 1, batches[0])
+	seg1 = appendRecord(seg1, 2, batches[1])
+	seg1 = append(seg1, 0xAB) // torn tail
+	seg2 = appendRecord(seg2, 3, batches[2])
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, segmentName(3)), seg2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st := openTestStore(t, dir, nil)
+	defer st.Close()
+	rec := recoverStore(t, st)
+	// Segment 2 held a perfectly valid record, but nothing past a cut
+	// may survive: replay stops at the torn tail.
+	if !rec.Truncated || rec.Seq != 2 || rec.Replayed != 2 {
+		t.Fatalf("want cut at seq 2, got %+v", rec)
+	}
+	// Recovery rotated a fresh (empty) segment under the next name;
+	// the dropped segment's record must be gone from it.
+	if fi, err := os.Stat(filepath.Join(dir, segmentName(3))); err != nil || fi.Size() != 0 {
+		t.Fatalf("later segment survived the cut: size %d err %v", fi.Size(), err)
+	}
+}
+
+func TestSnapshotFallbackToOlder(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, nil)
+	recoverStore(t, st)
+	batches := testBatches(4)
+	for _, b := range batches {
+		if _, err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, upTo := range []int{2, 4} {
+		prefix := flatten(batches[:upTo])
+		g := graph.FromEdges(int(maxNode(prefix))+1, prefix)
+		if err := st.WriteSnapshot(g, uint64(upTo)); err != nil {
+			t.Fatalf("WriteSnapshot(%d): %v", upTo, err)
+		}
+	}
+	st.Close()
+
+	// Corrupt the newest snapshot; recovery must fall back to the
+	// older one and replay the WAL tail past it.
+	snap := filepath.Join(dir, snapshotName(4))
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir, nil)
+	defer st2.Close()
+	rec := recoverStore(t, st2)
+	if rec.SnapshotSeq != 2 || rec.CorruptSnapshots != 1 || rec.Seq != 4 {
+		t.Fatalf("fallback recovery: %+v", rec)
+	}
+	if !edgesEqual(append(graphEdges(rec.Graph), rec.Edges...), flatten(batches)) {
+		t.Fatalf("fallback state diverges")
+	}
+}
+
+func TestRetentionKeepsTwoSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir, nil)
+	defer st.Close()
+	recoverStore(t, st)
+	batches := testBatches(9)
+	for i, b := range batches {
+		if _, err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		seq := uint64(i + 1)
+		if seq%3 == 0 {
+			prefix := flatten(batches[:seq])
+			g := graph.FromEdges(int(maxNode(prefix))+1, prefix)
+			if err := st.WriteSnapshot(g, seq); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	names, err := (OSFS{}).List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps, segs []string
+	for _, n := range names {
+		if _, ok := parseSeqName(n, "snap-", ".snap"); ok {
+			snaps = append(snaps, n)
+		}
+		if _, ok := parseSeqName(n, "wal-", ".log"); ok {
+			segs = append(segs, n)
+		}
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("retention kept %d snapshots (%v), want 2", len(snaps), snaps)
+	}
+	if snaps[0] != snapshotName(6) || snaps[1] != snapshotName(9) {
+		t.Fatalf("wrong snapshots kept: %v", snaps)
+	}
+	// Every surviving segment must still be needed by the OLDER kept
+	// snapshot (seq 6): segments entirely ≤ 6 are gone.
+	for _, seg := range segs {
+		start, _ := parseSeqName(seg, "wal-", ".log")
+		if start < 4 {
+			t.Fatalf("segment %s should have been retired", seg)
+		}
+	}
+}
+
+func TestLimitsRejectOversizedRecord(t *testing.T) {
+	dir := t.TempDir()
+	big := make([]graph.Edge, 100)
+	for i := range big {
+		big[i] = graph.Edge{From: graph.NodeID(i), To: graph.NodeID(i + 1)}
+	}
+	var buf []byte
+	buf = appendRecord(buf, 1, big) // valid CRC, oversized for the limit below
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(Options{Dir: dir, Limits: graph.Limits{MaxEdges: 8}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rec := recoverStore(t, st)
+	if !rec.Truncated || rec.Replayed != 0 {
+		t.Fatalf("oversized record not rejected: %+v", rec)
+	}
+}
+
+func TestFailStopAfterFsyncError(t *testing.T) {
+	dir := t.TempDir()
+	// Recovery on an empty dir costs 2 mutating ops (segment create +
+	// dir sync); append 1 is ops 3 (write) and 4 (sync).
+	ffs := NewFaultFS(nil, FaultConfig{SyncErrAt: 4})
+	st := openTestStore(t, dir, ffs)
+	defer st.Close()
+	recoverStore(t, st)
+	batches := testBatches(2)
+	if _, err := st.Append(batches[0]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Append under fsync fault: %v", err)
+	}
+	// Fail-stop: the next append is refused with the original error.
+	if _, err := st.Append(batches[1]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append after latch: %v", err)
+	}
+	if st.Dead() == nil {
+		t.Fatal("Dead() nil after append failure")
+	}
+}
+
+func TestShortWriteIsFailStopAndRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil, FaultConfig{ShortWriteAt: 5}) // append 2's write
+	st := openTestStore(t, dir, ffs)
+	recoverStore(t, st)
+	batches := testBatches(2)
+	if _, err := st.Append(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(batches[1]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write not surfaced: %v", err)
+	}
+	st.Close()
+
+	st2 := openTestStore(t, dir, nil)
+	defer st2.Close()
+	rec := recoverStore(t, st2)
+	if rec.Seq != 1 || !rec.Truncated {
+		t.Fatalf("half-written record not cut: %+v", rec)
+	}
+	if !edgesEqual(rec.Edges, batches[0]) {
+		t.Fatalf("acknowledged record lost")
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	st := openTestStore(t, t.TempDir(), nil)
+	if _, err := st.Append(testBatches(1)[0]); err == nil {
+		t.Fatal("Append before Recover succeeded")
+	}
+	recoverStore(t, st)
+	if _, err := st.Recover(context.Background()); err == nil {
+		t.Fatal("second Recover succeeded")
+	}
+	st.Close()
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := st.Append(testBatches(1)[0]); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNever} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: got %v err %v", p, got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestCrashPointMatrix is the store-level half of the tentpole's
+// crash matrix: a fixed workload (6 appends with a snapshot after 4)
+// runs against a FaultFS that hard-crashes at every mutating-op
+// ordinal in turn; a clean recovery afterwards must yield exactly the
+// batches the workload had acknowledged — never fewer (durability),
+// never a torn suffix (truncate rule), with a contiguous sequence.
+func TestCrashPointMatrix(t *testing.T) {
+	batches := testBatches(6)
+
+	// runWorkload pushes the canonical workload and reports how many
+	// batches were acknowledged before the crash (if any) stopped it.
+	runWorkload := func(dir string, fs FS) (acked int) {
+		st, err := Open(Options{Dir: dir, FS: fs, SnapshotEvery: 3})
+		if err != nil {
+			return 0
+		}
+		defer st.Close()
+		if _, err := st.Recover(context.Background()); err != nil {
+			return 0
+		}
+		for i, b := range batches {
+			if _, err := st.Append(b); err != nil {
+				return acked
+			}
+			acked = i + 1
+			if seq := uint64(acked); seq == 4 {
+				prefix := flatten(batches[:4])
+				g := graph.FromEdges(int(maxNode(prefix))+1, prefix)
+				// Snapshot failure is non-fatal by design; the
+				// workload keeps appending.
+				_ = st.WriteSnapshot(g, seq)
+			}
+		}
+		return acked
+	}
+
+	// Probe run: count the ordinals a clean pass executes.
+	probe := NewFaultFS(nil, FaultConfig{})
+	if got := runWorkload(t.TempDir(), probe); got != len(batches) {
+		t.Fatalf("probe run acked %d of %d", got, len(batches))
+	}
+	total := probe.Ops()
+	if total < 10 {
+		t.Fatalf("implausibly few mutating ops: %d", total)
+	}
+
+	for ord := int64(1); ord <= total; ord++ {
+		t.Run(fmt.Sprintf("crash-at-%02d", ord), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(nil, FaultConfig{CrashAt: ord})
+			acked := runWorkload(dir, ffs)
+			if !ffs.Crashed() {
+				t.Fatalf("crash-point %d never fired (ops=%d)", ord, ffs.Ops())
+			}
+
+			st, err := Open(Options{Dir: dir, SnapshotEvery: 3, Logf: t.Logf})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer st.Close()
+			rec, err := st.Recover(context.Background())
+			if err != nil {
+				t.Fatalf("recovery after crash at op %d: %v", ord, err)
+			}
+			if rec.Seq < uint64(acked) {
+				t.Fatalf("durability violated: acked %d batches, recovered to seq %d", acked, rec.Seq)
+			}
+			if rec.Seq > uint64(len(batches)) {
+				t.Fatalf("recovered beyond the workload: seq %d", rec.Seq)
+			}
+			want := flatten(batches[:rec.Seq])
+			got := append(graphEdges(rec.Graph), rec.Edges...)
+			if !edgesEqual(got, want) {
+				t.Fatalf("recovered state diverges at seq %d: %d edges vs %d", rec.Seq, len(got), len(want))
+			}
+			// The store must be writable after recovery: the service
+			// accepts new batches on the rotated segment.
+			if seq, err := st.Append([]graph.Edge{{From: 100, To: 101}}); err != nil || seq != rec.Seq+1 {
+				t.Fatalf("post-recovery append: seq %d err %v", seq, err)
+			}
+		})
+	}
+}
+
+// TestFaultFSOpsCounting pins the op accounting the matrix depends
+// on: deterministic workloads yield deterministic ordinals.
+func TestFaultFSOpsCounting(t *testing.T) {
+	ffs := NewFaultFS(nil, FaultConfig{})
+	dir := t.TempDir()
+	f, err := ffs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("ab")) // op 2
+	f.Sync()              // op 3
+	f.Close()
+	if err := ffs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); err != nil { // op 4
+		t.Fatal(err)
+	}
+	if err := ffs.Remove(filepath.Join(dir, "y")); err != nil { // op 5
+		t.Fatal(err)
+	}
+	if got := ffs.Ops(); got != 5 {
+		t.Fatalf("ops = %d, want 5", got)
+	}
+	if ffs.Crashed() {
+		t.Fatal("crashed without a crash-point")
+	}
+}
+
+func TestFaultFSCrashIsTerminal(t *testing.T) {
+	ffs := NewFaultFS(nil, FaultConfig{CrashAt: 1})
+	dir := t.TempDir()
+	if _, err := ffs.Create(filepath.Join(dir, "x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create at crash-point: %v", err)
+	}
+	if err := ffs.Rename("a", "b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op after crash: %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("Crashed() false")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "x")); !os.IsNotExist(err) {
+		t.Fatal("crashed Create still created the file")
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	ffs := NewFaultFS(nil, FaultConfig{CrashAt: 2})
+	dir := t.TempDir()
+	f, err := ffs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrCrashed) || n != 5 {
+		t.Fatalf("torn write: n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "x"))
+	if err != nil || string(data) != "01234" {
+		t.Fatalf("on-disk torn content %q err %v", data, err)
+	}
+}
+
+// drainReader pins that recordReader surfaces non-EOF reader errors
+// verbatim rather than as corruption.
+type failReader struct{ err error }
+
+func (f failReader) Read([]byte) (int, error) { return 0, f.err }
+
+func TestReaderErrorIsNotCorruption(t *testing.T) {
+	rr := &recordReader{r: failReader{err: io.ErrClosedPipe}, file: "x", lim: graph.Limits{}}
+	if _, _, err := rr.next(); !errors.Is(err, io.ErrClosedPipe) || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("reader error mishandled: %v", err)
+	}
+}

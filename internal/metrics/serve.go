@@ -41,6 +41,19 @@ type ServeCounters struct {
 	// EngineResets counts detection engines discarded and rebuilt
 	// after a stall watchdog force-abort destroyed the worker gang.
 	EngineResets atomic.Int64
+
+	// WALAppends counts update batches durably logged before being
+	// applied; WALAppendErrs counts batches refused because the
+	// write-ahead log could not persist them (the server answers 503 —
+	// an unlogged batch is never acknowledged).
+	WALAppends    atomic.Int64
+	WALAppendErrs atomic.Int64
+
+	// Snapshots counts durable base-graph snapshots written;
+	// SnapshotFailures counts attempts that failed (non-fatal: the WAL
+	// still has everything, replay is just longer).
+	Snapshots        atomic.Int64
+	SnapshotFailures atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -55,6 +68,11 @@ type ServeSnapshot struct {
 	RebuildFailures int64 `json:"rebuild_failures"`
 	EpochSwaps      int64 `json:"epoch_swaps"`
 	EngineResets    int64 `json:"engine_resets"`
+
+	WALAppends       int64 `json:"wal_appends"`
+	WALAppendErrs    int64 `json:"wal_append_errs"`
+	Snapshots        int64 `json:"snapshots"`
+	SnapshotFailures int64 `json:"snapshot_failures"`
 }
 
 // Snapshot returns a plain copy of the current values. A nil receiver
@@ -74,5 +92,10 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		RebuildFailures: c.RebuildFailures.Load(),
 		EpochSwaps:      c.EpochSwaps.Load(),
 		EngineResets:    c.EngineResets.Load(),
+
+		WALAppends:       c.WALAppends.Load(),
+		WALAppendErrs:    c.WALAppendErrs.Load(),
+		Snapshots:        c.Snapshots.Load(),
+		SnapshotFailures: c.SnapshotFailures.Load(),
 	}
 }

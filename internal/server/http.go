@@ -324,7 +324,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	target := s.epochNow() + 1
-	s.applyUpdate(batch, maxNode)
+	if err := s.applyUpdate(batch, maxNode); err != nil {
+		// The write-ahead log could not persist the batch; refusing it
+		// outright beats acknowledging an update a crash would lose.
+		s.retryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, errBody{Error: err.Error()})
+		return
+	}
 	if r.URL.Query().Get("wait") == "" {
 		writeJSON(w, http.StatusAccepted, map[string]any{
 			"applied": len(batch), "epoch": s.epochNow(), "rebuilt": false,
@@ -460,6 +466,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	case draining:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
 		return
+	case s.recoveringNow():
+		// Snapshot load + WAL replay is still running: tell load
+		// balancers when to re-probe rather than routing to a cold
+		// replica.
+		s.retryAfter(w)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "recovering"})
+		return
+	}
+	if s.readyErr != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "reason": "recovery failed", "error": s.readyErr.Error(),
+		})
+		return
 	}
 	sn := s.snap.Load()
 	if sn == nil {
@@ -499,6 +518,13 @@ type statsBody struct {
 	QueueDepth int                   `json:"queue_depth"`
 	Inflight   int                   `json:"max_inflight"`
 	Counters   metrics.ServeSnapshot `json:"counters"`
+
+	// Durability fields; zero-valued when the server has no store.
+	Recovering   bool  `json:"recovering"`
+	RecoveryMS   int64 `json:"recovery_ms"`
+	WALReplayed  int64 `json:"wal_records_replayed"`
+	WALTruncated bool  `json:"wal_truncated"`
+	WALLastSeq   int64 `json:"wal_last_seq"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -514,6 +540,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth: s.cfg.QueueDepth,
 		Inflight:   s.cfg.MaxInflight,
 		Counters:   s.ctr.Snapshot(),
+
+		Recovering:   s.recoveringNow(),
+		RecoveryMS:   s.recoveryMS.Load(),
+		WALReplayed:  s.walReplayed.Load(),
+		WALTruncated: s.walTruncated.Load(),
+	}
+	if s.store != nil {
+		body.WALLastSeq = int64(s.store.LastSeq())
 	}
 	if msg := s.lastErr.Load(); msg != nil {
 		body.LastError = *msg

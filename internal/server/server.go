@@ -12,6 +12,7 @@ import (
 
 	"repro/graph"
 	"repro/internal/chaos"
+	"repro/internal/durable"
 	"repro/internal/metrics"
 	"repro/scc"
 )
@@ -52,6 +53,17 @@ type Config struct {
 	// reachable via /update batches. Default 4M nodes / 64M edges.
 	BodyLimits graph.Limits
 
+	// Durable, when non-nil, makes accepted update batches crash-safe:
+	// every batch is appended to the store's write-ahead log before it
+	// joins the edge set (a batch the log cannot persist is refused
+	// with 503, never acknowledged), the base graph is periodically
+	// snapshotted, and New starts in a recovering state — snapshot
+	// load plus WAL replay runs asynchronously while /readyz answers
+	// 503 "recovering" — instead of building synchronously. The store
+	// must be Opened but NOT Recovered; the server drives recovery.
+	// The caller still owns Close on the store, after Server.Close.
+	Durable *durable.Store
+
 	// RebuildChaos, when non-nil, sabotages the rebuild whose 1-based
 	// attempt ordinal equals ChaosAtRebuild: in-kernel sites are
 	// injected into the detection run, and a "condense" entry fires
@@ -63,6 +75,12 @@ type Config struct {
 	// Counters receives the serving-layer counters; allocated
 	// internally when nil.
 	Counters *metrics.ServeCounters
+
+	// testRecoverGate (tests only) blocks durable recovery until the
+	// channel closes, holding the server in the recovering state so
+	// tests can observe it. Must be set before New — recovery starts
+	// on New's background goroutine.
+	testRecoverGate chan struct{}
 	// Logf logs server events (rebuild failures, panics, engine
 	// resets). Defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -120,12 +138,39 @@ type Server struct {
 	engineMu sync.Mutex
 	engine   *scc.Engine
 
-	// edgeMu guards the authoritative edge set rebuilt into epochs.
+	// edgeMu guards the authoritative edge set rebuilt into epochs,
+	// and — when durability is on — appliedSeq, the WAL sequence the
+	// edge set reflects. Append order and log order coincide because
+	// both happen under this mutex.
 	edgeMu     sync.Mutex
 	nodes      int
 	edges      []graph.Edge
 	dirty      bool
 	dirtySince time.Time
+	appliedSeq uint64
+
+	// store is cfg.Durable (nil without durability). epochBase is the
+	// recovered epoch floor: published epochs start above it so a
+	// restarted server never hands out an epoch an earlier life
+	// already used for different data. Written once during recovery,
+	// before the rebuild loop starts.
+	store     *durable.Store
+	epochBase int64
+
+	// readyCh closes when startup recovery finishes (immediately for
+	// non-durable servers); readyErr is written before the close and
+	// read only after it. The recovery observability fields are
+	// atomics because /stats reads them while recovery still runs.
+	readyCh      chan struct{}
+	readyErr     error
+	recoveryMS   atomic.Int64
+	walReplayed  atomic.Int64
+	walTruncated atomic.Bool
+
+	// testRecoverGate, when non-nil (tests only), blocks durable
+	// recovery until the channel closes, holding the server in the
+	// recovering state so tests can observe it.
+	testRecoverGate chan struct{}
 
 	kick     chan struct{} // wakes the rebuild loop, capacity 1
 	rebuildN atomic.Int64  // rebuild attempt ordinal (1-based)
@@ -155,11 +200,15 @@ type Server struct {
 // of spinning on a persistently failing build.
 const maxConsecutiveRebuildFails = 3
 
-// New validates cfg, pins the detection engine, builds the initial
-// epoch from g synchronously (so a returned *Server is immediately
-// ready), and starts the background rebuild loop. A failed initial
-// build — including one sabotaged by ChaosAtRebuild == 1 — releases the
-// engine and fails New.
+// New validates cfg, pins the detection engine, and starts the
+// background rebuild loop. Without Config.Durable the initial epoch is
+// built from g synchronously, so a returned *Server is immediately
+// ready, and a failed initial build — including one sabotaged by
+// ChaosAtRebuild == 1 — releases the engine and fails New. With
+// Config.Durable the server returns immediately in the recovering
+// state: snapshot load, WAL replay, and the initial build run on the
+// background goroutine (g seeds only a pristine store; a non-empty
+// store is authoritative), and WaitReady reports the outcome.
 func New(cfg Config, g *graph.Graph) (*Server, error) {
 	if g == nil {
 		return nil, fmt.Errorf("server: %w", scc.ErrNilGraph)
@@ -177,22 +226,126 @@ func New(cfg Config, g *graph.Graph) (*Server, error) {
 		kick:     make(chan struct{}, 1),
 		slots:    make(chan struct{}, cfg.MaxInflight),
 		loopDone: make(chan struct{}),
-	}
-	s.edges = make([]graph.Edge, 0, g.NumEdges())
-	for v := 0; v < g.NumNodes(); v++ {
-		for _, w := range g.Out(graph.NodeID(v)) {
-			s.edges = append(s.edges, graph.Edge{From: graph.NodeID(v), To: w})
-		}
-	}
-	s.dirty = true
-	if err := s.rebuildOnce(context.Background()); err != nil {
-		eng.Close()
-		return nil, fmt.Errorf("server: initial build: %w", err)
+		readyCh:  make(chan struct{}),
+		store:    cfg.Durable,
+
+		testRecoverGate: cfg.testRecoverGate,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.loopCancel = cancel
+	if s.store != nil {
+		go s.runDurable(ctx, g)
+		return s, nil
+	}
+	close(s.readyCh)
+	s.edges = g.AppendEdges(make([]graph.Edge, 0, g.NumEdges()))
+	s.dirty = true
+	if err := s.rebuildOnce(context.Background()); err != nil {
+		cancel()
+		eng.Close()
+		return nil, fmt.Errorf("server: initial build: %w", err)
+	}
 	go s.rebuildLoop(ctx)
 	return s, nil
+}
+
+// WaitReady blocks until startup recovery (durable servers) or the
+// synchronous initial build (everything else, where it returns at
+// once) has finished, and returns the recovery error if it failed. A
+// failed recovery leaves the server answering — every query 503s —
+// so the caller decides whether that is fatal.
+func (s *Server) WaitReady(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.readyCh:
+		return s.readyErr
+	}
+}
+
+// RecoveryStats reports the durable-recovery observability also
+// surfaced on /stats: elapsed wall-clock milliseconds (WAL replay
+// plus the initial rebuild), WAL records replayed, and whether the
+// log was truncated at a torn or corrupt record. All zero for a
+// volatile server.
+func (s *Server) RecoveryStats() (ms, replayed int64, truncated bool) {
+	return s.recoveryMS.Load(), s.walReplayed.Load(), s.walTruncated.Load()
+}
+
+// runDurable is the durable server's background goroutine: recover,
+// publish the first epoch, then run the rebuild loop. It owns
+// loopDone for the whole server lifetime, so Close works whether or
+// not recovery ever finished.
+func (s *Server) runDurable(ctx context.Context, seed *graph.Graph) {
+	defer close(s.loopDone)
+	err := s.recoverDurable(ctx, seed)
+	if err != nil {
+		s.readyErr = fmt.Errorf("server: recovery: %w", err)
+		s.storeLastErr(s.readyErr)
+		s.cfg.Logf("server: durable recovery failed, serving disabled: %v", err)
+		close(s.readyCh)
+		return
+	}
+	close(s.readyCh)
+	s.rebuildLoopBody(ctx)
+}
+
+// recoverDurable rebuilds the authoritative edge set from the store —
+// newest valid snapshot plus replayed WAL tail, or the seed graph for
+// a pristine store — and publishes the first epoch above the
+// recovered epoch floor.
+func (s *Server) recoverDurable(ctx context.Context, seed *graph.Graph) error {
+	if gate := s.testRecoverGate; gate != nil {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-gate:
+		}
+	}
+	// Recovery time spans store recovery AND the replayed rebuild: it
+	// measures how long a cold replica takes to become routable, not
+	// just file I/O.
+	start := time.Now()
+	rec, err := s.store.Recover(ctx)
+	if err != nil {
+		return err
+	}
+	base := seed
+	if rec.Graph != nil {
+		base = rec.Graph
+	}
+	s.edgeMu.Lock()
+	s.nodes = base.NumNodes()
+	s.edges = base.AppendEdges(make([]graph.Edge, 0, int(base.NumEdges())+len(rec.Edges)))
+	s.edges = append(s.edges, rec.Edges...)
+	for _, e := range rec.Edges {
+		if n := int(e.From) + 1; n > s.nodes {
+			s.nodes = n
+		}
+		if n := int(e.To) + 1; n > s.nodes {
+			s.nodes = n
+		}
+	}
+	s.appliedSeq = rec.Seq
+	s.dirty = true
+	s.dirtySince = time.Time{}
+	s.edgeMu.Unlock()
+	s.epochBase = int64(rec.Seq)
+	s.walReplayed.Store(int64(rec.Replayed))
+	s.walTruncated.Store(rec.Truncated)
+
+	if err := s.rebuildOnce(ctx); err != nil {
+		return fmt.Errorf("initial build after replay: %w", err)
+	}
+	// A pristine store gets a base snapshot of the seed right away, so
+	// the durability directory is self-contained from the first batch.
+	if rec.Empty {
+		s.snapshotEpoch(seed, 0)
+	}
+	s.recoveryMS.Store(time.Since(start).Milliseconds())
+	s.cfg.Logf("server: recovered epoch %d (wal seq %d, %d records replayed, truncated=%v)",
+		s.epochNow(), rec.Seq, rec.Replayed, rec.Truncated)
+	return nil
 }
 
 // Close stops the rebuild loop and releases the engine. It does not
@@ -269,8 +422,33 @@ func (s *Server) exit() {
 // applyUpdate appends an edge batch to the authoritative edge set
 // (growing the node count to cover maxNode) and kicks the rebuild
 // loop. The caller has already bounds-checked against BodyLimits.
-func (s *Server) applyUpdate(batch []graph.Edge, maxNode int64) {
+// When durability is on, the batch goes to the write-ahead log FIRST,
+// under the same mutex that orders the edge set, so log order and
+// apply order coincide; a batch the log refuses is not applied and
+// the error is returned for the handler to surface as 503.
+func (s *Server) applyUpdate(batch []graph.Edge, maxNode int64) error {
+	if err := s.applyLocked(batch, maxNode); err != nil {
+		return err
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (s *Server) applyLocked(batch []graph.Edge, maxNode int64) error {
 	s.edgeMu.Lock()
+	defer s.edgeMu.Unlock()
+	if s.store != nil {
+		seq, err := s.store.Append(batch)
+		if err != nil {
+			s.ctr.WALAppendErrs.Add(1)
+			return err
+		}
+		s.appliedSeq = seq
+		s.ctr.WALAppends.Add(1)
+	}
 	if int(maxNode)+1 > s.nodes {
 		s.nodes = int(maxNode) + 1
 	}
@@ -279,11 +457,7 @@ func (s *Server) applyUpdate(batch []graph.Edge, maxNode int64) {
 		s.dirty = true
 		s.dirtySince = time.Now()
 	}
-	s.edgeMu.Unlock()
-	select {
-	case s.kick <- struct{}{}:
-	default:
-	}
+	return nil
 }
 
 // totals reports the current authoritative node and edge counts, for
@@ -305,6 +479,16 @@ func (s *Server) pendingSince() (bool, time.Time) {
 func (s *Server) isDirty() bool {
 	d, _ := s.pendingSince()
 	return d
+}
+
+// recoveringNow reports whether startup recovery is still running.
+func (s *Server) recoveringNow() bool {
+	select {
+	case <-s.readyCh:
+		return false
+	default:
+		return true
+	}
 }
 
 func (s *Server) epochNow() int64 {
@@ -329,6 +513,12 @@ func (s *Server) storeLastErr(err error) {
 // spin the loop.
 func (s *Server) rebuildLoop(ctx context.Context) {
 	defer close(s.loopDone)
+	s.rebuildLoopBody(ctx)
+}
+
+// rebuildLoopBody is the loop shared by both lifecycles: rebuildLoop
+// (non-durable) and runDurable own loopDone themselves.
+func (s *Server) rebuildLoopBody(ctx context.Context) {
 	fails := 0
 	for {
 		select {
@@ -375,6 +565,9 @@ func (s *Server) rebuildOnce(ctx context.Context) error {
 	nodes := s.nodes
 	edges := make([]graph.Edge, len(s.edges))
 	copy(edges, s.edges)
+	// seqCopied is the WAL sequence this epoch will cover: captured
+	// with the edge copy, under the same mutex that ordered both.
+	seqCopied := s.appliedSeq
 	s.edgeMu.Unlock()
 
 	b := graph.NewBuilder(nodes)
@@ -395,6 +588,12 @@ func (s *Server) rebuildOnce(ctx context.Context) error {
 	if prev != nil {
 		epoch = prev.Epoch + 1
 	}
+	// Recovered servers publish above the epoch floor: the pre-crash
+	// epoch never exceeded 1 + durable batches, so floor+1 is ≥ any
+	// epoch an earlier life handed out — monotonic across restarts.
+	if epoch <= s.epochBase {
+		epoch = s.epochBase + 1
+	}
 	s.snap.Store(&Snapshot{
 		Epoch:     epoch,
 		Built:     time.Now(),
@@ -414,7 +613,32 @@ func (s *Server) rebuildOnce(ctx context.Context) error {
 		s.dirtySince = time.Time{}
 	}
 	s.edgeMu.Unlock()
+
+	// The epoch's graph doubles as the durable snapshot payload when
+	// enough batches have accumulated since the last one.
+	if s.store != nil && s.store.ShouldSnapshot(seqCopied) {
+		s.snapshotEpoch(g, seqCopied)
+	}
 	return nil
+}
+
+// snapshotEpoch persists g as the durable snapshot covering seq.
+// Failure — including an injected SiteSnapshot panic — is counted and
+// logged, never fatal: the WAL still holds everything, recovery just
+// replays a longer tail.
+func (s *Server) snapshotEpoch(g *graph.Graph, seq uint64) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.ctr.SnapshotFailures.Add(1)
+			s.cfg.Logf("server: snapshot at seq %d panicked: %v", seq, v)
+		}
+	}()
+	if err := s.store.WriteSnapshot(g, seq); err != nil {
+		s.ctr.SnapshotFailures.Add(1)
+		s.cfg.Logf("server: snapshot at seq %d failed, WAL replay covers it: %v", seq, err)
+		return
+	}
+	s.ctr.Snapshots.Add(1)
 }
 
 type buildInfo struct {

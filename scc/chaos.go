@@ -16,10 +16,13 @@ import (
 // chunk), "reach" (inside the multi-pivot reachability kernel, once
 // per concurrent wave — per frontier chunk when parallel), and
 // "condense" (once per condensation build on the serving path's
-// rebuild — internal/server — after detection succeeds). The "peel"
-// and "uf" sites fire only under KernelsWorklist and "reach" only
-// under KernelsMultiPivot; "condense" is never hit by Detect itself,
-// only by the server's rebuild.
+// rebuild — internal/server — after detection succeeds), "wal" (once
+// per write-ahead-log append on the durability path —
+// internal/durable), and "snapshot" (once per durable snapshot
+// write). The "peel" and "uf" sites fire only under KernelsWorklist
+// and "reach" only under KernelsMultiPivot; "condense", "wal", and
+// "snapshot" are never hit by Detect itself, only by the server's
+// rebuild and durability paths.
 func ChaosSites() []string {
 	sites := chaos.Sites()
 	names := make([]string, len(sites))

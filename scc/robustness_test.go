@@ -50,9 +50,10 @@ func TestChaosPanicMatrix(t *testing.T) {
 		// trim/WCC), "reach" only inside the multi-pivot sweep, and
 		// "bfs" only in the level-synchronous phase-1 the multi-pivot
 		// kernel replaces. "condense" lives on the serving path
-		// (internal/server), not inside Detect, so a plain run never
-		// hits it.
-		if site == "condense" {
+		// (internal/server), and "wal"/"snapshot" on the durability
+		// path (internal/durable) — none of those is inside Detect, so
+		// a plain run never hits them.
+		if site == "condense" || site == "wal" || site == "snapshot" {
 			continue
 		}
 		kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy, scc.KernelsMultiPivot}
@@ -405,7 +406,7 @@ func TestParseChaosSpec(t *testing.T) {
 		t.Fatal("bad ordinal accepted")
 	}
 	sites := scc.ChaosSites()
-	if len(sites) != 9 {
+	if len(sites) != 11 {
 		t.Fatalf("ChaosSites = %v", sites)
 	}
 	for _, s := range sites {
