@@ -11,6 +11,7 @@
 //	benchgate -multipivot [-mp-hidiam-ratio 1.05] [-mp-ctrl-ratio 1.30] BENCH_scc.json
 //	benchgate -serve [-min-qps 50] [-max-p99 2s] BENCH_serve.json
 //	benchgate -recover [-max-recovery 30s] BENCH_serve.json
+//	benchgate -incr [-incr-speedup 50] BENCH_serve.json
 //
 // Benchmarks present in only one file are reported but do not fail the
 // gate (datasets and benchmarks may be added or removed); a run with
@@ -44,6 +45,12 @@
 // and kept the epoch non-regressing, with recovery inside
 // -max-recovery and the torn-record truncation path exercised at
 // least once.
+//
+// The -incr mode gates the incremental-maintenance sweep written by
+// `sccbench -exp incr`: zero divergence from from-scratch detection
+// in every mix, live classification counters, and fast-path update
+// batches at least -incr-speedup times cheaper than the full rebuild
+// they replace.
 package main
 
 import (
@@ -260,6 +267,56 @@ func gateRecover(path string, maxRecovery time.Duration) error {
 	return nil
 }
 
+// gateIncr verifies the incremental-maintenance sweep written by
+// `sccbench -exp incr`: no mix's labeling diverged from a
+// from-scratch detection (zero tolerance), each mix actually fired
+// the update classes it is named for (the classifier is live, not
+// routing everything to one path), and the pure fast-path mixes
+// (intra-SCC inserts and inter-SCC deletes) beat the full rebuild
+// they replaced by at least -incr-speedup.
+func gateIncr(path string, minSpeedup float64) error {
+	rep, err := experiments.ReadServeJSON(path)
+	if err != nil {
+		return err
+	}
+	if rep.Incr == nil {
+		return fmt.Errorf("%s has no incr section (run sccbench -exp incr first)", path)
+	}
+	inc := rep.Incr
+	intra := inc.Mix("intra")
+	cycle := inc.Mix("cycle")
+	del := inc.Mix("delete")
+	if intra == nil || cycle == nil || del == nil {
+		return fmt.Errorf("%s: incr section is missing a mix row", path)
+	}
+	for _, m := range inc.Mixes {
+		if m.Diverged {
+			return fmt.Errorf("mix %s: incremental labeling diverged from full detection", m.Name)
+		}
+		if m.Updates == 0 || m.MeanBatchUS <= 0 {
+			return fmt.Errorf("mix %s: applied no updates", m.Name)
+		}
+	}
+	if intra.IntraInserts == 0 {
+		return fmt.Errorf("intra mix fired no intra-SCC insert fast paths")
+	}
+	if cycle.CycleMerges == 0 {
+		return fmt.Errorf("cycle mix fired no cycle-merge collapses")
+	}
+	if del.NoopDeletes+del.DagDeletes+del.Noops == 0 {
+		return fmt.Errorf("delete mix fired no delete fast paths")
+	}
+	fmt.Printf("incr: full rebuild %dµs; intra %.0fx, cycle %.0fx, delete %.0fx (gate >= %.0fx on intra/delete), divergence 0\n",
+		inc.FullDetectUS, intra.Speedup, cycle.Speedup, del.Speedup, minSpeedup)
+	if intra.Speedup < minSpeedup {
+		return fmt.Errorf("intra mix speedup %.1fx below gate %.0fx", intra.Speedup, minSpeedup)
+	}
+	if del.Speedup < minSpeedup {
+		return fmt.Errorf("delete mix speedup %.1fx below gate %.0fx", del.Speedup, minSpeedup)
+	}
+	return nil
+}
+
 // gateServe verifies the serving report: every scenario kept the
 // query path free of non-shedding 5xx; the overload scenario actually
 // shed (the admission control is live, not vestigial); the chaos
@@ -326,7 +383,21 @@ func main() {
 	maxP99 := flag.Duration("max-p99", 2*time.Second, "serve mode: maximum steady-state p99 latency")
 	recoverMode := flag.Bool("recover", false, "gate the recover section of a BENCH_serve.json report from sccbench -exp recover")
 	maxRecovery := flag.Duration("max-recovery", 30*time.Second, "recover mode: maximum single-crash-point recovery time")
+	incrMode := flag.Bool("incr", false, "gate the incr section of a BENCH_serve.json report from sccbench -exp incr")
+	incrSpeedup := flag.Float64("incr-speedup", 50, "incr mode: minimum fast-path-vs-full-rebuild speedup")
 	flag.Parse()
+	if *incrMode {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchgate -incr [-incr-speedup 50] BENCH_serve.json")
+			os.Exit(2)
+		}
+		if err := gateIncr(flag.Arg(0), *incrSpeedup); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchgate: incremental-maintenance gates hold")
+		return
+	}
 	if *recoverMode {
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: benchgate -recover [-max-recovery 30s] BENCH_serve.json")

@@ -21,6 +21,8 @@
 //	sccbench -exp serve [-serve-clients 16] [-serve-duration 800ms]
 //	                                             # serving load harness (BENCH_serve.json)
 //	sccbench -exp recover [-recover-batches 6]
+//
+//	sccbench -exp incr [-incr-batches 32] [-incr-batch-size 16]
 //	                                             # crash-recovery matrix (BENCH_serve.json "recover" section)
 //	sccbench -exp all                            # everything except bench/engine/serve/recover
 //
@@ -71,6 +73,9 @@ func main() {
 		serveDuration = flag.Duration("serve-duration", 800*time.Millisecond, "serve experiment: per-scenario load window")
 
 		recoverBatches = flag.Int("recover-batches", 6, "recover experiment: durable update batches in the crash workload")
+
+		incrBatches   = flag.Int("incr-batches", 32, "incr experiment: update batches per mix")
+		incrBatchSize = flag.Int("incr-batch-size", 16, "incr experiment: updates per batch")
 	)
 	flag.Parse()
 
@@ -280,10 +285,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		// Preserve the recover section a previous recover run wrote.
+		// Preserve the sections previous recover/incr runs wrote.
 		if *serveJSON != "" {
 			if old, err := experiments.ReadServeJSON(*serveJSON); err == nil {
 				rep.Recover = old.Recover
+				rep.Incr = old.Incr
 			}
 		}
 		fmt.Print(experiments.FormatServe(rep))
@@ -313,6 +319,35 @@ func main() {
 				rep = experiments.ServeReport{GoVersion: recRep.GoVersion}
 			}
 			rep.Recover = &recRep
+			writeServeReport(*serveJSON, rep)
+		}
+	}
+
+	// incr is the incremental-maintenance artifact: classified update
+	// mixes applied through incr.Maintainer and timed against the full
+	// rebuild they replace, merged into the serve report's "incr"
+	// section and gated by benchgate -incr.
+	if *exp == "incr" {
+		incRep, err := experiments.IncrSweep(experiments.IncrBenchConfig{
+			Dataset:   defaultTo(*data, "flickr"),
+			Scale:     *scale,
+			Workers:   *workers,
+			Batches:   *incrBatches,
+			BatchSize: *incrBatchSize,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FormatIncr(incRep))
+		if *serveJSON != "" {
+			rep, err := experiments.ReadServeJSON(*serveJSON)
+			if err != nil {
+				// No existing serve report to merge into: write a shell
+				// document holding only the incr section.
+				rep = experiments.ServeReport{GoVersion: incRep.GoVersion}
+			}
+			rep.Incr = &incRep
 			writeServeReport(*serveJSON, rep)
 		}
 	}

@@ -13,8 +13,16 @@
 //
 // Endpoints: GET /componentof?node=N, /same?u=U&v=V,
 // /reachable?from=U&to=V, /healthz, /readyz, /stats; POST /update
-// (edge-list body, rebuilds asynchronously; ?wait=1 blocks for the new
-// epoch) and POST /scc (ad-hoc detection on a posted edge list).
+// (signed update lines — "u v" or "+u v" inserts, "-u v" deletes —
+// rebuilds asynchronously; ?wait=1 blocks for the new epoch) and POST
+// /scc (ad-hoc detection on a posted edge list).
+//
+// Epochs are produced incrementally by default: each accepted update
+// is classified (intra-SCC insert, condensation-edge insert/delete,
+// cycle-creating merge, component-splitting delete) and only the
+// affected region is recomputed; every -incr-verify-every incremental
+// epochs a full detection cross-checks the maintained labeling.
+// -no-incr restores the full rebuild-per-epoch behavior.
 //
 // Overload contract: when the in-flight cap and its bounded queue are
 // saturated, requests are shed with 429 and a Retry-After hint; while
@@ -110,6 +118,9 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "bound on the SIGTERM graceful drain")
 		retryAfter     = fs.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 		maxEpochAge    = fs.Duration("max-epoch-age", 0, "fail readiness if updates stay unbuilt this long (0 = off)")
+
+		noIncr          = fs.Bool("no-incr", false, "disable incremental SCC maintenance; every epoch is a full rebuild")
+		incrVerifyEvery = fs.Int64("incr-verify-every", 64, "incremental epochs between full-detection self-checks (<0 disables)")
 
 		memLimit     = fs.String("mem-limit", "", "degrade detection to fit this memory budget (bytes; K/M/G suffixes)")
 		stallTimeout = fs.Duration("stall-timeout", 30*time.Second, "abort a rebuild if detection makes no progress for this long (0 = no watchdog)")
@@ -218,6 +229,9 @@ func run(ctx context.Context, stdout, stderr io.Writer, args []string) int {
 		MaxEpochAge:    *maxEpochAge,
 		RetryAfter:     *retryAfter,
 		BodyLimits:     limits,
+
+		DisableIncr:     *noIncr,
+		IncrVerifyEvery: *incrVerifyEvery,
 		RebuildChaos:   chaosCfg,
 		ChaosAtRebuild: *chaosRebuild,
 		Durable:        store,

@@ -103,6 +103,12 @@ type ServeReport struct {
 	// experiment has run. Scenario and recover runs merge into the
 	// same document, each preserving the other's section.
 	Recover *RecoverReport `json:"recover,omitempty"`
+
+	// Incr is the incremental-maintenance sweep written by `sccbench
+	// -exp incr` and gated by `benchgate -incr`; nil until that
+	// experiment has run. Like Recover, it merges section-preservingly
+	// into the same document.
+	Incr *IncrReport `json:"incr,omitempty"`
 }
 
 // Scenario returns the named scenario row, or nil.
@@ -160,7 +166,7 @@ type loadResult struct {
 // 429 mapping; together the two paths make shedding deterministic
 // under overload no matter how fast the pure query handlers are.
 func drive(cfg ServeBenchConfig, run *serveRun, res *loadResult, adhoc bool) {
-	n := run.srv.Snapshot().Graph.NumNodes()
+	n := run.srv.Snapshot().Nodes
 	var adhocBody string
 	if adhoc {
 		var sb strings.Builder
@@ -295,7 +301,7 @@ func ServeSweep(cfg ServeBenchConfig) (ServeReport, error) {
 			return rep, fmt.Errorf("serve steady: %w", err)
 		}
 		sn := run.srv.Snapshot()
-		rep.Nodes, rep.Edges = sn.Graph.NumNodes(), sn.Graph.NumEdges()
+		rep.Nodes, rep.Edges = sn.Nodes, sn.Edges
 		var res loadResult
 		drive(cfg, run, &res, false)
 		rep.Scenarios = append(rep.Scenarios, finish("steady", run, &res, sn.Epoch))

@@ -135,6 +135,54 @@ func (b *Builder) Build() *Graph {
 	return &Graph{outIdx: out.idx, outAdj: out.adj, inIdx: in.idx, inAdj: in.adj}
 }
 
+// OutCSR returns the out-direction CSR arrays: idx has length
+// NumNodes()+1 and idx[v]..idx[v+1] frames v's slice of adj. Both
+// slices alias the graph's internal storage and must not be modified.
+// Paired with FromCSR it lets an incremental caller patch a few rows
+// and bulk-copy the rest.
+func (g *Graph) OutCSR() (idx []int64, adj []NodeID) { return g.outIdx, g.outAdj }
+
+// InCSR is OutCSR for the in direction.
+func (g *Graph) InCSR() (idx []int64, adj []NodeID) { return g.inIdx, g.inAdj }
+
+// FromCSR assembles a Graph directly from prebuilt CSR arrays,
+// bypassing the Builder's counting sort — for callers that already
+// hold both directions in CSR form and only patched a few rows (e.g.
+// incremental condensation maintenance). The four slices are adopted,
+// not copied; outIdx/outAdj and inIdx/inAdj must describe the same
+// edge set from both directions, with sorted, duplicate-free
+// per-node adjacency. Structural invariants (index monotonicity,
+// lengths, neighbor bounds) are checked; violations panic, matching
+// AddEdge's contract on malformed input.
+func FromCSR(outIdx []int64, outAdj []NodeID, inIdx []int64, inAdj []NodeID) *Graph {
+	if len(outIdx) == 0 || len(outIdx) != len(inIdx) {
+		panic(fmt.Sprintf("graph: FromCSR index lengths %d vs %d", len(outIdx), len(inIdx)))
+	}
+	if len(outAdj) != len(inAdj) {
+		panic(fmt.Sprintf("graph: FromCSR edge counts disagree: out %d, in %d", len(outAdj), len(inAdj)))
+	}
+	n := NodeID(len(outIdx) - 1)
+	for _, side := range [2]struct {
+		idx []int64
+		adj []NodeID
+	}{{outIdx, outAdj}, {inIdx, inAdj}} {
+		if side.idx[0] != 0 || side.idx[len(side.idx)-1] != int64(len(side.adj)) {
+			panic(fmt.Sprintf("graph: FromCSR index does not frame %d adjacency entries", len(side.adj)))
+		}
+		for v := 0; v < int(n); v++ {
+			if side.idx[v] > side.idx[v+1] {
+				panic(fmt.Sprintf("graph: FromCSR index not monotone at node %d", v))
+			}
+		}
+		for _, w := range side.adj {
+			if w < 0 || w >= n {
+				panic(fmt.Sprintf("graph: FromCSR neighbor %d out of range [0,%d)", w, n))
+			}
+		}
+	}
+	return &Graph{outIdx: outIdx, outAdj: outAdj, inIdx: inIdx, inAdj: inAdj}
+}
+
 type csr struct {
 	idx []int64
 	adj []NodeID

@@ -1,0 +1,268 @@
+package graph
+
+import "fmt"
+
+// Overlay is a mutable edge-set delta over an immutable CSR base
+// graph. It exists so an update stream does not rebuild the CSR per
+// batch: inserts and deletes accumulate in small per-node side lists,
+// reads merge them with the base on the fly, and Materialize compacts
+// the whole thing back into a CSR only when a consumer actually needs
+// one (a full detection run, a durable snapshot).
+//
+// Invariants: addOut/addIn hold only edges absent from the base;
+// delOut/delIn hold only edges present in the base. The two are
+// disjoint by construction, so NumEdges is exact, Apply/Undo are
+// symmetric, and steady-state Apply+Undo of the same update allocates
+// nothing (the per-node slices retain their capacity).
+//
+// An Overlay is not safe for concurrent use; its single owner is the
+// epoch-production loop.
+type Overlay struct {
+	base *Graph
+	n    int
+
+	addOut map[NodeID][]NodeID
+	addIn  map[NodeID][]NodeID
+	delOut map[NodeID][]NodeID
+	delIn  map[NodeID][]NodeID
+
+	// adds/dels count live delta edges; the maps may hold empty
+	// retained slices, so len(map) is not a liveness signal.
+	adds, dels int64
+	edges      int64
+}
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base *Graph) *Overlay {
+	if base == nil {
+		panic("graph: NewOverlay on nil base")
+	}
+	return &Overlay{
+		base:   base,
+		n:      base.NumNodes(),
+		addOut: make(map[NodeID][]NodeID),
+		addIn:  make(map[NodeID][]NodeID),
+		delOut: make(map[NodeID][]NodeID),
+		delIn:  make(map[NodeID][]NodeID),
+		edges:  base.NumEdges(),
+	}
+}
+
+// Base returns the CSR graph the overlay's deltas apply on top of.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// NumNodes returns the overlay's node count (the base's, grown by
+// EnsureNodes).
+func (o *Overlay) NumNodes() int { return o.n }
+
+// NumEdges returns the exact current edge count.
+func (o *Overlay) NumEdges() int64 { return o.edges }
+
+// Dirty reports whether any delta is staged (Materialize would differ
+// from the base only when Dirty or the node count grew).
+func (o *Overlay) Dirty() bool {
+	return o.adds > 0 || o.dels > 0 || o.n != o.base.NumNodes()
+}
+
+// EnsureNodes grows the node count to at least n.
+func (o *Overlay) EnsureNodes(n int) {
+	if n > o.n {
+		o.n = n
+	}
+}
+
+// ShrinkNodes lowers the node count back to n after a rolled-back
+// growth. The caller guarantees no staged delta references a node ≥ n
+// (fully undoing the batch that grew the overlay does). Shrinking
+// below the base node count panics; n at or above the current count is
+// a no-op.
+func (o *Overlay) ShrinkNodes(n int) {
+	if n >= o.n {
+		return
+	}
+	if n < o.base.NumNodes() {
+		panic(fmt.Sprintf("graph: overlay ShrinkNodes(%d) below base node count %d", n, o.base.NumNodes()))
+	}
+	o.n = n
+}
+
+func listHas(l []NodeID, v NodeID) bool {
+	for _, x := range l {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// listDrop removes one instance of v by swap-delete; reports whether it
+// was present. Order within delta lists is not meaningful.
+func listDrop(l []NodeID, v NodeID) ([]NodeID, bool) {
+	for i, x := range l {
+		if x == v {
+			l[i] = l[len(l)-1]
+			return l[:len(l)-1], true
+		}
+	}
+	return l, false
+}
+
+// inBase reports whether the base holds u→v.
+func (o *Overlay) inBase(u, v NodeID) bool {
+	return int(u) < o.base.NumNodes() && int(v) < o.base.NumNodes() && o.base.HasEdge(u, v)
+}
+
+// HasEdge reports whether u→v exists in the overlaid edge set.
+func (o *Overlay) HasEdge(u, v NodeID) bool {
+	if u < 0 || v < 0 || int(u) >= o.n || int(v) >= o.n {
+		return false
+	}
+	if o.inBase(u, v) {
+		return !listHas(o.delOut[u], v)
+	}
+	return listHas(o.addOut[u], v)
+}
+
+// Apply performs one signed update with set semantics and reports
+// whether the edge set changed. Endpoints must be within NumNodes
+// (grow first with EnsureNodes).
+func (o *Overlay) Apply(up Update) bool {
+	u, v := up.From, up.To
+	if u < 0 || v < 0 || int(u) >= o.n || int(v) >= o.n {
+		panic(fmt.Sprintf("graph: overlay update (%d,%d) out of range [0,%d)", u, v, o.n))
+	}
+	switch up.Op {
+	case EdgeInsert:
+		if o.inBase(u, v) {
+			// Present in base: insert only undoes a prior delete.
+			if l, ok := listDrop(o.delOut[u], v); ok {
+				o.delOut[u] = l
+				o.delIn[v], _ = listDrop(o.delIn[v], u)
+				o.dels--
+				o.edges++
+				return true
+			}
+			return false
+		}
+		if listHas(o.addOut[u], v) {
+			return false
+		}
+		o.addOut[u] = append(o.addOut[u], v)
+		o.addIn[v] = append(o.addIn[v], u)
+		o.adds++
+		o.edges++
+		return true
+	case EdgeDelete:
+		if l, ok := listDrop(o.addOut[u], v); ok {
+			o.addOut[u] = l
+			o.addIn[v], _ = listDrop(o.addIn[v], u)
+			o.adds--
+			o.edges--
+			return true
+		}
+		if o.inBase(u, v) && !listHas(o.delOut[u], v) {
+			o.delOut[u] = append(o.delOut[u], v)
+			o.delIn[v] = append(o.delIn[v], u)
+			o.dels++
+			o.edges--
+			return true
+		}
+		return false
+	}
+	panic(fmt.Sprintf("graph: overlay update with unknown op %d", up.Op))
+}
+
+// Undo reverts one update whose Apply returned true (the caller's undo
+// log records exactly those).
+func (o *Overlay) Undo(up Update) { o.Apply(up.Inverse()) }
+
+// OutDo calls fn for every out-neighbor of u (base minus deletions
+// plus additions) until fn returns false. Neighbor order is base order
+// then addition order; each neighbor is reported once.
+func (o *Overlay) OutDo(u NodeID, fn func(v NodeID) bool) {
+	if int(u) < o.base.NumNodes() {
+		if del := o.delOut[u]; len(del) == 0 {
+			for _, v := range o.base.Out(u) {
+				if !fn(v) {
+					return
+				}
+			}
+		} else {
+			for _, v := range o.base.Out(u) {
+				if listHas(del, v) {
+					continue
+				}
+				if !fn(v) {
+					return
+				}
+			}
+		}
+	}
+	for _, v := range o.addOut[u] {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// InDo is OutDo over in-neighbors.
+func (o *Overlay) InDo(v NodeID, fn func(u NodeID) bool) {
+	if int(v) < o.base.NumNodes() {
+		if del := o.delIn[v]; len(del) == 0 {
+			for _, u := range o.base.In(v) {
+				if !fn(u) {
+					return
+				}
+			}
+		} else {
+			for _, u := range o.base.In(v) {
+				if listHas(del, u) {
+					continue
+				}
+				if !fn(u) {
+					return
+				}
+			}
+		}
+	}
+	for _, u := range o.addIn[v] {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+// Materialize compacts the overlaid edge set into a CSR graph. When no
+// delta is staged it returns the base itself (the common recovery and
+// first-build shape).
+func (o *Overlay) Materialize() *Graph {
+	if !o.Dirty() {
+		return o.base
+	}
+	b := NewBuilder(o.n)
+	for v := 0; v < o.n; v++ {
+		o.OutDo(NodeID(v), func(w NodeID) bool {
+			b.AddEdge(NodeID(v), w)
+			return true
+		})
+	}
+	return b.Build()
+}
+
+// Reset rebases the overlay onto a new base graph, dropping every
+// staged delta but keeping the allocated delta maps. The epoch loop
+// calls this after a full rebuild: the materialized graph becomes the
+// new base and the delta footprint returns to zero.
+func (o *Overlay) Reset(base *Graph) {
+	if base == nil {
+		panic("graph: overlay Reset on nil base")
+	}
+	o.base = base
+	o.n = base.NumNodes()
+	clear(o.addOut)
+	clear(o.addIn)
+	clear(o.delOut)
+	clear(o.delIn)
+	o.adds, o.dels = 0, 0
+	o.edges = base.NumEdges()
+}

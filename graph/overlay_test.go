@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// overlayOracle mirrors an Overlay with a plain edge set.
+type overlayOracle struct {
+	n     int
+	edges map[[2]NodeID]bool
+}
+
+func (o *overlayOracle) apply(up Update) bool {
+	k := [2]NodeID{up.From, up.To}
+	switch up.Op {
+	case EdgeInsert:
+		if o.edges[k] {
+			return false
+		}
+		o.edges[k] = true
+		return true
+	default:
+		if !o.edges[k] {
+			return false
+		}
+		delete(o.edges, k)
+		return true
+	}
+}
+
+func sortedNodes(l []NodeID) []NodeID {
+	out := append([]NodeID(nil), l...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func overlayOut(o *Overlay, v NodeID) []NodeID {
+	var out []NodeID
+	o.OutDo(v, func(w NodeID) bool { out = append(out, w); return true })
+	return out
+}
+
+func overlayIn(o *Overlay, v NodeID) []NodeID {
+	var out []NodeID
+	o.InDo(v, func(w NodeID) bool { out = append(out, w); return true })
+	return out
+}
+
+// TestOverlayDifferential drives a random signed-update stream against
+// a map-based oracle: HasEdge, neighbor iteration, edge counts, and
+// Materialize must all agree at every step, including node growth and
+// base-edge delete/re-insert cycles.
+func TestOverlayDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n0 = 12
+	b := NewBuilder(n0)
+	for i := 0; i < 30; i++ {
+		b.AddEdge(NodeID(rng.Intn(n0)), NodeID(rng.Intn(n0)))
+	}
+	base := b.Build()
+
+	ov := NewOverlay(base)
+	oracle := &overlayOracle{n: n0, edges: map[[2]NodeID]bool{}}
+	for v := 0; v < n0; v++ {
+		for _, w := range base.Out(NodeID(v)) {
+			oracle.edges[[2]NodeID{NodeID(v), w}] = true
+		}
+	}
+
+	var undo []Update
+	for step := 0; step < 4000; step++ {
+		n := ov.NumNodes()
+		if step%500 == 499 {
+			// Grow the node space occasionally.
+			ov.EnsureNodes(n + 1)
+			oracle.n++
+			n++
+		}
+		up := Update{From: NodeID(rng.Intn(n)), To: NodeID(rng.Intn(n))}
+		if rng.Intn(3) == 0 {
+			up.Op = EdgeDelete
+		}
+		got, want := ov.Apply(up), oracle.apply(up)
+		if got != want {
+			t.Fatalf("step %d: Apply(%v %d %d) changed=%v, oracle %v", step, up.Op, up.From, up.To, got, want)
+		}
+		if got {
+			undo = append(undo, up)
+		}
+		if int64(len(oracle.edges)) != ov.NumEdges() {
+			t.Fatalf("step %d: NumEdges=%d, oracle %d", step, ov.NumEdges(), len(oracle.edges))
+		}
+		if step%97 == 0 {
+			v := NodeID(rng.Intn(n))
+			var wantOut []NodeID
+			for k := range oracle.edges {
+				if k[0] == v {
+					wantOut = append(wantOut, k[1])
+				}
+			}
+			gotOut := sortedNodes(overlayOut(ov, v))
+			wantOut = sortedNodes(wantOut)
+			if len(gotOut) != len(wantOut) {
+				t.Fatalf("step %d: OutDo(%d)=%v, want %v", step, v, gotOut, wantOut)
+			}
+			for i := range gotOut {
+				if gotOut[i] != wantOut[i] {
+					t.Fatalf("step %d: OutDo(%d)=%v, want %v", step, v, gotOut, wantOut)
+				}
+			}
+		}
+	}
+
+	// Materialize must equal the oracle edge set exactly.
+	g := ov.Materialize()
+	if g.NumNodes() != ov.NumNodes() {
+		t.Fatalf("materialized nodes %d, want %d", g.NumNodes(), ov.NumNodes())
+	}
+	if g.NumEdges() != int64(len(oracle.edges)) {
+		t.Fatalf("materialized edges %d, want %d", g.NumEdges(), len(oracle.edges))
+	}
+	for k := range oracle.edges {
+		if !g.HasEdge(k[0], k[1]) {
+			t.Fatalf("materialized graph missing edge %v", k)
+		}
+	}
+
+	// In-neighbor views stay consistent with out-neighbor views.
+	for v := 0; v < ov.NumNodes(); v++ {
+		for _, w := range overlayOut(ov, NodeID(v)) {
+			if !listHas(overlayIn(ov, w), NodeID(v)) {
+				t.Fatalf("edge %d->%d visible via OutDo but not InDo", v, w)
+			}
+		}
+	}
+
+	// Undo in reverse order restores the pristine overlay exactly.
+	for i := len(undo) - 1; i >= 0; i-- {
+		ov.Undo(undo[i])
+	}
+	if ov.NumEdges() != base.NumEdges() {
+		t.Fatalf("after full undo: edges %d, want base %d", ov.NumEdges(), base.NumEdges())
+	}
+	for v := 0; v < base.NumNodes(); v++ {
+		got := sortedNodes(overlayOut(ov, NodeID(v)))
+		want := sortedNodes(base.Out(NodeID(v)))
+		if len(got) != len(want) {
+			t.Fatalf("after undo: Out(%d)=%v, want %v", v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("after undo: Out(%d)=%v, want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestOverlayMaterializeCleanReturnsBase(t *testing.T) {
+	base := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	ov := NewOverlay(base)
+	if got := ov.Materialize(); got != base {
+		t.Fatal("clean overlay should materialize to the base graph itself")
+	}
+	ov.Apply(Update{Op: EdgeInsert, From: 2, To: 0})
+	ov.Undo(Update{Op: EdgeInsert, From: 2, To: 0})
+	if ov.Dirty() {
+		t.Fatal("apply+undo left the overlay dirty")
+	}
+	ov.Apply(Update{Op: EdgeInsert, From: 2, To: 0})
+	if got := ov.Materialize(); got == base {
+		t.Fatal("dirty overlay must materialize a fresh graph")
+	}
+	ov.Reset(ov.Materialize())
+	if !ov.HasEdge(2, 0) || ov.NumEdges() != 3 {
+		t.Fatal("reset lost the rebased edge set")
+	}
+}
+
+// TestOverlayApplyUndoSteadyStateAllocs pins the update path's
+// allocation behavior: once the per-node delta slices exist, applying
+// and undoing updates allocates nothing. This is the satellite "don't
+// re-CSR the world per batch" property in its measurable form.
+func TestOverlayApplyUndoSteadyStateAllocs(t *testing.T) {
+	base := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	ov := NewOverlay(base)
+	ins := Update{Op: EdgeInsert, From: 3, To: 0}
+	del := Update{Op: EdgeDelete, From: 2, To: 3}
+	// Warm the slices.
+	ov.Apply(ins)
+	ov.Apply(del)
+	ov.Undo(del)
+	ov.Undo(ins)
+	allocs := testing.AllocsPerRun(200, func() {
+		ov.Apply(ins)
+		ov.Apply(del)
+		ov.Undo(del)
+		ov.Undo(ins)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Apply/Undo allocates %.1f/op, want 0", allocs)
+	}
+	if ov.Dirty() || ov.NumEdges() != base.NumEdges() {
+		t.Fatal("steady-state loop corrupted the overlay")
+	}
+}

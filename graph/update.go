@@ -1,0 +1,53 @@
+package graph
+
+import "fmt"
+
+// EdgeOp distinguishes the two signed-edge mutations an update stream
+// carries.
+type EdgeOp uint8
+
+const (
+	// EdgeInsert adds the edge if absent.
+	EdgeInsert EdgeOp = iota
+	// EdgeDelete removes the edge if present.
+	EdgeDelete
+)
+
+// String returns the update-batch spelling ("+" insert, "-" delete).
+func (op EdgeOp) String() string {
+	switch op {
+	case EdgeInsert:
+		return "+"
+	case EdgeDelete:
+		return "-"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Update is one signed edge mutation. Updates have set semantics:
+// inserting a present edge and deleting an absent one are both no-ops,
+// which makes a batch idempotent to replay against the state it was
+// logged over.
+type Update struct {
+	Op       EdgeOp
+	From, To NodeID
+}
+
+// Inverse returns the update that undoes u (given that applying u
+// changed the edge set).
+func (u Update) Inverse() Update {
+	if u.Op == EdgeInsert {
+		return Update{Op: EdgeDelete, From: u.From, To: u.To}
+	}
+	return Update{Op: EdgeInsert, From: u.From, To: u.To}
+}
+
+// UpdatesFromEdges wraps a plain edge batch as all-inserts — the shape
+// legacy WAL records and bare "u v" update lines decode to.
+func UpdatesFromEdges(edges []Edge) []Update {
+	out := make([]Update, len(edges))
+	for i, e := range edges {
+		out[i] = Update{Op: EdgeInsert, From: e.From, To: e.To}
+	}
+	return out
+}

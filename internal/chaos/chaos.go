@@ -68,12 +68,19 @@ const (
 	// compaction without touching the log itself — recovery must then
 	// replay a longer WAL tail from the previous snapshot.
 	SiteSnapshot
+	// SiteIncr is hit by the incremental SCC maintainer (internal/incr):
+	// once at the start of each commit and once per staged component
+	// merge during a cycle collapse, so injected failures land while the
+	// staged labeling is half-merged — the rollback case incremental
+	// epoch production adds on top of the full-rebuild sites. The
+	// detection engine never hits this site.
+	SiteIncr
 
-	numSites = 11
+	numSites = 12
 )
 
 // String returns the flag spelling of the site (trim, bfs, trim2,
-// wcc, task, peel, uf, reach, condense, wal, snapshot).
+// wcc, task, peel, uf, reach, condense, wal, snapshot, incr).
 func (s Site) String() string {
 	switch s {
 	case SiteTrim:
@@ -98,18 +105,20 @@ func (s Site) String() string {
 		return "wal"
 	case SiteSnapshot:
 		return "snapshot"
+	case SiteIncr:
+		return "incr"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
 
 // Sites lists every injection site, in flag-spelling order.
 func Sites() []Site {
-	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach, SiteCondense, SiteWAL, SiteSnapshot}
+	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach, SiteCondense, SiteWAL, SiteSnapshot, SiteIncr}
 }
 
 // EngineSites lists the sites the in-memory detection engine hits
-// (everything but the serving-path SiteCondense and the durability
-// sites SiteWAL/SiteSnapshot).
+// (everything but the serving-path SiteCondense/SiteIncr and the
+// durability sites SiteWAL/SiteSnapshot).
 func EngineSites() []Site {
 	return []Site{SiteTrim, SiteBFS, SiteTrim2, SiteWCC, SiteTask, SitePeel, SiteUF, SiteReach}
 }
@@ -121,7 +130,7 @@ func ParseSite(name string) (Site, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|reach|condense|wal|snapshot)", name)
+	return 0, fmt.Errorf("chaos: unknown site %q (want trim|bfs|trim2|wcc|task|peel|uf|reach|condense|wal|snapshot|incr)", name)
 }
 
 // Panic is the value an injected panic panics with. Engine panic

@@ -1,11 +1,44 @@
 package durable
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 
 	"repro/graph"
 )
+
+// appendRecordV1 encodes a legacy all-inserts record (count top bit
+// clear, plain {from,to} pairs) so the corpus keeps exercising the v1
+// decode path after the writer moved to v2.
+func appendRecordV1(buf []byte, seq uint64, batch []graph.Edge) []byte {
+	payloadLen := recordMetaLen + 8*len(batch)
+	start := len(buf)
+	buf = append(buf, make([]byte, recordHeaderLen+payloadLen)...)
+	payload := buf[start+recordHeaderLen:]
+	binary.LittleEndian.PutUint64(payload[0:], seq)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(batch)))
+	for i, e := range batch {
+		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i:], uint32(e.From))
+		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i+4:], uint32(e.To))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+func signedBatches() [][]graph.Update {
+	return [][]graph.Update{
+		{
+			{Op: graph.EdgeInsert, From: 0, To: 1},
+			{Op: graph.EdgeDelete, From: 1, To: 2},
+		},
+		{
+			{Op: graph.EdgeDelete, From: 2, To: 0},
+		},
+	}
+}
 
 // FuzzWALDecode throws arbitrary bytes — including torn, bit-flipped,
 // and hostile-length inputs — at the record decoder. The invariants:
@@ -17,7 +50,7 @@ func FuzzWALDecode(f *testing.F) {
 	batches := testBatches(3)
 	var valid []byte
 	for i, b := range batches {
-		valid = appendRecord(valid, uint64(i+1), b)
+		valid = appendRecord(valid, uint64(i+1), graph.UpdatesFromEdges(b))
 	}
 	f.Add(valid)
 	f.Add(valid[:len(valid)-5]) // torn tail
@@ -28,6 +61,29 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add(flipped)
 	empty := appendRecord(nil, 1, nil) // zero-edge record is valid
 	f.Add(empty)
+
+	// Legacy v1 frames still in the log.
+	var v1 []byte
+	for i, b := range batches {
+		v1 = appendRecordV1(v1, uint64(i+1), b)
+	}
+	f.Add(v1)
+
+	// v2 signed records: deletes set the from top bit.
+	var signed []byte
+	for i, b := range signedBatches() {
+		signed = appendRecord(signed, uint64(i+1), b)
+	}
+	f.Add(signed)
+	f.Add(signed[:len(signed)-3]) // torn v2 tail
+
+	// A v1 record whose from field has the delete bit set must stay
+	// corrupt (the bit is only meaningful under the v2 marker).
+	hostile := appendRecordV1(nil, 1, []graph.Edge{{From: 3, To: 4}})
+	hostile[recordHeaderLen+recordMetaLen+3] |= 0x80
+	binary.LittleEndian.PutUint32(hostile[4:],
+		crc32.Checksum(hostile[recordHeaderLen:], crcTable))
+	f.Add(hostile)
 
 	lim := graph.Limits{MaxNodes: 1 << 20, MaxEdges: 1 << 16}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -50,10 +106,60 @@ func TestDecodeRecordsValid(t *testing.T) {
 	batches := testBatches(3)
 	var buf []byte
 	for i, b := range batches {
-		buf = appendRecord(buf, uint64(i+1), b)
+		buf = appendRecord(buf, uint64(i+1), graph.UpdatesFromEdges(b))
 	}
 	seqs, edges, err := DecodeRecords(buf, graph.Limits{})
 	if err != nil || len(seqs) != 3 || edges != 9 {
 		t.Fatalf("decode: seqs=%v edges=%d err=%v", seqs, edges, err)
 	}
+}
+
+// TestSignedRecordRoundTrip checks op bits survive encode/decode and
+// that legacy v1 frames decode as all-inserts.
+func TestSignedRecordRoundTrip(t *testing.T) {
+	want := signedBatches()
+	var buf []byte
+	for i, b := range want {
+		buf = appendRecord(buf, uint64(i+1), b)
+	}
+	rr := &recordReader{r: newByteReader(buf), file: "t", lim: graph.Limits{}}
+	for i := range want {
+		seq, got, err := rr.next()
+		if err != nil || seq != uint64(i+1) {
+			t.Fatalf("record %d: seq=%d err=%v", i, seq, err)
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("record %d: %d updates, want %d", i, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("record %d update %d: %+v, want %+v", i, j, got[j], want[i][j])
+			}
+		}
+	}
+
+	legacy := appendRecordV1(nil, 7, []graph.Edge{{From: 5, To: 6}, {From: 6, To: 5}})
+	rr = &recordReader{r: newByteReader(legacy), file: "t", lim: graph.Limits{}}
+	seq, got, err := rr.next()
+	if err != nil || seq != 7 || len(got) != 2 {
+		t.Fatalf("v1 decode: seq=%d n=%d err=%v", seq, len(got), err)
+	}
+	for _, u := range got {
+		if u.Op != graph.EdgeInsert {
+			t.Fatalf("v1 record decoded a delete: %+v", u)
+		}
+	}
+
+	// Delete bit outside a v2 frame is corruption, not a silent insert.
+	hostile := appendRecordV1(nil, 1, []graph.Edge{{From: 3, To: 4}})
+	hostile[recordHeaderLen+recordMetaLen+3] |= 0x80
+	binaryPatchCRC(hostile)
+	rr = &recordReader{r: newByteReader(hostile), file: "t", lim: graph.Limits{}}
+	if _, _, err := rr.next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v1 frame with delete bit decoded: err=%v", err)
+	}
+}
+
+func binaryPatchCRC(rec []byte) {
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[recordHeaderLen:], crcTable))
 }

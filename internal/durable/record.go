@@ -16,8 +16,18 @@ import (
 //	crc    uint32   CRC32-C (Castagnoli) over the payload
 //	payload:
 //	  seq   uint64  1-based batch sequence number
-//	  count uint32  edge count
+//	  count uint32  edge count; top bit = record version marker
 //	  edges [count]{from uint32, to uint32}
+//
+// Two record versions share this frame. v1 (count top bit clear) is
+// the legacy all-inserts batch: each edge is a plain {from, to} pair.
+// v2 (count top bit set) carries signed updates: the top bit of each
+// `from` encodes the operation (clear = insert, set = delete). Both
+// version bits are provably free in v1 — the decoder has always
+// rejected node ids ≥ 2^31 as corrupt and counts are bounded far below
+// 2^31 by the limit guard — so old logs decode unchanged as
+// all-inserts and old decoders reject new records as corrupt rather
+// than misreading them.
 //
 // The length field is validated against the store's graph.Limits
 // BEFORE the payload is allocated, so a corrupt (or hostile) length —
@@ -76,17 +86,29 @@ func maxRecordPayload(lim graph.Limits) int64 {
 	return recordMetaLen + 8*maxEdges
 }
 
-// appendRecord encodes one batch as a WAL record appended to buf.
-func appendRecord(buf []byte, seq uint64, batch []graph.Edge) []byte {
+// recordV2Flag marks a signed-update (v2) record in the count field;
+// recordDeleteFlag marks a delete op in a v2 edge's from field.
+const (
+	recordV2Flag     = uint32(1) << 31
+	recordDeleteFlag = uint32(1) << 31
+)
+
+// appendRecord encodes one signed-update batch as a v2 WAL record
+// appended to buf.
+func appendRecord(buf []byte, seq uint64, batch []graph.Update) []byte {
 	payloadLen := recordMetaLen + 8*len(batch)
 	start := len(buf)
 	buf = append(buf, make([]byte, recordHeaderLen+payloadLen)...)
 	payload := buf[start+recordHeaderLen:]
 	binary.LittleEndian.PutUint64(payload[0:], seq)
-	binary.LittleEndian.PutUint32(payload[8:], uint32(len(batch)))
-	for i, e := range batch {
-		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i:], uint32(e.From))
-		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i+4:], uint32(e.To))
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(batch))|recordV2Flag)
+	for i, u := range batch {
+		from := uint32(u.From)
+		if u.Op == graph.EdgeDelete {
+			from |= recordDeleteFlag
+		}
+		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i:], from)
+		binary.LittleEndian.PutUint32(payload[recordMetaLen+8*i+4:], uint32(u.To))
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
 	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
@@ -108,7 +130,7 @@ type recordReader struct {
 // torn or corrupt record — the offset it carries is where the valid
 // prefix ends — and any other error verbatim (real I/O failures are
 // not corruption).
-func (rr *recordReader) next() (seq uint64, batch []graph.Edge, err error) {
+func (rr *recordReader) next() (seq uint64, batch []graph.Update, err error) {
 	start := rr.off
 	if _, err := io.ReadFull(rr.r, rr.hdr[:]); err != nil {
 		if err == io.EOF {
@@ -143,21 +165,30 @@ func (rr *recordReader) next() (seq uint64, batch []graph.Edge, err error) {
 		return 0, nil, corrupt(rr.file, start, "checksum mismatch (stored %08x, computed %08x)", crc, got)
 	}
 	seq = binary.LittleEndian.Uint64(payload[0:])
-	count := int64(binary.LittleEndian.Uint32(payload[8:]))
+	rawCount := binary.LittleEndian.Uint32(payload[8:])
+	signed := rawCount&recordV2Flag != 0
+	count := int64(rawCount &^ recordV2Flag)
 	if recordMetaLen+8*count != length {
 		return 0, nil, corrupt(rr.file, start, "edge count %d does not match payload length %d", count, length)
 	}
-	batch = make([]graph.Edge, count)
+	batch = make([]graph.Update, count)
 	for i := range batch {
 		from := binary.LittleEndian.Uint32(payload[recordMetaLen+8*i:])
 		to := binary.LittleEndian.Uint32(payload[recordMetaLen+8*i+4:])
+		op := graph.EdgeInsert
+		if signed && from&recordDeleteFlag != 0 {
+			// Only a v2 record may use the from top bit; in a legacy
+			// record it still means corruption.
+			op = graph.EdgeDelete
+			from &^= recordDeleteFlag
+		}
 		if from >= 1<<31 || to >= 1<<31 {
 			return 0, nil, corrupt(rr.file, start, "edge %d node id beyond 32-bit id space", i)
 		}
 		if rr.lim.MaxNodes > 0 && (int64(from) >= rr.lim.MaxNodes || int64(to) >= rr.lim.MaxNodes) {
 			return 0, nil, corrupt(rr.file, start, "edge %d node id beyond node limit %d", i, rr.lim.MaxNodes)
 		}
-		batch[i] = graph.Edge{From: graph.NodeID(from), To: graph.NodeID(to)}
+		batch[i] = graph.Update{Op: op, From: graph.NodeID(from), To: graph.NodeID(to)}
 	}
 	rr.off += recordHeaderLen + length
 	return seq, batch, nil

@@ -90,9 +90,10 @@ type Recovery struct {
 	// Graph is the newest valid snapshot's base graph, nil if the
 	// store had no usable snapshot.
 	Graph *graph.Graph
-	// Edges are the WAL-replayed edge batches, flattened in append
-	// order. They apply on top of Graph.
-	Edges []graph.Edge
+	// Updates are the WAL-replayed signed-update batches, flattened in
+	// append order. They apply on top of Graph; legacy (v1) records
+	// decode as all-inserts.
+	Updates []graph.Update
 	// Seq is the last recovered sequence number; appends continue at
 	// Seq+1.
 	Seq uint64
@@ -310,7 +311,7 @@ func (s *Store) replaySegment(ctx context.Context, name string, last *uint64, re
 			return off, s.truncateSegment(f, name, off)
 		}
 		*last = seq
-		rec.Edges = append(rec.Edges, batch...)
+		rec.Updates = append(rec.Updates, batch...)
 		rec.Replayed++
 	}
 }
@@ -353,12 +354,18 @@ func (s *Store) openSegmentLocked(start uint64) error {
 	return nil
 }
 
-// Append logs one accepted edge batch and returns its sequence
-// number. Under FsyncAlways the record is on stable storage when
-// Append returns. The first failure latches the store dead: every
-// later Append returns the original error, because the log can no
-// longer promise durability for anything it acknowledges.
+// Append logs one accepted all-insert edge batch. It is
+// AppendUpdates over the legacy unsigned batch shape.
 func (s *Store) Append(batch []graph.Edge) (uint64, error) {
+	return s.AppendUpdates(graph.UpdatesFromEdges(batch))
+}
+
+// AppendUpdates logs one accepted signed-update batch and returns its
+// sequence number. Under FsyncAlways the record is on stable storage
+// when AppendUpdates returns. The first failure latches the store
+// dead: every later append returns the original error, because the
+// log can no longer promise durability for anything it acknowledges.
+func (s *Store) AppendUpdates(batch []graph.Update) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {

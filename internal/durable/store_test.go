@@ -37,6 +37,20 @@ func flatten(batches [][]graph.Edge) []graph.Edge {
 	return out
 }
 
+// insertEdges projects replayed updates back to plain edges; the
+// legacy-shape tests only append inserts, so a delete is a decode bug.
+func insertEdges(t *testing.T, ups []graph.Update) []graph.Edge {
+	t.Helper()
+	out := make([]graph.Edge, 0, len(ups))
+	for _, u := range ups {
+		if u.Op != graph.EdgeInsert {
+			t.Fatalf("unexpected delete in replayed all-insert log: %+v", u)
+		}
+		out = append(out, graph.Edge{From: u.From, To: u.To})
+	}
+	return out
+}
+
 func maxNode(edges []graph.Edge) graph.NodeID {
 	var m graph.NodeID
 	for _, e := range edges {
@@ -132,7 +146,7 @@ func TestEmptyThenRoundTrip(t *testing.T) {
 	if rec2.Seq != 5 || rec2.Replayed != 5 || rec2.Truncated || rec2.Graph != nil {
 		t.Fatalf("recovery: %+v", rec2)
 	}
-	if !edgesEqual(rec2.Edges, flatten(batches)) {
+	if !edgesEqual(insertEdges(t, rec2.Updates), flatten(batches)) {
 		t.Fatalf("replayed edges diverge")
 	}
 	// Appends continue exactly after the recovered tail.
@@ -170,7 +184,7 @@ func TestSnapshotCoversPrefix(t *testing.T) {
 	if rec.Graph == nil || rec.SnapshotSeq != 4 || rec.Seq != 6 || rec.Replayed != 2 {
 		t.Fatalf("recovery: %+v", rec)
 	}
-	if !edgesEqual(append(graphEdges(rec.Graph), rec.Edges...), flatten(batches)) {
+	if !edgesEqual(append(graphEdges(rec.Graph), insertEdges(t, rec.Updates)...), flatten(batches)) {
 		t.Fatalf("snapshot+tail diverge from appended batches")
 	}
 }
@@ -205,7 +219,7 @@ func TestTruncateAtCorruptRecord(t *testing.T) {
 	if !rec.Truncated || rec.Replayed != 2 || rec.Seq != 2 {
 		t.Fatalf("want truncation after 2 records, got %+v", rec)
 	}
-	if !edgesEqual(rec.Edges, flatten(batches[:2])) {
+	if !edgesEqual(insertEdges(t, rec.Updates), flatten(batches[:2])) {
 		t.Fatalf("valid prefix diverges")
 	}
 	st2.Close()
@@ -225,9 +239,9 @@ func TestSequenceGapTruncates(t *testing.T) {
 	dir := t.TempDir()
 	batches := testBatches(4)
 	var buf []byte
-	buf = appendRecord(buf, 1, batches[0])
-	buf = appendRecord(buf, 2, batches[1])
-	buf = appendRecord(buf, 4, batches[3]) // gap: 3 missing
+	buf = appendRecord(buf, 1, graph.UpdatesFromEdges(batches[0]))
+	buf = appendRecord(buf, 2, graph.UpdatesFromEdges(batches[1]))
+	buf = appendRecord(buf, 4, graph.UpdatesFromEdges(batches[3])) // gap: 3 missing
 	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -243,10 +257,10 @@ func TestCorruptionDropsLaterSegments(t *testing.T) {
 	dir := t.TempDir()
 	batches := testBatches(4)
 	var seg1, seg2 []byte
-	seg1 = appendRecord(seg1, 1, batches[0])
-	seg1 = appendRecord(seg1, 2, batches[1])
+	seg1 = appendRecord(seg1, 1, graph.UpdatesFromEdges(batches[0]))
+	seg1 = appendRecord(seg1, 2, graph.UpdatesFromEdges(batches[1]))
 	seg1 = append(seg1, 0xAB) // torn tail
-	seg2 = appendRecord(seg2, 3, batches[2])
+	seg2 = appendRecord(seg2, 3, graph.UpdatesFromEdges(batches[2]))
 	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg1, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +319,7 @@ func TestSnapshotFallbackToOlder(t *testing.T) {
 	if rec.SnapshotSeq != 2 || rec.CorruptSnapshots != 1 || rec.Seq != 4 {
 		t.Fatalf("fallback recovery: %+v", rec)
 	}
-	if !edgesEqual(append(graphEdges(rec.Graph), rec.Edges...), flatten(batches)) {
+	if !edgesEqual(append(graphEdges(rec.Graph), insertEdges(t, rec.Updates)...), flatten(batches)) {
 		t.Fatalf("fallback state diverges")
 	}
 }
@@ -365,7 +379,7 @@ func TestLimitsRejectOversizedRecord(t *testing.T) {
 		big[i] = graph.Edge{From: graph.NodeID(i), To: graph.NodeID(i + 1)}
 	}
 	var buf []byte
-	buf = appendRecord(buf, 1, big) // valid CRC, oversized for the limit below
+	buf = appendRecord(buf, 1, graph.UpdatesFromEdges(big)) // valid CRC, oversized for the limit below
 	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +435,7 @@ func TestShortWriteIsFailStopAndRecoverable(t *testing.T) {
 	if rec.Seq != 1 || !rec.Truncated {
 		t.Fatalf("half-written record not cut: %+v", rec)
 	}
-	if !edgesEqual(rec.Edges, batches[0]) {
+	if !edgesEqual(insertEdges(t, rec.Updates), batches[0]) {
 		t.Fatalf("acknowledged record lost")
 	}
 }
@@ -527,7 +541,7 @@ func TestCrashPointMatrix(t *testing.T) {
 				t.Fatalf("recovered beyond the workload: seq %d", rec.Seq)
 			}
 			want := flatten(batches[:rec.Seq])
-			got := append(graphEdges(rec.Graph), rec.Edges...)
+			got := append(graphEdges(rec.Graph), insertEdges(t, rec.Updates)...)
 			if !edgesEqual(got, want) {
 				t.Fatalf("recovered state diverges at seq %d: %d edges vs %d", rec.Seq, len(got), len(want))
 			}

@@ -54,6 +54,39 @@ type ServeCounters struct {
 	// still has everything, replay is just longer).
 	Snapshots        atomic.Int64
 	SnapshotFailures atomic.Int64
+
+	// FullRebuilds counts epochs produced by a from-scratch detection
+	// over the whole graph; IncrEpochs those produced by the incremental
+	// maintainer's classified fast paths. Rebuilds = both + failures.
+	FullRebuilds atomic.Int64
+	IncrEpochs   atomic.Int64
+
+	// IncrFallbacks counts incremental attempts abandoned to a full
+	// rebuild (maintainer error, panic, or rollback); IncrVerifyRuns the
+	// periodic self-checks that re-ran full detection after an
+	// incremental epoch; IncrVerifyDivergence the self-checks whose
+	// labeling disagreed with the maintainer (each one both a bug signal
+	// and an automatic repair — the full result is published).
+	IncrFallbacks        atomic.Int64
+	IncrVerifyRuns       atomic.Int64
+	IncrVerifyDivergence atomic.Int64
+
+	// Per-class update counters, bumped once per classified update the
+	// maintainer applied: IncrIntraInserts are inserts inside an
+	// existing SCC (label no-op), IncrDagInserts inter-SCC inserts that
+	// only add a condensation edge, IncrCycleMerges inserts that
+	// collapsed a condensation path, IncrNoopDeletes deletes that left
+	// the labeling intact, IncrDagDeletes deletes that only removed a
+	// condensation edge, IncrPartials updates that forced a partial
+	// recompute of the affected region, and IncrNoops updates that did
+	// not change the edge set at all (duplicate insert, absent delete).
+	IncrIntraInserts atomic.Int64
+	IncrDagInserts   atomic.Int64
+	IncrCycleMerges  atomic.Int64
+	IncrNoopDeletes  atomic.Int64
+	IncrDagDeletes   atomic.Int64
+	IncrPartials     atomic.Int64
+	IncrNoops        atomic.Int64
 }
 
 // ServeSnapshot is a plain-value copy of ServeCounters.
@@ -73,6 +106,19 @@ type ServeSnapshot struct {
 	WALAppendErrs    int64 `json:"wal_append_errs"`
 	Snapshots        int64 `json:"snapshots"`
 	SnapshotFailures int64 `json:"snapshot_failures"`
+
+	FullRebuilds         int64 `json:"full_rebuilds"`
+	IncrEpochs           int64 `json:"incr_epochs"`
+	IncrFallbacks        int64 `json:"incr_fallbacks"`
+	IncrVerifyRuns       int64 `json:"incr_verify_runs"`
+	IncrVerifyDivergence int64 `json:"incr_verify_divergence"`
+	IncrIntraInserts     int64 `json:"incr_intra_inserts"`
+	IncrDagInserts       int64 `json:"incr_dag_inserts"`
+	IncrCycleMerges      int64 `json:"incr_cycle_merges"`
+	IncrNoopDeletes      int64 `json:"incr_noop_deletes"`
+	IncrDagDeletes       int64 `json:"incr_dag_deletes"`
+	IncrPartials         int64 `json:"incr_partials"`
+	IncrNoops            int64 `json:"incr_noops"`
 }
 
 // Snapshot returns a plain copy of the current values. A nil receiver
@@ -97,5 +143,18 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		WALAppendErrs:    c.WALAppendErrs.Load(),
 		Snapshots:        c.Snapshots.Load(),
 		SnapshotFailures: c.SnapshotFailures.Load(),
+
+		FullRebuilds:         c.FullRebuilds.Load(),
+		IncrEpochs:           c.IncrEpochs.Load(),
+		IncrFallbacks:        c.IncrFallbacks.Load(),
+		IncrVerifyRuns:       c.IncrVerifyRuns.Load(),
+		IncrVerifyDivergence: c.IncrVerifyDivergence.Load(),
+		IncrIntraInserts:     c.IncrIntraInserts.Load(),
+		IncrDagInserts:       c.IncrDagInserts.Load(),
+		IncrCycleMerges:      c.IncrCycleMerges.Load(),
+		IncrNoopDeletes:      c.IncrNoopDeletes.Load(),
+		IncrDagDeletes:       c.IncrDagDeletes.Load(),
+		IncrPartials:         c.IncrPartials.Load(),
+		IncrNoops:            c.IncrNoops.Load(),
 	}
 }

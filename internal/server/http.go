@@ -28,7 +28,8 @@ import (
 //
 // Mutation and compute endpoints (admission-controlled):
 //
-//	POST /update[?wait=1]         apply an edge batch ("u v" lines);
+//	POST /update[?wait=1]         apply a signed update batch ("u v" /
+//	                              "+u v" inserts, "-u v" deletes);
 //	                              wait=1 blocks until the epoch advances
 //	POST /scc                     ad-hoc detection on a POSTed edge list
 //
@@ -210,14 +211,14 @@ func intParam(r *http.Request, name string) (int64, error) {
 }
 
 // nodeParam parses a node id parameter and bounds-checks it against
-// the snapshot's graph.
+// the snapshot's node count.
 func nodeParam(r *http.Request, sn *Snapshot, name string) (int32, error) {
 	v, err := intParam(r, name)
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 || v >= int64(sn.Graph.NumNodes()) {
-		return 0, fmt.Errorf("parameter %q: node %d out of range [0,%d)", name, v, sn.Graph.NumNodes())
+	if v < 0 || v >= int64(sn.Nodes) {
+		return 0, fmt.Errorf("parameter %q: node %d out of range [0,%d)", name, v, sn.Nodes)
 	}
 	return int32(v), nil
 }
@@ -290,15 +291,16 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleUpdate applies an edge batch to the authoritative edge set and
-// kicks an asynchronous epoch rebuild. The batch is "u v" lines (the
-// edge-list format); node ids beyond the current graph grow it. With
-// ?wait=1 the handler blocks (bounded by the request deadline) until
-// the new epoch publishes, answering 200; otherwise it answers 202
+// handleUpdate applies a signed update batch to the authoritative
+// update queue and kicks an asynchronous epoch rebuild. The batch is
+// one update per line: "u v" or "+u v" inserts the edge, "-u v"
+// deletes it; node ids beyond the current graph grow it. With ?wait=1
+// the handler blocks (bounded by the request deadline) until the new
+// epoch publishes, answering 200; otherwise it answers 202
 // immediately. A batch that would push the graph past BodyLimits is
 // rejected whole with 413 and nothing is applied.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	batch, maxNode, err := parseEdgeBatch(r.Context(), r)
+	batch, maxNode, err := parseUpdateBatch(r.Context(), r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errBody{Error: err.Error()})
 		return
@@ -314,7 +316,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			Format: "update", Dimension: "nodes", Value: newNodes, Limit: lim.MaxNodes}).Error()})
 		return
 	}
-	if total := int64(edges) + int64(len(batch)); lim.MaxEdges > 0 && total > lim.MaxEdges {
+	// Only inserts can grow the edge set; the pre-check is an upper
+	// bound, exactly like edgeEst itself.
+	if total := edges + countInserts(batch); lim.MaxEdges > 0 && total > lim.MaxEdges {
 		writeJSON(w, http.StatusRequestEntityTooLarge, errBody{Error: (&graph.LimitError{
 			Format: "update", Dimension: "edges", Value: total, Limit: lim.MaxEdges}).Error()})
 		return
@@ -354,13 +358,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parseEdgeBatch reads "u v" lines ('#' and '%' comments allowed) with
-// periodic context checks, mirroring the limited loaders' hostile-input
-// posture without materializing a Graph.
-func parseEdgeBatch(ctx context.Context, r *http.Request) ([]graph.Edge, int64, error) {
+// parseUpdateBatch reads signed update lines with periodic context
+// checks, mirroring the limited loaders' hostile-input posture without
+// materializing a Graph. Each line is "u v" or "+u v" (insert) or
+// "-u v" (delete); the sign may be its own field ("+ u v") or fused to
+// the source id ("+u v"). '#' and '%' comment lines are allowed.
+func parseUpdateBatch(ctx context.Context, r *http.Request) ([]graph.Update, int64, error) {
 	const cancelCheckEvery = 4096
 	var (
-		batch   []graph.Edge
+		batch   []graph.Update
 		maxNode int64 = -1
 		lineNo  int
 	)
@@ -378,8 +384,20 @@ func parseEdgeBatch(ctx context.Context, r *http.Request) ([]graph.Edge, int64, 
 			continue
 		}
 		fields := strings.Fields(line)
+		op := graph.EdgeInsert
+		if f := fields[0]; f == "+" || f == "-" {
+			if f == "-" {
+				op = graph.EdgeDelete
+			}
+			fields = fields[1:]
+		} else if len(f) > 1 && (f[0] == '+' || f[0] == '-') {
+			if f[0] == '-' {
+				op = graph.EdgeDelete
+			}
+			fields[0] = f[1:]
+		}
 		if len(fields) < 2 {
-			return nil, 0, fmt.Errorf("line %d: want \"u v\", got %q", lineNo, line)
+			return nil, 0, fmt.Errorf("line %d: want \"[+|-]u v\", got %q", lineNo, line)
 		}
 		u, err := strconv.ParseInt(fields[0], 10, 32)
 		if err != nil {
@@ -398,7 +416,7 @@ func parseEdgeBatch(ctx context.Context, r *http.Request) ([]graph.Edge, int64, 
 		if v > maxNode {
 			maxNode = v
 		}
-		batch = append(batch, graph.Edge{From: int32(u), To: int32(v)})
+		batch = append(batch, graph.Update{Op: op, From: int32(u), To: int32(v)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, 0, fmt.Errorf("reading update body: %v", err)
@@ -555,8 +573,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sn := s.snap.Load(); sn != nil {
 		body.Epoch = sn.Epoch
 		body.Built = sn.Built
-		body.Nodes = sn.Graph.NumNodes()
-		body.Edges = sn.Graph.NumEdges()
+		body.Nodes = sn.Nodes
+		body.Edges = sn.Edges
 		body.NumSCCs = sn.NumSCCs
 		body.Algorithm = sn.Algorithm.String()
 		body.DetectUS = sn.Detect.Microseconds()

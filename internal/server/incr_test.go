@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/scc"
+)
+
+// TestSignedUpdateRoundTrip drives the incremental epoch path through
+// the HTTP surface: a cycle-creating insert, a component-splitting
+// delete, and no-op updates, each advancing the epoch without a full
+// rebuild, with the per-class counters visible on /stats.
+func TestSignedUpdateRoundTrip(t *testing.T) {
+	s, ts := newTestServer(t, quietCfg())
+
+	// Epoch 1 is the initial full build; everything after rides the
+	// incremental maintainer.
+	resp, m := postBody(t, ts.URL+"/update?wait=1", "+4 0\n")
+	if resp.StatusCode != http.StatusOK || m["rebuilt"] != true {
+		t.Fatalf("insert +4 0: status %d body %v", resp.StatusCode, m)
+	}
+	code, q := getJSON(t, ts.URL+"/same?u=0&v=4")
+	if code != http.StatusOK || q["same"] != true {
+		t.Fatalf("same 0 4 after merge: status %d same=%v", code, q["same"])
+	}
+	ctr := s.Counters()
+	if got := ctr.IncrCycleMerges.Load(); got < 1 {
+		t.Errorf("IncrCycleMerges = %d, want >= 1", got)
+	}
+
+	// Deleting the closing edge splits the merged component again: the
+	// classifier routes it to a partial recompute of the affected
+	// region, not a full rebuild.
+	resp, m = postBody(t, ts.URL+"/update?wait=1", "-4 0\n")
+	if resp.StatusCode != http.StatusOK || m["rebuilt"] != true {
+		t.Fatalf("delete -4 0: status %d body %v", resp.StatusCode, m)
+	}
+	code, q = getJSON(t, ts.URL+"/same?u=0&v=4")
+	if code != http.StatusOK || q["same"] != false {
+		t.Fatalf("same 0 4 after split: status %d same=%v", code, q["same"])
+	}
+	if got := ctr.IncrPartials.Load(); got < 1 {
+		t.Errorf("IncrPartials = %d, want >= 1", got)
+	}
+
+	// Duplicate insert and absent delete are classified no-ops but
+	// still publish an epoch (the batch was acknowledged).
+	resp, m = postBody(t, ts.URL+"/update?wait=1", "0 1\n-5 5\n")
+	if resp.StatusCode != http.StatusOK || m["rebuilt"] != true {
+		t.Fatalf("noop batch: status %d body %v", resp.StatusCode, m)
+	}
+	if got := ctr.IncrNoops.Load(); got < 2 {
+		t.Errorf("IncrNoops = %d, want >= 2", got)
+	}
+
+	if got := ctr.FullRebuilds.Load(); got != 1 {
+		t.Errorf("FullRebuilds = %d, want 1 (initial build only)", got)
+	}
+	if got := ctr.IncrEpochs.Load(); got != 3 {
+		t.Errorf("IncrEpochs = %d, want 3", got)
+	}
+
+	// The per-class counters are on /stats for the harness and gates.
+	code, stats := getJSON(t, ts.URL+"/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	counters, ok := stats["counters"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no counters object: %v", stats)
+	}
+	for _, key := range []string{
+		"full_rebuilds", "incr_epochs", "incr_fallbacks",
+		"incr_cycle_merges", "incr_partials", "incr_noops",
+	} {
+		if _, ok := counters[key]; !ok {
+			t.Errorf("stats counters missing %q", key)
+		}
+	}
+	if counters["incr_epochs"].(float64) != 3 {
+		t.Errorf("stats incr_epochs = %v, want 3", counters["incr_epochs"])
+	}
+}
+
+// TestSignedUpdateSyntaxErrors: malformed signed lines are rejected
+// whole with 400 and nothing is applied.
+func TestSignedUpdateSyntaxErrors(t *testing.T) {
+	s, ts := newTestServer(t, quietCfg())
+	for _, body := range []string{"-\n", "+x 1\n", "- 1\n", "-1 y\n", "+-1 2\n"} {
+		resp, _ := postBody(t, ts.URL+"/update", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if n, e := s.totals(); n != 6 || e != 6 {
+		t.Errorf("totals after rejected batches = (%d,%d), want (6,6)", n, e)
+	}
+}
+
+// TestChaosIncrRollback sabotages the incremental maintainer itself:
+// attempt 2 runs the classified path with a panic injected at the
+// "incr" site (mid cycle-collapse), rolls back without publishing,
+// and the retry — routed through a full rebuild by the fallback
+// latch — publishes the correct epoch. Queries stay 5xx-free
+// throughout.
+func TestChaosIncrRollback(t *testing.T) {
+	cfg := quietCfg()
+	cfg.RebuildChaos = &scc.ChaosConfig{PanicAt: map[string]int64{"incr": 1}}
+	cfg.ChaosAtRebuild = 2
+	s, ts := newTestServer(t, cfg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, _ := getJSON(t, ts.URL+"/componentof?node=0")
+				if code >= 500 {
+					bad.Add(1)
+				}
+			}
+		}()
+	}
+
+	resp, m := postBody(t, ts.URL+"/update?wait=1", "+4 0\n")
+	close(stop)
+	wg.Wait()
+	if resp.StatusCode != http.StatusOK || m["rebuilt"] != true {
+		t.Fatalf("update through sabotaged incremental: status %d body %v", resp.StatusCode, m)
+	}
+	if bad.Load() != 0 {
+		t.Errorf("query 5xx during sabotaged incremental: %d, want 0", bad.Load())
+	}
+	ctr := s.Counters()
+	if got := ctr.IncrFallbacks.Load(); got != 1 {
+		t.Errorf("IncrFallbacks = %d, want 1", got)
+	}
+	if got := ctr.RebuildFailures.Load(); got < 1 {
+		t.Errorf("RebuildFailures = %d, want >= 1", got)
+	}
+	if got := ctr.FullRebuilds.Load(); got != 2 {
+		t.Errorf("FullRebuilds = %d, want 2 (initial + fallback retry)", got)
+	}
+	if got := ctr.QueryErr5xx.Load(); got != 0 {
+		t.Errorf("QueryErr5xx = %d, want 0", got)
+	}
+	if got := s.Snapshot().Epoch; got != 2 {
+		t.Errorf("epoch after fallback = %d, want 2", got)
+	}
+	code, q := getJSON(t, ts.URL+"/same?u=0&v=4")
+	if code != http.StatusOK || q["same"] != true {
+		t.Errorf("post-fallback same 0 4: status %d same=%v", code, q["same"])
+	}
+}
+
+// TestIncrSelfCheck: with the verify cadence at 1, every incremental
+// epoch is cross-checked against full detection; the maintained
+// labeling never diverges.
+func TestIncrSelfCheck(t *testing.T) {
+	cfg := quietCfg()
+	cfg.IncrVerifyEvery = 1
+	s, ts := newTestServer(t, cfg)
+
+	for _, body := range []string{"+4 0\n", "-4 0\n", "+5 0\n+0 5\n"} {
+		resp, m := postBody(t, ts.URL+"/update?wait=1", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update %q: status %d body %v", body, resp.StatusCode, m)
+		}
+	}
+	ctr := s.Counters()
+	if got := ctr.IncrVerifyRuns.Load(); got != 3 {
+		t.Errorf("IncrVerifyRuns = %d, want 3", got)
+	}
+	if got := ctr.IncrVerifyDivergence.Load(); got != 0 {
+		t.Errorf("IncrVerifyDivergence = %d, want 0", got)
+	}
+	code, q := getJSON(t, ts.URL+"/same?u=0&v=5")
+	if code != http.StatusOK || q["same"] != true {
+		t.Errorf("same 0 5 after merges: status %d same=%v", code, q["same"])
+	}
+}
+
+// TestDisableIncr: with -no-incr semantics every epoch is a full
+// rebuild and the incremental counters stay untouched.
+func TestDisableIncr(t *testing.T) {
+	cfg := quietCfg()
+	cfg.DisableIncr = true
+	s, ts := newTestServer(t, cfg)
+
+	resp, m := postBody(t, ts.URL+"/update?wait=1", "+4 0\n")
+	if resp.StatusCode != http.StatusOK || m["rebuilt"] != true {
+		t.Fatalf("update: status %d body %v", resp.StatusCode, m)
+	}
+	ctr := s.Counters()
+	if got := ctr.FullRebuilds.Load(); got != 2 {
+		t.Errorf("FullRebuilds = %d, want 2", got)
+	}
+	if got := ctr.IncrEpochs.Load(); got != 0 {
+		t.Errorf("IncrEpochs = %d, want 0", got)
+	}
+	code, q := getJSON(t, ts.URL+"/same?u=0&v=4")
+	if code != http.StatusOK || q["same"] != true {
+		t.Errorf("same 0 4: status %d same=%v", code, q["same"])
+	}
+}
+
+// FuzzParseUpdateBatch: the signed-line parser never panics and every
+// accepted update is within the reported node bound.
+func FuzzParseUpdateBatch(f *testing.F) {
+	f.Add([]byte("0 1\n"))
+	f.Add([]byte("+3 4\n-1 2\n# comment\n% also\n"))
+	f.Add([]byte("- 7 8\n+ 9 10\n"))
+	f.Add([]byte("-\n"))
+	f.Add([]byte("+x y\n"))
+	f.Add([]byte("999999999999999 0\n"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/update", bytes.NewReader(body))
+		batch, maxNode, err := parseUpdateBatch(context.Background(), req)
+		if err != nil {
+			return
+		}
+		for _, u := range batch {
+			if u.From < 0 || u.To < 0 {
+				t.Fatalf("accepted negative node: %+v", u)
+			}
+			if int64(u.From) > maxNode || int64(u.To) > maxNode {
+				t.Fatalf("node beyond reported maxNode %d: %+v", maxNode, u)
+			}
+		}
+	})
+}

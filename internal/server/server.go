@@ -13,6 +13,7 @@ import (
 	"repro/graph"
 	"repro/internal/chaos"
 	"repro/internal/durable"
+	"repro/internal/incr"
 	"repro/internal/metrics"
 	"repro/scc"
 )
@@ -64,11 +65,25 @@ type Config struct {
 	// The caller still owns Close on the store, after Server.Close.
 	Durable *durable.Store
 
+	// DisableIncr forces every epoch through the full
+	// detect → condense rebuild, never the incremental maintainer.
+	// Off by default: incremental classification is the primary epoch
+	// path once an initial labeling exists.
+	DisableIncr bool
+	// IncrVerifyEvery is the incremental self-check cadence: after
+	// this many consecutive incremental epochs the server re-runs full
+	// detection, compares labelings, and publishes the full result
+	// (counting a divergence if the maintainer disagreed). 0 means the
+	// default of 64; negative disables the self-check.
+	IncrVerifyEvery int64
+
 	// RebuildChaos, when non-nil, sabotages the rebuild whose 1-based
 	// attempt ordinal equals ChaosAtRebuild: in-kernel sites are
 	// injected into the detection run, and a "condense" entry fires
-	// between detection and publication. All other rebuilds run clean.
-	// The initial build in New is attempt 1.
+	// between detection and publication. An "incr" entry instead
+	// sabotages the incremental maintainer's commit/merge path for
+	// that attempt. All other rebuilds run clean. The initial build in
+	// New is attempt 1.
 	RebuildChaos   *scc.ChaosConfig
 	ChaosAtRebuild int64
 
@@ -111,6 +126,9 @@ func (c Config) withDefaults() Config {
 	if c.BodyLimits.MaxEdges == 0 {
 		c.BodyLimits.MaxEdges = 64 << 20
 	}
+	if c.IncrVerifyEvery == 0 {
+		c.IncrVerifyEvery = 64
+	}
 	if c.Counters == nil {
 		c.Counters = &metrics.ServeCounters{}
 	}
@@ -138,16 +156,31 @@ type Server struct {
 	engineMu sync.Mutex
 	engine   *scc.Engine
 
-	// edgeMu guards the authoritative edge set rebuilt into epochs,
-	// and — when durability is on — appliedSeq, the WAL sequence the
-	// edge set reflects. Append order and log order coincide because
-	// both happen under this mutex.
+	// edgeMu guards the authoritative update queue consumed by epoch
+	// rebuilds, the node/edge totals used for limit checks, and —
+	// when durability is on — appliedSeq, the WAL sequence the queue
+	// reflects. Append order and log order coincide because both
+	// happen under this mutex. The queue holds accepted-but-not-yet-
+	// published updates; each rebuild consumes a prefix and trims it.
 	edgeMu     sync.Mutex
 	nodes      int
-	edges      []graph.Edge
+	queue      []graph.Update
+	edgeEst    int64
 	dirty      bool
 	dirtySince time.Time
 	appliedSeq uint64
+
+	// maint owns the served edge set (CSR base + overlay deltas) and
+	// its SCC labeling/condensation, evolving both per epoch through
+	// classified update fast paths. It is owned by the rebuild loop:
+	// assigned before the loop starts (New, or durable recovery) and
+	// touched only from rebuildOnce afterwards. forceFull and
+	// incrSinceFull are likewise loop-owned: the first routes the next
+	// rebuild through full detection after an incremental failure, the
+	// second drives the periodic self-check cadence.
+	maint         *incr.Maintainer
+	forceFull     bool
+	incrSinceFull int64
 
 	// store is cfg.Durable (nil without durability). epochBase is the
 	// recovered epoch floor: published epochs start above it so a
@@ -238,7 +271,8 @@ func New(cfg Config, g *graph.Graph) (*Server, error) {
 		return s, nil
 	}
 	close(s.readyCh)
-	s.edges = g.AppendEdges(make([]graph.Edge, 0, g.NumEdges()))
+	s.maint = incr.New(g, s.detectLabels)
+	s.edgeEst = g.NumEdges()
 	s.dirty = true
 	if err := s.rebuildOnce(context.Background()); err != nil {
 		cancel()
@@ -314,15 +348,16 @@ func (s *Server) recoverDurable(ctx context.Context, seed *graph.Graph) error {
 	if rec.Graph != nil {
 		base = rec.Graph
 	}
+	s.maint = incr.New(base, s.detectLabels)
 	s.edgeMu.Lock()
 	s.nodes = base.NumNodes()
-	s.edges = base.AppendEdges(make([]graph.Edge, 0, int(base.NumEdges())+len(rec.Edges)))
-	s.edges = append(s.edges, rec.Edges...)
-	for _, e := range rec.Edges {
-		if n := int(e.From) + 1; n > s.nodes {
+	s.queue = append(s.queue[:0], rec.Updates...)
+	s.edgeEst = base.NumEdges() + countInserts(rec.Updates)
+	for _, u := range rec.Updates {
+		if n := int(u.From) + 1; n > s.nodes {
 			s.nodes = n
 		}
-		if n := int(e.To) + 1; n > s.nodes {
+		if n := int(u.To) + 1; n > s.nodes {
 			s.nodes = n
 		}
 	}
@@ -419,14 +454,15 @@ func (s *Server) exit() {
 	s.inflight.Done()
 }
 
-// applyUpdate appends an edge batch to the authoritative edge set
-// (growing the node count to cover maxNode) and kicks the rebuild
-// loop. The caller has already bounds-checked against BodyLimits.
-// When durability is on, the batch goes to the write-ahead log FIRST,
-// under the same mutex that orders the edge set, so log order and
-// apply order coincide; a batch the log refuses is not applied and
-// the error is returned for the handler to surface as 503.
-func (s *Server) applyUpdate(batch []graph.Edge, maxNode int64) error {
+// applyUpdate appends a signed update batch to the authoritative
+// queue (growing the node count to cover maxNode) and kicks the
+// rebuild loop. The caller has already bounds-checked against
+// BodyLimits. When durability is on, the batch goes to the
+// write-ahead log FIRST, under the same mutex that orders the queue,
+// so log order and apply order coincide; a batch the log refuses is
+// not applied and the error is returned for the handler to surface
+// as 503.
+func (s *Server) applyUpdate(batch []graph.Update, maxNode int64) error {
 	if err := s.applyLocked(batch, maxNode); err != nil {
 		return err
 	}
@@ -437,11 +473,11 @@ func (s *Server) applyUpdate(batch []graph.Edge, maxNode int64) error {
 	return nil
 }
 
-func (s *Server) applyLocked(batch []graph.Edge, maxNode int64) error {
+func (s *Server) applyLocked(batch []graph.Update, maxNode int64) error {
 	s.edgeMu.Lock()
 	defer s.edgeMu.Unlock()
 	if s.store != nil {
-		seq, err := s.store.Append(batch)
+		seq, err := s.store.AppendUpdates(batch)
 		if err != nil {
 			s.ctr.WALAppendErrs.Add(1)
 			return err
@@ -452,7 +488,8 @@ func (s *Server) applyLocked(batch []graph.Edge, maxNode int64) error {
 	if int(maxNode)+1 > s.nodes {
 		s.nodes = int(maxNode) + 1
 	}
-	s.edges = append(s.edges, batch...)
+	s.queue = append(s.queue, batch...)
+	s.edgeEst += countInserts(batch)
 	if !s.dirty {
 		s.dirty = true
 		s.dirtySince = time.Now()
@@ -460,12 +497,26 @@ func (s *Server) applyLocked(batch []graph.Edge, maxNode int64) error {
 	return nil
 }
 
-// totals reports the current authoritative node and edge counts, for
-// limit checks on incoming update batches.
-func (s *Server) totals() (nodes int, edges int) {
+// countInserts counts the inserts in a batch: the amount by which it
+// can grow the edge set, used to keep edgeEst a safe upper bound for
+// limit checks (deletes only shrink it, and are credited back when a
+// rebuild resyncs the estimate against the maintainer).
+func countInserts(batch []graph.Update) int64 {
+	var n int64
+	for _, u := range batch {
+		if u.Op == graph.EdgeInsert {
+			n++
+		}
+	}
+	return n
+}
+
+// totals reports the current authoritative node count and edge-count
+// upper bound, for limit checks on incoming update batches.
+func (s *Server) totals() (nodes int, edges int64) {
 	s.edgeMu.Lock()
 	defer s.edgeMu.Unlock()
-	return s.nodes, len(s.edges)
+	return s.nodes, s.edgeEst
 }
 
 // pendingSince reports whether updates are waiting to be rebuilt and
@@ -554,33 +605,82 @@ func (s *Server) rebuildLoopBody(ctx context.Context) {
 	}
 }
 
-// rebuildOnce runs one epoch rebuild: copy the edge set, build the
-// CSR, detect, condense, publish. Any failure publishes nothing — the
-// previous snapshot pointer is untouched, which IS the rollback.
+// rebuildOnce produces one epoch: consume the queued update prefix,
+// evolve the labeling — through the incremental maintainer's
+// classified fast paths by default, or a from-scratch
+// detect → condense when no labeling exists yet, incremental is
+// disabled, or the previous incremental attempt failed — and publish.
+// Any failure publishes nothing: the maintainer rolled itself back,
+// the queue prefix stays queued, and the previous snapshot pointer is
+// untouched, which IS the rollback.
 func (s *Server) rebuildOnce(ctx context.Context) error {
 	attempt := s.rebuildN.Add(1)
 	s.ctr.Rebuilds.Add(1)
 
 	s.edgeMu.Lock()
-	nodes := s.nodes
-	edges := make([]graph.Edge, len(s.edges))
-	copy(edges, s.edges)
-	// seqCopied is the WAL sequence this epoch will cover: captured
-	// with the edge copy, under the same mutex that ordered both.
+	// k is the consumed prefix: updates arriving mid-rebuild stay
+	// queued for the next epoch. seqCopied is the WAL sequence this
+	// epoch will cover — captured with the prefix, under the same
+	// mutex that ordered both.
+	k := len(s.queue)
+	updates := s.queue[:k:k]
 	seqCopied := s.appliedSeq
 	s.edgeMu.Unlock()
-
-	b := graph.NewBuilder(nodes)
-	b.AddEdges(edges)
-	g := b.Build()
 
 	rctx, cancel := context.WithTimeout(ctx, s.cfg.RebuildTimeout)
 	defer cancel()
 
 	sabotage := s.cfg.RebuildChaos != nil && attempt == s.cfg.ChaosAtRebuild
-	cond, info, err := s.detectAndCondense(rctx, g, sabotage)
-	if err != nil {
-		return err
+	// A chaos config naming the "incr" site targets the maintainer, so
+	// the sabotaged attempt must run incrementally; any other sabotage
+	// targets detection/condensation and forces the full path.
+	chaosIncr := sabotage && hasIncrSite(s.cfg.RebuildChaos)
+	full := s.maint.Cond() == nil || s.cfg.DisableIncr || s.forceFull ||
+		(sabotage && !chaosIncr)
+
+	var (
+		cond *scc.Condensed
+		info buildInfo
+	)
+	if full {
+		_, c, err := s.maint.FullBuild(rctx, updates, func(bctx context.Context, g *graph.Graph) (*scc.Condensed, error) {
+			cc, i, derr := s.detectAndCondense(bctx, g, sabotage)
+			info = i
+			return cc, derr
+		})
+		if err != nil {
+			return err
+		}
+		cond = c
+		s.forceFull = false
+		s.incrSinceFull = 0
+		s.ctr.FullRebuilds.Add(1)
+	} else {
+		start := time.Now()
+		if chaosIncr {
+			if inj := incrInjector(s.cfg.RebuildChaos); inj != nil {
+				inj.Bind(rctx.Done())
+				s.maint.SetChaos(inj)
+				defer s.maint.SetChaos(nil)
+			}
+		}
+		c, st, err := s.maint.Apply(rctx, updates)
+		if err != nil {
+			// The maintainer rolled back; route the retry through a
+			// full rebuild so one bad classification cannot wedge the
+			// epoch pipeline.
+			s.forceFull = true
+			s.ctr.IncrFallbacks.Add(1)
+			return err
+		}
+		cond = c
+		info = buildInfo{numSCCs: int64(len(cond.Sizes)), detect: time.Since(start)}
+		s.ctr.IncrEpochs.Add(1)
+		s.addIncrStats(st)
+		s.incrSinceFull++
+		if ve := s.cfg.IncrVerifyEvery; ve > 0 && s.incrSinceFull >= ve {
+			cond = s.verifyIncr(rctx, cond, &info)
+		}
 	}
 
 	prev := s.snap.Load()
@@ -597,7 +697,8 @@ func (s *Server) rebuildOnce(ctx context.Context) error {
 	s.snap.Store(&Snapshot{
 		Epoch:     epoch,
 		Built:     time.Now(),
-		Graph:     g,
+		Nodes:     s.maint.NumNodes(),
+		Edges:     s.maint.NumEdges(),
 		Cond:      cond,
 		NumSCCs:   info.numSCCs,
 		Detect:    info.detect,
@@ -605,21 +706,67 @@ func (s *Server) rebuildOnce(ctx context.Context) error {
 	})
 	s.ctr.EpochSwaps.Add(1)
 
-	// Clear dirty only if no new edges arrived mid-rebuild (the edge
-	// set is append-only, so a length match means nothing new).
+	// Trim the consumed prefix and resync the edge estimate against
+	// the maintainer's exact count; anything that arrived mid-rebuild
+	// stays queued and keeps the loop dirty.
 	s.edgeMu.Lock()
-	if len(s.edges) == len(edges) && s.nodes == nodes {
+	s.queue = append(s.queue[:0], s.queue[k:]...)
+	s.edgeEst = s.maint.NumEdges() + countInserts(s.queue)
+	if len(s.queue) == 0 {
 		s.dirty = false
 		s.dirtySince = time.Time{}
 	}
 	s.edgeMu.Unlock()
 
-	// The epoch's graph doubles as the durable snapshot payload when
-	// enough batches have accumulated since the last one.
+	// The maintainer's edge set doubles as the durable snapshot
+	// payload when enough batches have accumulated since the last one
+	// (Materialize returns the base CSR itself right after a full
+	// rebuild, so the common case copies nothing).
 	if s.store != nil && s.store.ShouldSnapshot(seqCopied) {
-		s.snapshotEpoch(g, seqCopied)
+		s.snapshotEpoch(s.maint.Materialize(), seqCopied)
 	}
 	return nil
+}
+
+// verifyIncr is the periodic incremental self-check: after
+// IncrVerifyEvery consecutive incremental epochs, re-run full
+// detection over the maintainer's edge set, compare labelings, and
+// publish the full result (which is also the maintainer's new
+// committed base). A divergence is counted and logged — each one is
+// both a bug signal and an automatic repair. A failed self-check
+// build is non-fatal: the incremental epoch stands and the check
+// retries next epoch.
+func (s *Server) verifyIncr(ctx context.Context, cond *scc.Condensed, info *buildInfo) *scc.Condensed {
+	s.ctr.IncrVerifyRuns.Add(1)
+	var fi buildInfo
+	_, fcond, err := s.maint.FullBuild(ctx, nil, func(bctx context.Context, g *graph.Graph) (*scc.Condensed, error) {
+		cc, i, derr := s.detectAndCondense(bctx, g, false)
+		fi = i
+		return cc, derr
+	})
+	if err != nil {
+		s.cfg.Logf("server: incr self-check full build failed (incremental epoch stands): %v", err)
+		return cond
+	}
+	s.incrSinceFull = 0
+	if !incr.LabelsEquivalent(cond.NodeComp, fcond.NodeComp) {
+		s.ctr.IncrVerifyDivergence.Add(1)
+		s.cfg.Logf("server: incremental labeling diverged from full detection; publishing full result")
+	}
+	*info = fi
+	return fcond
+}
+
+// addIncrStats folds one Apply's per-class classification counts into
+// the serving counters.
+func (s *Server) addIncrStats(st incr.Stats) {
+	s.ctr.IncrIntraInserts.Add(st.IntraInserts)
+	s.ctr.IncrDagInserts.Add(st.DagInserts)
+	s.ctr.IncrCycleMerges.Add(st.CycleMerges)
+	s.ctr.IncrNoopDeletes.Add(st.NoopDeletes)
+	s.ctr.IncrDagDeletes.Add(st.DagDeletes)
+	s.ctr.IncrPartials.Add(st.Partials)
+	s.ctr.IncrNoops.Add(st.Noops)
 }
 
 // snapshotEpoch persists g as the durable snapshot covering seq.
@@ -684,6 +831,22 @@ func (s *Server) detectAndCondense(ctx context.Context, g *graph.Graph, sabotage
 	return cond, info, nil
 }
 
+// detectLabels is the incr.DetectFunc the maintainer calls for
+// partial recomputes of an affected region: one detection run on the
+// pinned engine under engineMu, labels copied out because Detect
+// results are engine-owned and the maintainer keeps them past the
+// call.
+func (s *Server) detectLabels(ctx context.Context, g *graph.Graph) ([]int32, error) {
+	s.engineMu.Lock()
+	defer s.engineMu.Unlock()
+	res, err := s.engine.Detect(ctx, g)
+	if err != nil {
+		s.repairEngine(err)
+		return nil, err
+	}
+	return append([]int32(nil), res.Comp...), nil
+}
+
 // repairEngine replaces the engine after a failure that destroyed its
 // runtime: a stall-watchdog force-abort folds the engine into the
 // closed state, so detection can only continue on a fresh gang. Called
@@ -736,6 +899,36 @@ func condenseInjector(c *scc.ChaosConfig) *chaos.Injector {
 	}
 	if n := c.StallAt[chaos.SiteCondense.String()]; n > 0 {
 		cfg.StallAt = map[chaos.Site]int64{chaos.SiteCondense: n}
+	}
+	if cfg.PanicAt == nil && cfg.StallAt == nil {
+		return nil
+	}
+	return chaos.New(cfg)
+}
+
+// hasIncrSite reports whether c names the incremental maintainer's
+// "incr" site, which routes the sabotaged attempt through the
+// incremental path instead of forcing a full rebuild.
+func hasIncrSite(c *scc.ChaosConfig) bool {
+	if c == nil {
+		return false
+	}
+	return c.PanicAt[chaos.SiteIncr.String()] > 0 || c.StallAt[chaos.SiteIncr.String()] > 0
+}
+
+// incrInjector builds an injector for just the "incr" entries of c,
+// or nil if it has none — condenseInjector's sibling for the
+// maintainer's commit and cycle-collapse sites.
+func incrInjector(c *scc.ChaosConfig) *chaos.Injector {
+	if c == nil {
+		return nil
+	}
+	cfg := chaos.Config{StallFor: c.StallFor}
+	if n := c.PanicAt[chaos.SiteIncr.String()]; n > 0 {
+		cfg.PanicAt = map[chaos.Site]int64{chaos.SiteIncr: n}
+	}
+	if n := c.StallAt[chaos.SiteIncr.String()]; n > 0 {
+		cfg.StallAt = map[chaos.Site]int64{chaos.SiteIncr: n}
 	}
 	if cfg.PanicAt == nil && cfg.StallAt == nil {
 		return nil

@@ -18,23 +18,27 @@ import (
 	"sync"
 	"time"
 
-	"repro/graph"
 	"repro/scc"
 )
 
-// Snapshot is one immutable epoch of the served graph: the graph, its
-// SCC labeling, and the condensation DAG, plus a pool of reachability
-// scratch sized for that DAG. Snapshots are published by atomic pointer
-// swap and never mutated afterwards; queries against an old epoch stay
-// valid while a reader holds the pointer, even after a newer epoch is
-// published.
+// Snapshot is one immutable epoch of the served graph: its SCC
+// labeling and condensation DAG plus the graph's dimensions, and a
+// pool of reachability scratch sized for that DAG. Snapshots are
+// published by atomic pointer swap and never mutated afterwards;
+// queries against an old epoch stay valid while a reader holds the
+// pointer, even after a newer epoch is published. Since incremental
+// epochs evolve the labeling without re-materializing a CSR, the
+// snapshot carries counts rather than the graph itself — every query
+// endpoint works off the condensation.
 type Snapshot struct {
 	// Epoch is the 1-based publication ordinal.
 	Epoch int64
 	// Built is when the epoch was published.
 	Built time.Time
-	// Graph is the graph this epoch was built from.
-	Graph *graph.Graph
+	// Nodes and Edges are the dimensions of the graph this epoch
+	// labels.
+	Nodes int
+	Edges int64
 	// Cond is the SCC condensation: labeling, component sizes, DAG.
 	Cond *scc.Condensed
 	// NumSCCs is the component count.
@@ -54,7 +58,7 @@ type Snapshot struct {
 // ComponentOf returns the dense component id of node v, or -1 if v is
 // out of range.
 func (s *Snapshot) ComponentOf(v int64) int32 {
-	if v < 0 || v >= int64(s.Graph.NumNodes()) {
+	if v < 0 || v >= int64(s.Nodes) {
 		return -1
 	}
 	return s.Cond.NodeComp[v]

@@ -19,9 +19,11 @@ import (
 // rebuild — internal/server — after detection succeeds), "wal" (once
 // per write-ahead-log append on the durability path —
 // internal/durable), and "snapshot" (once per durable snapshot
-// write). The "peel" and "uf" sites fire only under KernelsWorklist
-// and "reach" only under KernelsMultiPivot; "condense", "wal", and
-// "snapshot" are never hit by Detect itself, only by the server's
+// write), and "incr" (inside the incremental SCC maintainer —
+// internal/incr — once per commit and per staged merge during a cycle
+// collapse). The "peel" and "uf" sites fire only under KernelsWorklist
+// and "reach" only under KernelsMultiPivot; "condense", "incr", "wal",
+// and "snapshot" are never hit by Detect itself, only by the server's
 // rebuild and durability paths.
 func ChaosSites() []string {
 	sites := chaos.Sites()

@@ -49,11 +49,11 @@ func TestChaosPanicMatrix(t *testing.T) {
 		// (which both the worklist and multi-pivot sets use for
 		// trim/WCC), "reach" only inside the multi-pivot sweep, and
 		// "bfs" only in the level-synchronous phase-1 the multi-pivot
-		// kernel replaces. "condense" lives on the serving path
-		// (internal/server), and "wal"/"snapshot" on the durability
-		// path (internal/durable) — none of those is inside Detect, so
-		// a plain run never hits them.
-		if site == "condense" || site == "wal" || site == "snapshot" {
+		// kernel replaces. "condense" and "incr" live on the serving
+		// path (internal/server, internal/incr), and "wal"/"snapshot"
+		// on the durability path (internal/durable) — none of those is
+		// inside Detect, so a plain run never hits them.
+		if site == "condense" || site == "wal" || site == "snapshot" || site == "incr" {
 			continue
 		}
 		kernels := []scc.Kernels{scc.KernelsWorklist, scc.KernelsLegacy, scc.KernelsMultiPivot}
@@ -406,7 +406,7 @@ func TestParseChaosSpec(t *testing.T) {
 		t.Fatal("bad ordinal accepted")
 	}
 	sites := scc.ChaosSites()
-	if len(sites) != 11 {
+	if len(sites) != 12 {
 		t.Fatalf("ChaosSites = %v", sites)
 	}
 	for _, s := range sites {

@@ -53,8 +53,26 @@ check reachable   200 "$base/reachable?from=0&to=1"
 check badparam    400 "$base/componentof?node=notanumber"
 check update      200 --data-binary $'0 1\n1 0\n' "$base/update?wait=1"
 grep -q '"rebuilt":true' "$workdir/body.json" || { echo "FAIL update: epoch did not advance"; exit 1; }
+
+# Mixed signed batch: insert a fresh 2-cycle through high node ids,
+# then delete one half again. Each rides the incremental fast paths —
+# the epoch advances twice more with no additional full rebuild.
+check update-ins  200 --data-binary $'+2100 2101\n+2101 2100\n' "$base/update?wait=1"
+grep -q '"rebuilt":true' "$workdir/body.json" || { echo "FAIL signed insert: epoch did not advance"; exit 1; }
+check same-grown  200 "$base/same?u=2100&v=2101"
+grep -q '"same":true' "$workdir/body.json" || { echo "FAIL same after signed insert: $(cat "$workdir/body.json")"; exit 1; }
+check update-del  200 --data-binary $'-2101 2100\n' "$base/update?wait=1"
+grep -q '"rebuilt":true' "$workdir/body.json" || { echo "FAIL signed delete: epoch did not advance"; exit 1; }
+check same-split  200 "$base/same?u=2100&v=2101"
+grep -q '"same":false' "$workdir/body.json" || { echo "FAIL same after signed delete: $(cat "$workdir/body.json")"; exit 1; }
+
 check stats       200 "$base/stats"
-grep -q '"epoch":2' "$workdir/body.json" || { echo "FAIL stats: want epoch 2, got: $(cat "$workdir/body.json")"; exit 1; }
+grep -q '"epoch":4' "$workdir/body.json" || { echo "FAIL stats: want epoch 4, got: $(cat "$workdir/body.json")"; exit 1; }
+# Classified fast paths actually fired, and only the startup build ran full.
+grep -q '"full_rebuilds":1' "$workdir/body.json" || { echo "FAIL stats: want full_rebuilds 1: $(cat "$workdir/body.json")"; exit 1; }
+grep -q '"incr_epochs":3' "$workdir/body.json" || { echo "FAIL stats: want incr_epochs 3: $(cat "$workdir/body.json")"; exit 1; }
+grep -q '"incr_cycle_merges":1' "$workdir/body.json" || { echo "FAIL stats: want incr_cycle_merges 1: $(cat "$workdir/body.json")"; exit 1; }
+grep -qE '"incr_partials":[1-9]' "$workdir/body.json" || { echo "FAIL stats: want incr_partials >= 1: $(cat "$workdir/body.json")"; exit 1; }
 
 # SIGTERM must drain and exit 0.
 kill -TERM "$pid"
